@@ -1,0 +1,173 @@
+package ttmcas_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ttmcas"
+)
+
+func TestEvaluateA11(t *testing.T) {
+	d := ttmcas.A11At(ttmcas.N28)
+	r, err := ttmcas.Evaluate(d, 10e6, ttmcas.FullCapacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TTM <= 0 || r.TTM != r.DesignTime+r.Tapeout+r.Fabrication+r.Packaging {
+		t.Errorf("breakdown inconsistent: %+v", r)
+	}
+	ttm, err := ttmcas.TTM(d, 10e6, ttmcas.FullCapacity())
+	if err != nil || ttm != r.TTM {
+		t.Errorf("TTM() = %v, %v", ttm, err)
+	}
+}
+
+func TestCASAndCurve(t *testing.T) {
+	d := ttmcas.A11At(ttmcas.N7)
+	cas, err := ttmcas.CAS(d, 10e6, ttmcas.FullCapacity())
+	if err != nil || cas.CAS <= 0 {
+		t.Fatalf("CAS = %+v, %v", cas, err)
+	}
+	curve, err := ttmcas.CASCurve(d, 10e6, ttmcas.FullCapacity(), []float64{0.5, 1.0})
+	if err != nil || len(curve) != 2 {
+		t.Fatalf("curve = %v, %v", curve, err)
+	}
+	if curve[0].CAS >= curve[1].CAS {
+		t.Error("CAS should rise with capacity")
+	}
+}
+
+func TestCostFacade(t *testing.T) {
+	b, err := ttmcas.Cost(ttmcas.Zen2(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != b.MaskNRE+b.TapeoutNRE+b.Wafers+b.Packaging {
+		t.Errorf("cost breakdown inconsistent: %+v", b)
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	if len(ttmcas.Nodes()) != 12 {
+		t.Errorf("Nodes() = %d, want 12", len(ttmcas.Nodes()))
+	}
+	if len(ttmcas.ProducingNodes()) != 10 {
+		t.Errorf("ProducingNodes() = %d, want 10", len(ttmcas.ProducingNodes()))
+	}
+	n, err := ttmcas.ParseNode("28nm")
+	if err != nil || n != ttmcas.N28 {
+		t.Errorf("ParseNode = %v, %v", n, err)
+	}
+	p, err := ttmcas.LookupNode(ttmcas.N12)
+	if err != nil || !p.InProduction() {
+		t.Errorf("12nm variant should resolve: %+v, %v", p, err)
+	}
+}
+
+func TestUncertaintyFacade(t *testing.T) {
+	d := ttmcas.A11At(ttmcas.N28)
+	est, err := ttmcas.TTMWithUncertainty(d, 10e6, ttmcas.FullCapacity(), ttmcas.MCConfig{Samples: 64})
+	if err != nil || !est.CI.Contains(est.Mean) {
+		t.Fatalf("estimate = %+v, %v", est, err)
+	}
+	cas, err := ttmcas.CASWithUncertainty(d, 10e6, ttmcas.FullCapacity(), ttmcas.MCConfig{Samples: 32})
+	if err != nil || cas.Mean <= 0 {
+		t.Fatalf("cas estimate = %+v, %v", cas, err)
+	}
+}
+
+func TestSensitivityFacade(t *testing.T) {
+	d := ttmcas.A11At(ttmcas.N5)
+	res, err := ttmcas.Sensitivity(d, 10e6, ttmcas.FullCapacity(), ttmcas.SensitivityConfig{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Total) != len(ttmcas.SensitivityInputs()) {
+		t.Errorf("inputs = %v", res)
+	}
+	// 5nm: unique transistor count should carry real weight.
+	idx := -1
+	for i, name := range res.Inputs {
+		if name == "NUT" {
+			idx = i
+		}
+	}
+	if idx < 0 || res.Total[idx] < 0.1 {
+		t.Errorf("NUT S_T at 5nm = %v, want substantial", res.Total)
+	}
+}
+
+func TestDieYield(t *testing.T) {
+	y, err := ttmcas.DieYield(1660, ttmcas.N250)
+	if err != nil || math.Abs(y-0.48) > 0.01 {
+		t.Errorf("yield = %v, %v", y, err)
+	}
+	if _, err := ttmcas.DieYield(100, ttmcas.Node(3)); err == nil {
+		t.Error("unknown node should error")
+	}
+}
+
+func TestFabFacade(t *testing.T) {
+	line, err := ttmcas.FabLineFor(ttmcas.N28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ttmcas.SimulateFab(line, 10_000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastPackaged <= res.LastFabComplete {
+		t.Errorf("milestones out of order: %+v", res)
+	}
+	if _, err := ttmcas.FabLineFor(ttmcas.Node(3)); err == nil {
+		t.Error("unknown node should error")
+	}
+}
+
+func TestFigureFacade(t *testing.T) {
+	ids := ttmcas.FigureIDs()
+	if len(ids) != 23 {
+		t.Fatalf("FigureIDs = %v", ids)
+	}
+	r, err := ttmcas.Figure("t2", ttmcas.FastFigures())
+	if err != nil || r.ID != "t2" {
+		t.Fatalf("Figure(t2) = %v, %v", r, err)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestScenariosFacade(t *testing.T) {
+	if len(ttmcas.Scenarios()) < 5 {
+		t.Error("scenarios missing")
+	}
+	d := ttmcas.Ariane16(32, 32, ttmcas.N14)
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := ttmcas.RavenMCU(ttmcas.N180).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlannerFacade(t *testing.T) {
+	p := ttmcas.NewPlanner(ttmcas.RavenMCU(ttmcas.N180))
+	p.MultiProcess = false
+	p.Nodes = []ttmcas.Node{ttmcas.N40, ttmcas.N28}
+	best, all, err := p.Recommend(ttmcas.PlanRequirements{Volume: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name == "" || len(all) != 2 {
+		t.Fatalf("best=%+v all=%d", best, len(all))
+	}
+	_, _, err = p.Recommend(ttmcas.PlanRequirements{Volume: 1e8, Deadline: 1})
+	if !errors.Is(err, ttmcas.ErrNoFeasiblePlan) {
+		t.Errorf("err = %v, want ErrNoFeasiblePlan", err)
+	}
+	if ttmcas.SplitFactory(ttmcas.RavenMCU(ttmcas.N180))(ttmcas.N28).Dies[0].Node != ttmcas.N28 {
+		t.Error("SplitFactory should retarget")
+	}
+}

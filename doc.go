@@ -1,0 +1,41 @@
+// Package ttmcas is an open-source Go implementation of the modeling
+// framework from "Supply Chain Aware Computer Architecture" (Ning,
+// Tziantzioulis, Wentzlaff — ISCA 2023): a chip-creation
+// time-to-market model, the Chip Agility Score (CAS), and a
+// Moonwalk-style chip-creation cost model, together with the
+// substrates needed to reproduce the paper's five case studies — a
+// process-node database, a negative-binomial yield model, a
+// trace-driven cache simulator, structural accelerator models, a
+// discrete-event fab-pipeline simulator, Monte-Carlo uncertainty and
+// Sobol sensitivity analysis, and optimizers for cache sizing and
+// multi-process production splits.
+//
+// # Quick start
+//
+//	d := ttmcas.A11().Retarget(ttmcas.N28) // re-release the A11 at 28nm
+//	r, err := ttmcas.Evaluate(d, 10e6, ttmcas.FullCapacity())
+//	// r.TTM is the time-to-market in calendar weeks;
+//	// r.Tapeout/r.Fabrication/r.Packaging decompose it (Eq. 1).
+//
+//	cas, err := ttmcas.CAS(d, 10e6, ttmcas.FullCapacity())
+//	// cas.CAS is the Chip Agility Score (Eq. 8), wafers/week².
+//
+//	cost, err := ttmcas.Cost(d, 10e6)
+//	// cost.Total decomposes into NRE, wafers and packaging.
+//
+// Market conditions model the supply-chain state: capacity fractions
+// per node and quoted foundry queues:
+//
+//	shortage := ttmcas.FullCapacity().WithQueue(ttmcas.N7, 4).AtCapacity(0.6)
+//
+// Every figure and table of the paper's evaluation regenerates through
+// the Figure function (or the ttmcas CLI's `figure`/`table`
+// subcommands), and the benchmark harness in bench_test.go times each
+// one.
+//
+// The model equations are implemented exactly as printed in the paper;
+// parameter values are calibrated to the paper's published anchors as
+// documented in DESIGN.md. Absolute weeks and dollars are
+// representational — comparisons between designs, nodes and market
+// conditions are the intended use, as in the paper itself.
+package ttmcas

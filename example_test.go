@@ -1,0 +1,90 @@
+package ttmcas_test
+
+// Godoc examples for the public API. Outputs are deterministic: the
+// model is analytic and all sampling uses fixed seeds.
+
+import (
+	"fmt"
+
+	"ttmcas"
+)
+
+func ExampleEvaluate() {
+	// Re-release the A11 architecture on 28nm and produce 10M chips.
+	d := ttmcas.A11().Retarget(ttmcas.N28)
+	r, err := ttmcas.Evaluate(d, 10e6, ttmcas.FullCapacity())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("tapeout %.1f wk, fabrication %.1f wk, packaging %.1f wk\n",
+		float64(r.Tapeout), float64(r.Fabrication), float64(r.Packaging))
+	fmt.Printf("TTM %.1f weeks via %s\n", float64(r.TTM), r.CriticalNode)
+	// Output:
+	// tapeout 5.3 wk, fabrication 13.9 wk, packaging 6.9 wk
+	// TTM 26.0 weeks via 28nm
+}
+
+func ExampleCAS() {
+	// Chip Agility Score (Eq. 8): the paper's 7nm A11 is the most
+	// agile advanced-node choice for 10M chips.
+	d := ttmcas.A11().Retarget(ttmcas.N7)
+	r, err := ttmcas.CAS(d, 10e6, ttmcas.FullCapacity())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("CAS = %.0f kilo-wafers/week²\n", r.CAS/1000)
+	// Output:
+	// CAS = 259 kilo-wafers/week²
+}
+
+func ExampleConditions() {
+	// Market conditions compose: a 2-week quoted queue at 7nm on top
+	// of a line running at 50% capacity takes 4 weeks to drain.
+	d := ttmcas.A11().Retarget(ttmcas.N7)
+	base, _ := ttmcas.TTM(d, 10e6, ttmcas.FullCapacity().AtCapacity(0.5))
+	queued, _ := ttmcas.TTM(d, 10e6, ttmcas.FullCapacity().AtCapacity(0.5).WithQueue(ttmcas.N7, 2))
+	fmt.Printf("queue penalty at 50%% capacity: %.1f weeks\n", float64(queued-base))
+	// Output:
+	// queue penalty at 50% capacity: 4.0 weeks
+}
+
+func ExampleCost() {
+	b, err := ttmcas.Cost(ttmcas.Zen2(), 10e6)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("NRE $%.0fM, wafers $%.2fB\n", (b.MaskNRE + b.TapeoutNRE).Millions(), b.Wafers.Billions())
+	// Output:
+	// NRE $42M, wafers $0.31B
+}
+
+func ExampleDieYield() {
+	// The paper's 250nm anchor: a 4.3B-transistor die yields ~48%.
+	y, err := ttmcas.DieYield(1660, ttmcas.N250)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("Y = %.2f\n", y)
+	// Output:
+	// Y = 0.48
+}
+
+func ExampleSimulateFab() {
+	// An order rides through a two-week outage starting at week 1.
+	line, _ := ttmcas.FabLineFor(ttmcas.N28)
+	res, err := ttmcas.SimulateFab(line, 150_000, 0, []ttmcas.FabDisruption{
+		{AtWeek: 1, Fraction: 0},
+		{AtWeek: 3, Fraction: 1},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("last lot packaged in week %.1f (%d lots)\n", float64(res.LastPackaged), res.LotsStarted)
+	// Output:
+	// last lot packaged in week 21.9 (6000 lots)
+}

@@ -1,0 +1,74 @@
+// Cache sizing under time-to-market pressure (the paper's Section 6.1
+// case study): sweep a 16-core Ariane's instruction and data caches,
+// measure IPC with the trace-driven cache simulator, and find the
+// configurations that maximize IPC per week of time-to-market versus
+// IPC per dollar.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ttmcas"
+	"ttmcas/internal/cachesim"
+	"ttmcas/internal/opt"
+)
+
+func main() {
+	// Build the IPC table once: simulate a SPEC-like synthetic
+	// workload across cache capacities from 1 KB to 1 MB.
+	fmt.Println("simulating cache miss curves (SPEC-like synthetic workload)...")
+	table, err := cachesim.BuildIPCTable(cachesim.SPECLike(), cachesim.CPUModel{}, cachesim.SweepSizesKB, 500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate every (I$, D$) pair for 100M chips at 14nm.
+	study := opt.CacheStudy{Table: table}
+	points, err := study.Evaluate(ttmcas.N14, 100e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byTTM, err := opt.Best(points, opt.MaxIPCPerTTM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byCost, err := opt.Best(points, opt.MaxIPCPerCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byIPC, err := opt.Best(points, opt.MaxIPC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, p opt.CachePoint) {
+		fmt.Printf("%-22s I$=%4dKB D$=%4dKB  IPC=%.4f  TTM=%.1fwk  cost=$%.2fB\n",
+			label, p.IKB, p.DKB, p.IPC, float64(p.TTM), p.Cost.Billions())
+	}
+	fmt.Println("\n16-core Ariane, 100M chips, 14nm:")
+	show("max IPC:", byIPC)
+	show("max IPC/TTM:", byTTM)
+	show("max IPC/cost:", byCost)
+
+	fmt.Printf("\nthe IPC/TTM optimum gives up %.1f%% IPC/cost;\n",
+		(1-byTTM.IPCPerCost/byCost.IPCPerCost)*100)
+	fmt.Printf("the IPC/cost optimum gives up %.1f%% IPC/TTM —\n",
+		(1-byCost.IPCPerTTM/byTTM.IPCPerTTM)*100)
+	fmt.Println("in a race to market, optimizing for IPC/TTM is the safer compromise.")
+
+	// How does the optimum move with volume on a legacy node?
+	fmt.Println("\nIPC/TTM-optimal caches on 65nm by production volume:")
+	for _, n := range []float64{1e4, 1e6, 1e8} {
+		pts, err := study.Evaluate(ttmcas.N65, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, err := opt.Best(pts, opt.MaxIPCPerTTM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %10.0f chips: I$=%4dKB D$=%4dKB (TTM %.1fwk)\n", n, best.IKB, best.DKB, float64(best.TTM))
+	}
+}

@@ -1,0 +1,83 @@
+// Chiplet strategy (the paper's Section 6.5): compare the original
+// mixed-process Zen 2 against single-process chiplet and monolithic
+// alternatives, with and without a silicon interposer, on
+// time-to-market, cost and agility.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ttmcas"
+)
+
+func main() {
+	const chips = 10e6
+
+	zen := ttmcas.Zen2()
+	zenIp, err := zen.WithInterposer(ttmcas.N65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all7 := zen.Retarget(ttmcas.N7)
+	all7.Name = "all-7nm chiplets"
+	mono7 := zen.Monolithic(ttmcas.N7)
+	all12 := zen.Retarget(ttmcas.N12)
+	all12.Name = "all-12nm chiplets"
+	mono12 := zen.Monolithic(ttmcas.N12)
+
+	designs := []ttmcas.Design{zen, zenIp, all7, mono7, all12, mono12}
+
+	fmt.Printf("Zen 2 family, %.0fM chips, full capacity:\n\n", chips/1e6)
+	fmt.Printf("%-28s %10s %10s %14s\n", "design", "TTM (wk)", "cost ($B)", "CAS (w/wk²)")
+	for _, d := range designs {
+		ttm, err := ttmcas.TTM(d, chips, ttmcas.FullCapacity())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost, err := ttmcas.Cost(d, chips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cas, err := ttmcas.CAS(d, chips, ttmcas.FullCapacity())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10.1f %10.2f %14.0f\n", d.Name, float64(ttm), cost.Total.Billions(), cas.CAS)
+	}
+
+	// The paper's Fig. 13c behaviour: the mixed-process design is the
+	// most agile at full capacity, but once the low-capacity 12nm I/O
+	// line degrades it becomes the bottleneck and agility collapses.
+	fmt.Println("\nCAS vs production capacity (zen2 vs all-7nm chiplets):")
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	zenCurve, err := ttmcas.CASCurve(zen, chips, ttmcas.FullCapacity(), fracs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c7Curve, err := ttmcas.CASCurve(all7, chips, ttmcas.FullCapacity(), fracs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%10s %14s %14s\n", "capacity", "zen2", "all-7nm")
+	for i, f := range fracs {
+		fmt.Printf("%9.0f%% %14.0f %14.0f\n", f*100, zenCurve[i].CAS, c7Curve[i].CAS)
+	}
+
+	// Interposer what-if: moving the interposer off the congested
+	// legacy node helps (the paper moves it from 65nm to 40nm).
+	ip40, err := zen.WithInterposer(ttmcas.N40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t65, err := ttmcas.TTM(zenIp, 100e6, ttmcas.FullCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	t40, err := ttmcas.TTM(ip40, 100e6, ttmcas.FullCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninterposer at 100M chips: 65nm -> %.1f wk, 40nm -> %.1f wk (saves %.1f weeks)\n",
+		float64(t65), float64(t40), float64(t65-t40))
+}

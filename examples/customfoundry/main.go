@@ -1,0 +1,106 @@
+// Custom foundry data: the paper open-sources its framework so users
+// can "easily plug in their values". This example builds a private
+// node database — your foundry's quoted rates, your NDA'd defect
+// densities — and re-runs the node-selection analysis against it,
+// including a speculative 3nm entry extrapolated from the effort
+// curves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ttmcas"
+)
+
+func main() {
+	// Start from the built-in calibration and override what you know
+	// better. Here: our foundry's 28nm line runs at 500 kW/month (not
+	// the public 350) but with a slightly worse defect density.
+	db := ttmcas.DefaultNodeDatabase()
+	our28, err := db.Lookup(ttmcas.N28)
+	if err != nil {
+		log.Fatal(err)
+	}
+	our28.WaferRate = kwpm(500)
+	our28.DefectDensity = 0.07
+	db, err = db.With(our28)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Add a node the public table does not have: a speculative 3nm
+	// class, priced off the 5nm entry with the extrapolated tapeout
+	// effort (tapeout cost keeps growing past 5nm).
+	n5, err := db.Lookup(ttmcas.N5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n3 := n5
+	n3.Node = ttmcas.Node(3)
+	n3.WaferRate = kwpm(50)
+	n3.Density = n5.Density * 1.6
+	n3.DefectDensity = 0.16
+	n3.FabLatency = 22
+	n3.TapeoutEffort = n5.TapeoutEffort * 1.5
+	n3.WaferCost = 26000
+	n3.MaskSetCost = 5e6
+	db, err = db.With(n3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate the A11 re-release against OUR numbers.
+	m := ttmcas.Model{Nodes: db}
+	cm := ttmcas.CostModel{Nodes: db}
+	const chips = 10e6
+	fmt.Println("A11 re-release, 10M chips, against the private node database:")
+	for _, node := range []ttmcas.Node{ttmcas.N28, ttmcas.N7, ttmcas.N5, ttmcas.Node(3)} {
+		d := ttmcas.A11().Retarget(node)
+		r, err := m.Evaluate(d, chips, ttmcas.FullCapacity())
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, err := cm.Total(d, chips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s tapeout %5.1f wk  fab %5.1f wk  TTM %5.1f wk  cost $%.2fB\n",
+			node, float64(r.Tapeout), float64(r.Fabrication), float64(r.TTM), total.Billions())
+	}
+
+	// Compare against the public calibration: our beefed-up 28nm line
+	// cuts fabrication time.
+	pub, err := ttmcas.TTM(ttmcas.A11().Retarget(ttmcas.N28), chips, ttmcas.FullCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := m.TTM(ttmcas.A11().Retarget(ttmcas.N28), chips, ttmcas.FullCapacity())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n28nm with our 500 kW/month line: %.1f wk vs %.1f wk public (%.1f weeks faster)\n",
+		float64(ours), float64(pub), float64(pub-ours))
+
+	// The database serializes to JSON for the CLI (-nodedb) and for
+	// sharing inside the company.
+	path := "custom-nodes.json"
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+	if err := ttmcas.WriteNodeDatabase(f, db); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s — reusable via 'ttmcas ttm -nodedb %s ...'\n", path, path)
+}
+
+// kwpm converts kilo-wafers per month into the API's wafers-per-week.
+func kwpm(kw float64) ttmcas.WafersPerWeek {
+	return ttmcas.WafersPerWeek(kw * 1000 / (365.25 / 12 / 7))
+}

@@ -1,0 +1,80 @@
+// Multi-process manufacturing (the paper's Section 7): tape out the
+// same microcontroller on two process nodes in parallel and find the
+// production split that maximizes the Chip Agility Score while keeping
+// time-to-market and cost in check.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ttmcas"
+	"ttmcas/internal/opt"
+)
+
+func main() {
+	const chips = 1e9 // automotive-scale MCU volume
+
+	study := opt.SplitStudy{
+		Factory: func(n ttmcas.Node) ttmcas.Design { return ttmcas.RavenMCU(n) },
+		Step:    0.02,
+	}
+
+	// Single-process baselines.
+	fmt.Printf("Raven-class MCU, %.0fB chips — single-process baselines:\n", chips/1e9)
+	singles := map[ttmcas.Node]opt.SplitPoint{}
+	for _, node := range []ttmcas.Node{ttmcas.N250, ttmcas.N130, ttmcas.N90, ttmcas.N40, ttmcas.N28} {
+		pt, err := study.BestSplit(node, node, chips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		singles[node] = pt
+		fmt.Printf("  %-6s TTM %6.1f wk   cost $%.2fB   CAS %9.0f\n",
+			node, float64(pt.TTM), pt.Cost.Billions(), pt.CAS)
+	}
+
+	// CAS-optimal two-process splits for a few interesting pairs.
+	fmt.Println("\nCAS-optimal two-process splits:")
+	pairs := [][2]ttmcas.Node{
+		{ttmcas.N28, ttmcas.N40},
+		{ttmcas.N250, ttmcas.N180},
+		{ttmcas.N130, ttmcas.N90},
+		{ttmcas.N90, ttmcas.N65},
+	}
+	for _, p := range pairs {
+		pt, err := study.BestSplit(p[0], p[1], chips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s + %-6s  %3.0f%%/%3.0f%% split  TTM %6.1f wk  cost $%.2fB  CAS %9.0f\n",
+			p[0], p[1], pt.FracPrimary*100, (1-pt.FracPrimary)*100,
+			float64(pt.TTM), pt.Cost.Billions(), pt.CAS)
+	}
+
+	// The headline comparison of Section 7: the fastest multi-process
+	// split vs the fastest single process and the cheapest process.
+	best, err := study.BestSplit(ttmcas.N28, ttmcas.N40, chips)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single28 := singles[ttmcas.N28]
+	fmt.Printf("\n28nm+40nm split vs single 28nm:\n")
+	fmt.Printf("  agility: %.0f vs %.0f (%.0f%% more agile)\n",
+		best.CAS, single28.CAS, (best.CAS/single28.CAS-1)*100)
+	fmt.Printf("  TTM:     %.1f vs %.1f weeks\n", float64(best.TTM), float64(single28.TTM))
+	fmt.Printf("  cost:    $%.2fB vs $%.2fB (%+.1f%%)\n",
+		best.Cost.Billions(), single28.Cost.Billions(),
+		(float64(best.Cost)/float64(single28.Cost)-1)*100)
+
+	// Legacy rescue: how much does pairing save the slow legacy nodes?
+	fmt.Println("\nlegacy-node rescue (weeks saved by adding the next node down):")
+	for _, p := range [][2]ttmcas.Node{{ttmcas.N250, ttmcas.N180}, {ttmcas.N130, ttmcas.N90}, {ttmcas.N90, ttmcas.N65}} {
+		pt, err := study.BestSplit(p[0], p[1], chips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saved := float64(singles[p[0]].TTM - pt.TTM)
+		fmt.Printf("  %-6s alone %6.1f wk -> with %-6s %6.1f wk (saves %.1f weeks)\n",
+			p[0], float64(singles[p[0]].TTM), p[1], float64(pt.TTM), saved)
+	}
+}

@@ -1,0 +1,70 @@
+// Design-methodology automation (the paper's Section 7, as a tool): a
+// product team states requirements — volume, deadline, budget, minimum
+// agility — and the planner searches every producing node and every
+// CAS-optimal two-process split for the plan that maximizes the Chip
+// Agility Score subject to the constraints.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ttmcas"
+)
+
+func main() {
+	// The product: a mass-market MCU, one billion units.
+	base := ttmcas.RavenMCU(ttmcas.N180)
+	planner := ttmcas.NewPlanner(base)
+
+	show := func(label string, req ttmcas.PlanRequirements) {
+		fmt.Printf("%s\n", label)
+		best, all, err := planner.Recommend(req)
+		switch {
+		case errors.Is(err, ttmcas.ErrNoFeasiblePlan):
+			fmt.Println("  no feasible plan; nearest candidates:")
+			for i, o := range all {
+				if i == 3 {
+					break
+				}
+				fmt.Printf("    %-18s TTM %5.1f wk  CAS %8.0f  — %v\n",
+					o.Name, float64(o.TTM), o.CAS, o.Violations)
+			}
+			fmt.Println()
+			return
+		case err != nil:
+			log.Fatal(err)
+		}
+		fmt.Printf("  recommended: %-18s TTM %5.1f wk  cost $%.2fB  CAS %8.0f\n",
+			best.Name, float64(best.TTM), best.Cost.Billions(), best.CAS)
+		for i, o := range all {
+			if i == 3 || !o.Feasible {
+				break
+			}
+			if o.Name != best.Name {
+				fmt.Printf("  runner-up:   %-18s TTM %5.1f wk  cost $%.2fB  CAS %8.0f\n",
+					o.Name, float64(o.TTM), o.Cost.Billions(), o.CAS)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Unconstrained CAS maximization exposes a real property of Eq. 8:
+	// a plan whose critical path is a fixed fab latency (a sliver of
+	// volume parked on a slow, high-latency line) is almost immune to
+	// wafer-rate changes — maximally "agile" but slow. Agility is not
+	// speed; that is why the paper pairs CAS with TTM and cost, and why
+	// the constrained queries below give the useful answers.
+	show("1B chips, unconstrained (pure agility play):",
+		ttmcas.PlanRequirements{Volume: 1e9})
+
+	show("1B chips, must ship within 19 weeks:",
+		ttmcas.PlanRequirements{Volume: 1e9, Deadline: 19})
+
+	show("1B chips, 19-week deadline AND at least 150k CAS:",
+		ttmcas.PlanRequirements{Volume: 1e9, Deadline: 19, MinCAS: 150_000})
+
+	show("1B chips, impossible 10-week deadline:",
+		ttmcas.PlanRequirements{Volume: 1e9, Deadline: 10})
+}

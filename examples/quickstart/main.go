@@ -1,0 +1,55 @@
+// Quickstart: evaluate a design's time-to-market, agility and cost
+// with the ttmcas public API, and see how the numbers move under a
+// supply-chain disruption.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ttmcas"
+)
+
+func main() {
+	// The Apple A11 case study: 4.3B transistors, 514M of them unique.
+	// Re-releasing it today means picking a node and restarting the
+	// tapeout phase there.
+	design := ttmcas.A11().Retarget(ttmcas.N28)
+	const chips = 10e6
+
+	baseline := ttmcas.FullCapacity()
+	r, err := ttmcas.Evaluate(design, chips, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %.0fM chips at full capacity:\n", design.Name, chips/1e6)
+	fmt.Printf("  tapeout      %5.1f weeks\n", float64(r.Tapeout))
+	fmt.Printf("  fabrication  %5.1f weeks (%.0f wafers)\n", float64(r.Fabrication), float64(r.Nodes[0].Wafers))
+	fmt.Printf("  packaging    %5.1f weeks\n", float64(r.Packaging))
+	fmt.Printf("  TTM          %5.1f weeks\n\n", float64(r.TTM))
+
+	// Chip Agility Score: how resilient is this choice to
+	// production-side supply changes?
+	cas, err := ttmcas.CAS(design, chips, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CAS = %.0f wafers/week² (higher = more agile)\n\n", cas.CAS)
+
+	// Chip creation cost (Moonwalk-style: NRE + wafers + packaging).
+	cost, err := ttmcas.Cost(design, chips)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost = $%.2fB total, $%.2f per chip\n\n", cost.Total.Billions(), float64(cost.PerChip))
+
+	// Now a 2021-style shortage: every node quotes a 4-week lead time
+	// and capacity drops to 70%.
+	shortage := ttmcas.FullCapacity().WithQueueAll(4).AtCapacity(0.7)
+	stressed, err := ttmcas.TTM(design, chips, shortage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("under a shortage (4-week queues, 70%% capacity): TTM = %.1f weeks (+%.1f)\n",
+		float64(stressed), float64(stressed-r.TTM))
+}

@@ -1,0 +1,3 @@
+module ttmcas
+
+go 1.22

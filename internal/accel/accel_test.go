@@ -1,0 +1,128 @@
+package accel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNetworkDepths(t *testing.T) {
+	// Bitonic 2048: log2 = 11 → 11·12/2 = 66 stages. FFT 2048: 11.
+	if got := bitonicStages(2048); got != 66 {
+		t.Errorf("bitonic stages = %d, want 66", got)
+	}
+	if got := fftStages(2048); got != 11 {
+		t.Errorf("fft stages = %d, want 11", got)
+	}
+}
+
+func TestScalarCycleModels(t *testing.T) {
+	var c ScalarCore
+	// 2048·11·10 comparisons-cycles.
+	if got := c.SortCycles(2048); math.Abs(got-225280) > 1 {
+		t.Errorf("scalar sort cycles = %v", got)
+	}
+	// 1024·11·60 butterfly-cycles.
+	if got := c.FFTCycles(2048); math.Abs(got-675840) > 1 {
+		t.Errorf("scalar fft cycles = %v", got)
+	}
+}
+
+func TestPasses(t *testing.T) {
+	a := SortingStream() // 66 stages, 6 in hardware
+	if a.Passes() != 11 {
+		t.Errorf("stream passes = %d, want 11", a.Passes())
+	}
+	if SortingIterative().Passes() != 66 {
+		t.Errorf("iterative passes = %d, want 66", SortingIterative().Passes())
+	}
+}
+
+func TestTable3SpeedUpBands(t *testing.T) {
+	// The structural models must land in the neighbourhood of the
+	// paper's measured speed-ups (Table 3): 16.71, 3.07, 56.36, 20.81.
+	var core ScalarCore
+	bands := map[string][2]float64{
+		"sorting-stream":    {12, 24},
+		"sorting-iterative": {2.4, 4.2},
+		"dft-stream":        {45, 70},
+		"dft-iterative":     {16, 26},
+	}
+	for _, a := range All() {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := a.KernelSpeedUp(core)
+		b := bands[a.Name]
+		if got < b[0] || got > b[1] {
+			t.Errorf("%s speed-up = %.2f, want in [%v, %v]", a.Name, got, b[0], b[1])
+		}
+	}
+}
+
+func TestSpeedUpOrderings(t *testing.T) {
+	// Streaming designs must beat their iterative counterparts, and
+	// within each pair the iterative design must be smaller.
+	var core ScalarCore
+	ss, si := SortingStream(), SortingIterative()
+	ds, di := DFTStream(), DFTIterative()
+	if ss.KernelSpeedUp(core) <= si.KernelSpeedUp(core) {
+		t.Error("streaming sorter should beat iterative")
+	}
+	if ds.KernelSpeedUp(core) <= di.KernelSpeedUp(core) {
+		t.Error("streaming DFT should beat iterative")
+	}
+	if ss.UniqueTransistors <= si.UniqueTransistors {
+		t.Error("streaming sorter should be larger")
+	}
+	if ds.UniqueTransistors <= di.UniqueTransistors {
+		t.Error("streaming DFT should be larger")
+	}
+}
+
+func TestAreaRatios(t *testing.T) {
+	// Table 3's "area relative to Ariane" column: 18.18, 7.53, 14.87,
+	// 7.24.
+	want := map[string]float64{
+		"sorting-stream":    18.18,
+		"sorting-iterative": 7.53,
+		"dft-stream":        14.87,
+		"dft-iterative":     7.24,
+	}
+	for _, a := range All() {
+		got := a.AreaRelativeToAriane()
+		if math.Abs(got-want[a.Name])/want[a.Name] > 0.01 {
+			t.Errorf("%s area ratio = %.2f, want %.2f", a.Name, got, want[a.Name])
+		}
+	}
+}
+
+func TestCyclesMonotoneInWidth(t *testing.T) {
+	a := SortingIterative()
+	narrow := a
+	narrow.Width = 1
+	if narrow.Cycles(BlockSize) <= a.Cycles(BlockSize) {
+		t.Error("halving width should slow the accelerator")
+	}
+}
+
+func TestStallFactorSlows(t *testing.T) {
+	a := DFTStream()
+	stalled := a
+	stalled.StallFactor = 2
+	if stalled.Cycles(BlockSize) <= a.Cycles(BlockSize) {
+		t.Error("stalls should add cycles")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Accelerator{
+		{Name: "z", TotalStages: 0, HWStages: 1, Width: 1},
+		{Name: "w", TotalStages: 4, HWStages: 1, Width: 0},
+		{Name: "f", TotalStages: 4, HWStages: 8, Width: 1},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s should be invalid", a.Name)
+		}
+	}
+}

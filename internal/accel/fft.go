@@ -1,0 +1,78 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Functional radix-2 decimation-in-time FFT: the DFT kernel the paper's
+// SPIRAL-generated accelerators implement. As with the sorting network,
+// executing the real dataflow grounds the cycle model's stage and
+// butterfly counts, and the unit tests verify the transform against a
+// naive DFT.
+
+// FFTStats reports the work an FFT execution performed.
+type FFTStats struct {
+	// Stages is the number of butterfly stages (log2 n).
+	Stages int
+	// Butterflies is the number of butterfly operations ((n/2)·log2 n).
+	Butterflies int
+}
+
+// FFT computes the in-place radix-2 DIT FFT of data, whose length must
+// be a power of two, and returns the work statistics.
+func FFT(data []complex128) (FFTStats, error) {
+	n := len(data)
+	if n == 0 {
+		return FFTStats{}, nil
+	}
+	if bits.OnesCount(uint(n)) != 1 {
+		return FFTStats{}, fmt.Errorf("accel: FFT size %d must be a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		r := int(bits.Reverse(uint(i)) >> shift)
+		if r > i {
+			data[i], data[r] = data[r], data[i]
+		}
+	}
+	var st FFTStats
+	for size := 2; size <= n; size <<= 1 {
+		st.Stages++
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+				st.Butterflies++
+			}
+		}
+	}
+	return st, nil
+}
+
+// NaiveDFT computes the O(n²) discrete Fourier transform, the reference
+// the FFT is verified against.
+func NaiveDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += in[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// FFTStages returns log2(n) without executing the transform.
+func FFTStages(n int) int { return fftStages(n) }

@@ -1,0 +1,158 @@
+package accel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitonicSortsRandomInputs(t *testing.T) {
+	// Property: the network sorts every input, and its stage count
+	// matches the closed form the cycle model charges for.
+	f := func(seed int64, rawLg uint8) bool {
+		lg := int(rawLg%8) + 1 // 2..256 elements
+		n := 1 << lg
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]int32, n)
+		for i := range data {
+			data[i] = int32(rng.Intn(1000) - 500)
+		}
+		st, err := BitonicSort(data)
+		if err != nil {
+			return false
+		}
+		if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+			return false
+		}
+		return st.Stages == BitonicStages(n) && st.Comparators == BitonicComparators(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitonicEdgeCases(t *testing.T) {
+	if _, err := BitonicSort(make([]int32, 3)); err == nil {
+		t.Error("non-power-of-two should error")
+	}
+	st, err := BitonicSort(nil)
+	if err != nil || st.Stages != 0 {
+		t.Errorf("empty sort = %+v, %v", st, err)
+	}
+	one := []int32{7}
+	if _, err := BitonicSort(one); err != nil || one[0] != 7 {
+		t.Error("single element should be a no-op")
+	}
+	dup := []int32{3, 3, 1, 1}
+	if _, err := BitonicSort(dup); err != nil {
+		t.Fatal(err)
+	}
+	if dup[0] != 1 || dup[3] != 3 {
+		t.Errorf("duplicates mishandled: %v", dup)
+	}
+}
+
+func TestBitonic2048MatchesCycleModelStages(t *testing.T) {
+	// The case study's block size: the functional network's measured
+	// stage count must equal the TotalStages the accelerator models
+	// are built from.
+	data := make([]int32, BlockSize)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = rng.Int31()
+	}
+	st, err := BitonicSort(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stages != SortingStream().TotalStages {
+		t.Errorf("functional stages = %d, cycle model charges %d", st.Stages, SortingStream().TotalStages)
+	}
+	if st.Comparators != BlockSize/2*st.Stages {
+		t.Errorf("comparators = %d, want n/2 per stage", st.Comparators)
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := NaiveDFT(in)
+		got := append([]complex128(nil), in...)
+		st, err := FFT(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if d := got[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-8*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, DFT = %v", n, i, got[i], want[i])
+			}
+		}
+		if n > 1 {
+			if st.Stages != FFTStages(n) {
+				t.Errorf("n=%d: stages = %d, want %d", n, st.Stages, FFTStages(n))
+			}
+			if st.Butterflies != n/2*st.Stages {
+				t.Errorf("n=%d: butterflies = %d, want (n/2)·stages", n, st.Butterflies)
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Property: energy is preserved up to the 1/n convention
+	// (Parseval: Σ|X|² = n·Σ|x|²).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		in := make([]complex128, n)
+		var inE float64
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			inE += real(in[i])*real(in[i]) + imag(in[i])*imag(in[i])
+		}
+		if _, err := FFT(in); err != nil {
+			return false
+		}
+		var outE float64
+		for _, x := range in {
+			outE += real(x)*real(x) + imag(x)*imag(x)
+		}
+		return math.Abs(outE-float64(n)*inE)/(float64(n)*inE) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if _, err := FFT(make([]complex128, 6)); err == nil {
+		t.Error("non-power-of-two should error")
+	}
+	if st, err := FFT(nil); err != nil || st.Stages != 0 {
+		t.Error("empty FFT should be a no-op")
+	}
+}
+
+func TestFFT2048MatchesCycleModelStages(t *testing.T) {
+	in := make([]complex128, BlockSize)
+	in[1] = 1
+	st, err := FFT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stages != DFTStream().TotalStages {
+		t.Errorf("functional stages = %d, cycle model charges %d", st.Stages, DFTStream().TotalStages)
+	}
+	// An impulse transforms to unit-magnitude twiddles everywhere.
+	for i, x := range in {
+		if math.Abs(math.Hypot(real(x), imag(x))-1) > 1e-9 {
+			t.Fatalf("impulse response wrong at %d: %v", i, x)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package accel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomData(n int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]int32, n)
+	for i := range data {
+		data[i] = rng.Int31()
+	}
+	return data
+}
+
+func TestStepSortMatchesClosedForm(t *testing.T) {
+	// The cycle-stepped machine must land exactly on Accelerator.Cycles
+	// for both sorting designs, and it must actually sort.
+	for _, a := range []Accelerator{SortingStream(), SortingIterative()} {
+		data := randomData(BlockSize, 7)
+		run, err := a.StepSort(data)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if !VerifySorted(data) {
+			t.Fatalf("%s: machine did not sort", a.Name)
+		}
+		if run.Passes != a.Passes() {
+			t.Errorf("%s: passes = %d, closed form %d", a.Name, run.Passes, a.Passes())
+		}
+		if math.Abs(run.Cycles-a.Cycles(BlockSize)) > 1e-9 {
+			t.Errorf("%s: simulated %v cycles, closed form %v", a.Name, run.Cycles, a.Cycles(BlockSize))
+		}
+	}
+}
+
+func TestStepSortCoversAllStagesOnce(t *testing.T) {
+	a := SortingStream()
+	data := randomData(BlockSize, 9)
+	run, err := a.StepSort(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, tr := range run.Traces {
+		if len(tr.Stages) > a.HWStages {
+			t.Fatalf("pass %d applied %d stages with only %d in hardware", tr.Pass, len(tr.Stages), a.HWStages)
+		}
+		for _, s := range tr.Stages {
+			if seen[s] {
+				t.Fatalf("stage %d applied twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != a.TotalStages {
+		t.Errorf("stages covered = %d, want %d", len(seen), a.TotalStages)
+	}
+}
+
+func TestStepSortProperty(t *testing.T) {
+	// Any power-of-two dataset sorts on a machine built for its size.
+	f := func(seed int64, lg uint8) bool {
+		n := 1 << (int(lg%6) + 2) // 4..128
+		a := Accelerator{
+			Name:        "fuzz",
+			TotalStages: BitonicStages(n),
+			HWStages:    int(lg%3) + 1,
+			Width:       2,
+			FillLatency: 1,
+		}
+		data := randomData(n, seed)
+		run, err := a.StepSort(data)
+		if err != nil {
+			return false
+		}
+		return VerifySorted(data) && math.Abs(run.Cycles-a.Cycles(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepSortSizeMismatch(t *testing.T) {
+	a := SortingStream() // built for 2048
+	if _, err := a.StepSort(randomData(64, 1)); err == nil {
+		t.Error("wrong dataset size should error")
+	}
+	bad := Accelerator{Name: "bad"}
+	if _, err := bad.StepSort(randomData(64, 1)); err == nil {
+		t.Error("invalid accelerator should error")
+	}
+}
+
+func TestStepCountMatchesClosedForm(t *testing.T) {
+	for _, a := range []Accelerator{DFTStream(), DFTIterative()} {
+		run, err := a.StepCount(BlockSize)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if math.Abs(run.Cycles-a.Cycles(BlockSize)) > 1e-9 {
+			t.Errorf("%s: simulated %v, closed form %v", a.Name, run.Cycles, a.Cycles(BlockSize))
+		}
+		if run.Passes != a.Passes() {
+			t.Errorf("%s: passes = %d, want %d", a.Name, run.Passes, a.Passes())
+		}
+	}
+	bad := Accelerator{Name: "bad"}
+	if _, err := bad.StepCount(64); err == nil {
+		t.Error("invalid accelerator should error")
+	}
+}

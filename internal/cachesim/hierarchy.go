@@ -1,0 +1,163 @@
+package cachesim
+
+import (
+	"fmt"
+)
+
+// Two-level hierarchy support. The paper's case study models a split
+// L1 backed directly by memory; real Ariane-class SoCs share an L2
+// between the cores, which changes how much the L1 capacity sweep
+// matters (the L2 absorbs part of every L1 miss penalty). The
+// hierarchy simulator quantifies that, and the corresponding CPU model
+// splits the miss penalty into an L2-hit and a memory portion.
+
+// HierarchyConfig describes a split L1 in front of a unified L2.
+type HierarchyConfig struct {
+	L1I, L1D Config
+	// L2 is the unified second level; a zero SizeBytes disables it
+	// (the case study's flat configuration).
+	L2 Config
+}
+
+// HierarchyStats reports per-level results of a hierarchy run.
+type HierarchyStats struct {
+	L1I, L1D Stats
+	// L2 counts only the accesses that missed an L1.
+	L2 Stats
+	// Refs is the total reference count driven.
+	Refs int
+}
+
+// L1IMissRate and friends are per-access rates.
+func (h HierarchyStats) L1IMissRate() float64 { return h.L1I.MissRate() }
+
+// L1DMissRate is the data-side L1 miss rate.
+func (h HierarchyStats) L1DMissRate() float64 { return h.L1D.MissRate() }
+
+// L2MissRate is misses per L2 access (i.e. per L1 miss).
+func (h HierarchyStats) L2MissRate() float64 { return h.L2.MissRate() }
+
+// Hierarchy is an instantiated two-level cache system.
+type Hierarchy struct {
+	l1i, l1d *Cache
+	l2       *Cache
+	stats    HierarchyStats
+}
+
+// NewHierarchy builds the system; the L2, when present, must be at
+// least as large as each L1 (a sanity constraint, not strict
+// inclusion).
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, fmt.Errorf("L1I: %w", err)
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, fmt.Errorf("L1D: %w", err)
+	}
+	h := &Hierarchy{l1i: l1i, l1d: l1d}
+	if cfg.L2.SizeBytes != 0 {
+		l2, err := New(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("L2: %w", err)
+		}
+		if cfg.L2.SizeBytes < cfg.L1I.SizeBytes || cfg.L2.SizeBytes < cfg.L1D.SizeBytes {
+			return nil, fmt.Errorf("cachesim: L2 (%d B) smaller than an L1", cfg.L2.SizeBytes)
+		}
+		h.l2 = l2
+	}
+	return h, nil
+}
+
+// Access drives one reference through the hierarchy.
+func (h *Hierarchy) Access(r Ref) {
+	h.stats.Refs++
+	var l1 *Cache
+	if r.Kind == Fetch {
+		l1 = h.l1i
+	} else {
+		l1 = h.l1d
+	}
+	if l1.Access(r.Addr) {
+		return
+	}
+	if h.l2 != nil {
+		h.l2.Access(r.Addr)
+	}
+}
+
+// Stats returns the accumulated counters.
+func (h *Hierarchy) Stats() HierarchyStats {
+	s := HierarchyStats{L1I: h.l1i.Stats(), L1D: h.l1d.Stats(), Refs: h.stats.Refs}
+	if h.l2 != nil {
+		s.L2 = h.l2.Stats()
+	}
+	return s
+}
+
+// SimulateHierarchy runs refs references of the workload through the
+// hierarchy and returns the stats.
+func SimulateHierarchy(w Workload, cfg HierarchyConfig, refs int) (HierarchyStats, error) {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		return HierarchyStats{}, err
+	}
+	g := NewGenerator(w)
+	for i := 0; i < refs; i++ {
+		h.Access(g.Next())
+	}
+	return h.Stats(), nil
+}
+
+// HierarchyCPUModel extends CPUModel with a second level: an L1 miss
+// pays L2Latency; an L2 miss pays MemoryPenalty on top.
+type HierarchyCPUModel struct {
+	// BaseCPI as in CPUModel; zero means the same default.
+	BaseCPI float64
+	// L2Latency is the L1-miss/L2-hit cost in cycles; zero means 8.
+	L2Latency float64
+	// MemoryPenalty is the additional cost of an L2 miss; zero means
+	// the flat model's full penalty (so a disabled L2 reproduces the
+	// flat numbers exactly).
+	MemoryPenalty float64
+}
+
+// Default hierarchy latencies.
+const (
+	DefaultL2Latency     = 8
+	DefaultMemoryPenalty = DefaultMissPenalty
+)
+
+// CPI computes cycles per instruction from hierarchy stats, given the
+// workload's data-reference rate.
+func (m HierarchyCPUModel) CPI(s HierarchyStats, dataPerInstr float64) float64 {
+	base := m.BaseCPI
+	if base == 0 {
+		base = DefaultBaseCPI
+	}
+	l2lat := m.L2Latency
+	if l2lat == 0 {
+		l2lat = DefaultL2Latency
+	}
+	mem := m.MemoryPenalty
+	if mem == 0 {
+		mem = DefaultMemoryPenalty
+	}
+	// Per-instruction L1 miss rate.
+	l1miss := s.L1IMissRate() + s.L1DMissRate()*dataPerInstr
+	cpi := base
+	if s.L2.Accesses > 0 {
+		cpi += l1miss * (l2lat + s.L2MissRate()*mem)
+	} else {
+		// No L2 configured: every L1 miss goes straight to memory,
+		// reproducing the flat CPUModel exactly.
+		cpi += l1miss * mem
+	}
+	return cpi
+}
+
+// IPC is the reciprocal of CPI.
+func (m HierarchyCPUModel) IPC(s HierarchyStats, dataPerInstr float64) float64 {
+	return 1 / m.CPI(s, dataPerInstr)
+}

@@ -1,0 +1,124 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+)
+
+func l1pair(kb int) HierarchyConfig {
+	return HierarchyConfig{
+		L1I: Config{SizeBytes: kb * 1024},
+		L1D: Config{SizeBytes: kb * 1024},
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	bad := HierarchyConfig{L1I: Config{SizeBytes: 3}, L1D: Config{SizeBytes: 1024}}
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("bad L1I should error")
+	}
+	bad = HierarchyConfig{L1I: Config{SizeBytes: 1024}, L1D: Config{SizeBytes: 3}}
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("bad L1D should error")
+	}
+	bad = l1pair(64)
+	bad.L2 = Config{SizeBytes: 3}
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("bad L2 should error")
+	}
+	bad = l1pair(64)
+	bad.L2 = Config{SizeBytes: 32 * 1024}
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("L2 smaller than L1 should error")
+	}
+}
+
+func TestHierarchyMatchesFlatWithoutL2(t *testing.T) {
+	// With no L2, the hierarchy's per-side miss rates equal the flat
+	// simulator's on the same workload.
+	cfg := l1pair(32)
+	hs, err := SimulateHierarchy(SPECLike(), cfg, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Simulate(SPECLike(), cfg.L1I, cfg.L1D, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hs.L1IMissRate()-flat.I) > 1e-12 || math.Abs(hs.L1DMissRate()-flat.D) > 1e-12 {
+		t.Errorf("hierarchy %v/%v vs flat %v/%v", hs.L1IMissRate(), hs.L1DMissRate(), flat.I, flat.D)
+	}
+	if hs.L2.Accesses != 0 {
+		t.Error("disabled L2 should see no accesses")
+	}
+}
+
+func TestL2SeesOnlyL1Misses(t *testing.T) {
+	cfg := l1pair(16)
+	cfg.L2 = Config{SizeBytes: 512 * 1024, Ways: 8}
+	hs, err := SimulateHierarchy(SPECLike(), cfg, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1misses := hs.L1I.Misses + hs.L1D.Misses
+	if hs.L2.Accesses != l1misses {
+		t.Errorf("L2 accesses %d != L1 misses %d", hs.L2.Accesses, l1misses)
+	}
+	// A big L2 absorbs most L1 misses on a SPEC-like trace.
+	if hs.L2MissRate() > 0.6 {
+		t.Errorf("L2 miss rate %v implausibly high", hs.L2MissRate())
+	}
+}
+
+func TestL2SoftensL1SizeSensitivity(t *testing.T) {
+	// The architectural point: adding an L2 shrinks the IPC gap
+	// between small and large L1s, which weakens the cache-sizing
+	// study's TTM trade-off.
+	var m HierarchyCPUModel
+	const dataPerInstr = 0.35
+	ipcAt := func(l1kb int, l2 bool) float64 {
+		cfg := l1pair(l1kb)
+		if l2 {
+			cfg.L2 = Config{SizeBytes: 1 << 20, Ways: 8}
+		}
+		hs, err := SimulateHierarchy(SPECLike(), cfg, 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.IPC(hs, dataPerInstr)
+	}
+	gapFlat := ipcAt(64, false) - ipcAt(2, false)
+	gapL2 := ipcAt(64, true) - ipcAt(2, true)
+	if !(gapL2 < gapFlat) {
+		t.Errorf("an L2 should shrink the L1-size IPC gap: flat %v vs L2 %v", gapFlat, gapL2)
+	}
+	if ipcAt(2, true) <= ipcAt(2, false) {
+		t.Error("an L2 should help a small L1")
+	}
+}
+
+func TestHierarchyCPUModelDefaults(t *testing.T) {
+	var m HierarchyCPUModel
+	// Perfect caches: base CPI only.
+	s := HierarchyStats{L1I: Stats{Accesses: 100}, L1D: Stats{Accesses: 100}}
+	if got := m.CPI(s, 0.35); math.Abs(got-DefaultBaseCPI) > 1e-12 {
+		t.Errorf("perfect CPI = %v", got)
+	}
+	// Without an L2, every miss pays the full memory penalty — the
+	// flat CPUModel's contract.
+	s = HierarchyStats{
+		L1I: Stats{Accesses: 100, Misses: 10},
+		L1D: Stats{Accesses: 100, Misses: 0},
+	}
+	want := DefaultBaseCPI + 0.1*DefaultMemoryPenalty
+	if got := m.CPI(s, 0.35); math.Abs(got-want) > 1e-12 {
+		t.Errorf("no-L2 CPI = %v, want %v", got, want)
+	}
+	// With an L2, the same misses pay L2 latency plus the L2 miss
+	// fraction of the memory penalty.
+	s.L2 = Stats{Accesses: 10, Misses: 5}
+	want = DefaultBaseCPI + 0.1*(DefaultL2Latency+0.5*DefaultMemoryPenalty)
+	if got := m.CPI(s, 0.35); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L2 CPI = %v, want %v", got, want)
+	}
+}

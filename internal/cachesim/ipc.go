@@ -1,0 +1,203 @@
+package cachesim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MissRates are the per-access miss rates of a split L1.
+type MissRates struct {
+	// I is misses per instruction fetch; D is misses per data access.
+	I, D float64
+	// LoadsPerInstr+StoresPerInstr is the data-reference rate used to
+	// convert D into misses per instruction.
+	DataPerInstr float64
+}
+
+// Simulate runs refs references of the workload through a split
+// I/D cache pair and returns the measured miss rates.
+func Simulate(w Workload, icfg, dcfg Config, refs int) (MissRates, error) {
+	ic, err := New(icfg)
+	if err != nil {
+		return MissRates{}, fmt.Errorf("icache: %w", err)
+	}
+	dc, err := New(dcfg)
+	if err != nil {
+		return MissRates{}, fmt.Errorf("dcache: %w", err)
+	}
+	g := NewGenerator(w)
+	for i := 0; i < refs; i++ {
+		r := g.Next()
+		if r.Kind == Fetch {
+			ic.Access(r.Addr)
+		} else {
+			dc.Access(r.Addr)
+		}
+	}
+	wd := w.withDefaults()
+	return MissRates{
+		I:            ic.Stats().MissRate(),
+		D:            dc.Stats().MissRate(),
+		DataPerInstr: wd.LoadsPerInstr + wd.StoresPerInstr,
+	}, nil
+}
+
+// CPUModel is the simple in-order IPC model of the case study: a base
+// CPI plus additive miss penalties, the classic first-order model for
+// a blocking in-order core like Ariane.
+type CPUModel struct {
+	// BaseCPI is the cycles per instruction with perfect caches; zero
+	// means 3.7 (in-order single-issue with realistic hazards; the
+	// SPEC2000-era Ariane-class operating point of the case study).
+	BaseCPI float64
+	// MissPenalty is the cycles to serve an L1 miss; zero means 25.
+	MissPenalty float64
+}
+
+// Defaults as documented on CPUModel.
+const (
+	DefaultBaseCPI     = 3.7
+	DefaultMissPenalty = 25
+)
+
+func (c CPUModel) withDefaults() CPUModel {
+	if c.BaseCPI == 0 {
+		c.BaseCPI = DefaultBaseCPI
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = DefaultMissPenalty
+	}
+	return c
+}
+
+// CPI returns cycles per instruction for the measured miss rates.
+func (c CPUModel) CPI(m MissRates) float64 {
+	c = c.withDefaults()
+	return c.BaseCPI + m.I*c.MissPenalty + m.D*m.DataPerInstr*c.MissPenalty
+}
+
+// IPC returns instructions per cycle.
+func (c CPUModel) IPC(m MissRates) float64 { return 1 / c.CPI(m) }
+
+// SweepSizesKB is the cache-capacity sweep of the paper's Figs. 4–6:
+// 1 KB to 1 MB in powers of two.
+var SweepSizesKB = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// CurvePoint is one capacity sample of a miss curve.
+type CurvePoint struct {
+	SizeKB   int
+	MissRate float64
+}
+
+// MissCurves simulates the workload once per capacity point and returns
+// the instruction and data miss curves. Because the I and D caches are
+// independent, the (i, d) cross-product of the case study factorizes
+// into two one-dimensional sweeps. refs is the trace length per point;
+// zero means 2 000 000.
+func MissCurves(w Workload, sizesKB []int, refs int) (icurve, dcurve []CurvePoint, err error) {
+	if refs <= 0 {
+		refs = 2_000_000
+	}
+	if len(sizesKB) == 0 {
+		sizesKB = SweepSizesKB
+	}
+	// Fix the off-axis cache at a mid size so the sweep isolates one
+	// dimension (the other cache's contents don't interact anyway).
+	const fixedKB = 32
+	for _, kb := range sizesKB {
+		m, err := Simulate(w, Config{SizeBytes: kb * 1024}, Config{SizeBytes: fixedKB * 1024}, refs)
+		if err != nil {
+			return nil, nil, err
+		}
+		icurve = append(icurve, CurvePoint{SizeKB: kb, MissRate: m.I})
+		m, err = Simulate(w, Config{SizeBytes: fixedKB * 1024}, Config{SizeBytes: kb * 1024}, refs)
+		if err != nil {
+			return nil, nil, err
+		}
+		dcurve = append(dcurve, CurvePoint{SizeKB: kb, MissRate: m.D})
+	}
+	return icurve, dcurve, nil
+}
+
+// Lookup returns the miss rate at the given capacity, interpolating
+// geometrically between sampled points (miss curves are near-linear in
+// log-capacity between knees).
+func Lookup(curve []CurvePoint, sizeKB int) (float64, error) {
+	if len(curve) == 0 {
+		return 0, fmt.Errorf("cachesim: empty curve")
+	}
+	pts := append([]CurvePoint(nil), curve...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].SizeKB < pts[j].SizeKB })
+	if sizeKB <= pts[0].SizeKB {
+		return pts[0].MissRate, nil
+	}
+	last := pts[len(pts)-1]
+	if sizeKB >= last.SizeKB {
+		return last.MissRate, nil
+	}
+	for i := 1; i < len(pts); i++ {
+		if sizeKB <= pts[i].SizeKB {
+			lo, hi := pts[i-1], pts[i]
+			t := (math.Log2(float64(sizeKB)) - math.Log2(float64(lo.SizeKB))) /
+				(math.Log2(float64(hi.SizeKB)) - math.Log2(float64(lo.SizeKB)))
+			return lo.MissRate + t*(hi.MissRate-lo.MissRate), nil
+		}
+	}
+	return last.MissRate, nil
+}
+
+// IPCTable evaluates the CPU model over the full (I$, D$) capacity
+// cross-product from the two one-dimensional miss curves.
+type IPCTable struct {
+	SizesKB []int
+	// IPC[i][j] is the IPC with I$ = SizesKB[i], D$ = SizesKB[j].
+	IPC [][]float64
+}
+
+// BuildIPCTable computes the table for a workload and CPU model.
+func BuildIPCTable(w Workload, cpu CPUModel, sizesKB []int, refs int) (IPCTable, error) {
+	if len(sizesKB) == 0 {
+		sizesKB = SweepSizesKB
+	}
+	ic, dc, err := MissCurves(w, sizesKB, refs)
+	if err != nil {
+		return IPCTable{}, err
+	}
+	wd := w.withDefaults()
+	tbl := IPCTable{SizesKB: append([]int(nil), sizesKB...)}
+	tbl.IPC = make([][]float64, len(sizesKB))
+	for i, ikb := range sizesKB {
+		tbl.IPC[i] = make([]float64, len(sizesKB))
+		for j, dkb := range sizesKB {
+			mi, err := Lookup(ic, ikb)
+			if err != nil {
+				return IPCTable{}, err
+			}
+			md, err := Lookup(dc, dkb)
+			if err != nil {
+				return IPCTable{}, err
+			}
+			tbl.IPC[i][j] = cpu.IPC(MissRates{I: mi, D: md, DataPerInstr: wd.LoadsPerInstr + wd.StoresPerInstr})
+		}
+	}
+	return tbl, nil
+}
+
+// At returns the IPC for the given capacities, which must be members of
+// SizesKB.
+func (t IPCTable) At(ikb, dkb int) (float64, error) {
+	ii, jj := -1, -1
+	for idx, kb := range t.SizesKB {
+		if kb == ikb {
+			ii = idx
+		}
+		if kb == dkb {
+			jj = idx
+		}
+	}
+	if ii < 0 || jj < 0 {
+		return 0, fmt.Errorf("cachesim: size (%d, %d) not in table", ikb, dkb)
+	}
+	return t.IPC[ii][jj], nil
+}

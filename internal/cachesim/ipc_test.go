@@ -1,0 +1,101 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPUModelDefaults(t *testing.T) {
+	var cpu CPUModel
+	perfect := MissRates{}
+	if got := cpu.CPI(perfect); got != DefaultBaseCPI {
+		t.Errorf("perfect-cache CPI = %v", got)
+	}
+	if got := cpu.IPC(perfect); math.Abs(got-1/DefaultBaseCPI) > 1e-12 {
+		t.Errorf("perfect-cache IPC = %v", got)
+	}
+}
+
+func TestCPIAdditive(t *testing.T) {
+	cpu := CPUModel{BaseCPI: 2, MissPenalty: 100}
+	m := MissRates{I: 0.01, D: 0.1, DataPerInstr: 0.4}
+	want := 2 + 0.01*100 + 0.1*0.4*100
+	if got := cpu.CPI(m); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CPI = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateValidatesConfigs(t *testing.T) {
+	if _, err := Simulate(SPECLike(), Config{SizeBytes: 3}, Config{SizeBytes: 1024}, 10); err == nil {
+		t.Error("bad icache config should error")
+	}
+	if _, err := Simulate(SPECLike(), Config{SizeBytes: 1024}, Config{SizeBytes: 3}, 10); err == nil {
+		t.Error("bad dcache config should error")
+	}
+}
+
+func TestLookupInterpolates(t *testing.T) {
+	curve := []CurvePoint{{SizeKB: 1, MissRate: 0.4}, {SizeKB: 4, MissRate: 0.2}, {SizeKB: 16, MissRate: 0.1}}
+	cases := []struct {
+		kb   int
+		want float64
+	}{
+		{1, 0.4}, {4, 0.2}, {16, 0.1},
+		{2, 0.3},  // halfway in log2 space between 1 and 4
+		{8, 0.15}, // halfway between 4 and 16
+		{0, 0.4},  // clamp below
+		{64, 0.1}, // clamp above
+	}
+	for _, c := range cases {
+		got, err := Lookup(curve, c.kb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Lookup(%d) = %v, want %v", c.kb, got, c.want)
+		}
+	}
+	if _, err := Lookup(nil, 4); err == nil {
+		t.Error("empty curve should error")
+	}
+}
+
+func TestBuildIPCTable(t *testing.T) {
+	sizes := []int{1, 32, 1024}
+	tbl, err := BuildIPCTable(SPECLike(), CPUModel{}, sizes, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.IPC) != 3 || len(tbl.IPC[0]) != 3 {
+		t.Fatalf("table shape wrong: %+v", tbl)
+	}
+	// IPC must be monotone non-decreasing along both axes.
+	for i := 0; i < 3; i++ {
+		for j := 1; j < 3; j++ {
+			if tbl.IPC[i][j] < tbl.IPC[i][j-1]-1e-9 {
+				t.Errorf("IPC not monotone in D$ at (%d,%d)", i, j)
+			}
+			if tbl.IPC[j][i] < tbl.IPC[j-1][i]-1e-9 {
+				t.Errorf("IPC not monotone in I$ at (%d,%d)", j, i)
+			}
+		}
+	}
+	lo, err := tbl.At(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := tbl.At(1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("IPC(1MB,1MB)=%v should exceed IPC(1KB,1KB)=%v", hi, lo)
+	}
+	// The case study's dynamic range: roughly 0.08–0.28.
+	if lo < 0.05 || hi > 0.30 {
+		t.Errorf("IPC range [%v, %v] outside the case-study band", lo, hi)
+	}
+	if _, err := tbl.At(3, 1); err == nil {
+		t.Error("unknown size should error")
+	}
+}

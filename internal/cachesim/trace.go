@@ -1,0 +1,290 @@
+package cachesim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RefKind distinguishes instruction fetches from data accesses.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	Fetch RefKind = iota
+	Load
+	Store
+)
+
+// Ref is one memory reference of a trace.
+type Ref struct {
+	Addr uint64
+	Kind RefKind
+}
+
+// Workload parameterizes the synthetic trace generator. The generator
+// models the locality structure that produces SPEC-like miss curves:
+//
+//   - instructions stream sequentially through basic blocks inside a
+//     set of "functions" with Zipf-distributed popularity (hot loops
+//     dominate, cold code tails off), giving instruction working sets
+//     from a few KB to hundreds of KB;
+//   - data accesses mix a small hot stack, a Zipf-weighted heap
+//     working set, and streaming array sweeps, giving data miss curves
+//     with a capacity knee and a compulsory-miss floor.
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Seed fixes the trace; the same seed always yields the same trace.
+	Seed int64
+
+	// CodeFootprintKB is the total code size; zero means 512.
+	CodeFootprintKB int
+	// Functions is the number of code regions; zero means 64.
+	Functions int
+	// CodeZipf is the Zipf s-parameter for function popularity; zero
+	// means 1.2.
+	CodeZipf float64
+	// AvgBlockInstrs is the mean basic-block length in instructions;
+	// zero means 8.
+	AvgBlockInstrs int
+
+	// HeapFootprintKB is the heap working-set size; zero means 8192.
+	HeapFootprintKB int
+	// HeapZipf is the Zipf s-parameter for heap *line* popularity
+	// (must exceed 1); zero means 1.3.
+	HeapZipf float64
+	// StackKB is the stack region size; accesses concentrate near the
+	// top of stack. Zero means 2.
+	StackKB int
+	// StreamFrac is the fraction of data references that sweep a large
+	// streaming array (compulsory misses); zero means 0.02.
+	StreamFrac float64
+	// LoadsPerInstr and StoresPerInstr set the data-reference mix;
+	// zeros mean 0.25 and 0.10.
+	LoadsPerInstr, StoresPerInstr float64
+}
+
+// Defaults as documented on Workload.
+func (w Workload) withDefaults() Workload {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&w.CodeFootprintKB, 512)
+	def(&w.Functions, 64)
+	deff(&w.CodeZipf, 1.2)
+	def(&w.AvgBlockInstrs, 8)
+	def(&w.HeapFootprintKB, 8192)
+	deff(&w.HeapZipf, 1.3)
+	def(&w.StackKB, 2)
+	deff(&w.StreamFrac, 0.02)
+	deff(&w.LoadsPerInstr, 0.25)
+	deff(&w.StoresPerInstr, 0.10)
+	return w
+}
+
+// SPECLike returns the reference workload used by the cache case study:
+// the defaults above, which produce instruction and data miss curves
+// with knees in the 8–256 KB range like the SPEC CPU2000 averages the
+// paper cites.
+func SPECLike() Workload {
+	return Workload{Name: "spec-like", Seed: 2023}.withDefaults()
+}
+
+// zipfWeights returns normalized rank weights w_r ∝ 1/r^s.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Generator produces an endless reference stream for a workload.
+type Generator struct {
+	w   Workload
+	rng *rand.Rand
+
+	funcBase []uint64  // code region base addresses
+	funcSize []uint64  // code region sizes
+	funcCum  []float64 // cumulative popularity
+
+	heapLines uint64
+	heapZipf  *rand.Zipf // line-granularity popularity
+
+	pc       uint64
+	fn       int
+	blockEnd uint64
+
+	streamPtr  uint64
+	stackBase  uint64
+	heapBase   uint64
+	streamBase uint64
+
+	pendingData []Ref
+}
+
+// Address-space layout constants (arbitrary, distinct regions).
+const (
+	codeBase   = 0x0040_0000
+	stackBase  = 0x7fff_0000
+	heapBase   = 0x1000_0000
+	streamBase = 0x4000_0000
+)
+
+// NewGenerator builds a deterministic generator for the workload.
+func NewGenerator(w Workload) *Generator {
+	w = w.withDefaults()
+	g := &Generator{
+		w:          w,
+		rng:        rand.New(rand.NewSource(w.Seed)),
+		stackBase:  stackBase,
+		heapBase:   heapBase,
+		streamBase: streamBase,
+	}
+
+	// Carve the code footprint into functions with Zipf popularity.
+	weights := zipfWeights(w.Functions, w.CodeZipf)
+	total := uint64(w.CodeFootprintKB) * 1024
+	per := total / uint64(w.Functions)
+	if per < 256 {
+		per = 256 // keep at least a few basic blocks per function
+	}
+	g.funcBase = make([]uint64, w.Functions)
+	g.funcSize = make([]uint64, w.Functions)
+	g.funcCum = make([]float64, w.Functions)
+	cum := 0.0
+	for i := 0; i < w.Functions; i++ {
+		g.funcBase[i] = codeBase + uint64(i)*per
+		g.funcSize[i] = per
+		cum += weights[i]
+		g.funcCum[i] = cum
+	}
+
+	// Heap popularity at line granularity: rank r is accessed with
+	// probability ∝ 1/(1+r)^s, and ranks are scattered across the
+	// footprint by a fixed permutation so popular lines land in
+	// different cache sets.
+	g.heapLines = uint64(w.HeapFootprintKB) * 1024 / DefaultLineBytes
+	if g.heapLines < 1 {
+		g.heapLines = 1
+	}
+	s := w.HeapZipf
+	if s <= 1 {
+		s = 1.01
+	}
+	g.heapZipf = rand.NewZipf(g.rng, s, 1, g.heapLines-1)
+
+	g.enterFunction(0)
+	return g
+}
+
+// enterFunction jumps the PC into function fn at a random block start.
+func (g *Generator) enterFunction(fn int) {
+	g.fn = fn
+	off := uint64(g.rng.Int63n(int64(g.funcSize[fn]/64))) * 64
+	g.pc = g.funcBase[fn] + off
+	g.newBlock()
+}
+
+// newBlock picks the current basic block's length.
+func (g *Generator) newBlock() {
+	n := 1 + g.rng.Int63n(int64(2*g.w.AvgBlockInstrs))
+	g.blockEnd = g.pc + uint64(n)*4
+}
+
+// pickByCum samples an index from a cumulative distribution.
+func (g *Generator) pickByCum(cum []float64) int {
+	u := g.rng.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Next returns the next reference in the trace.
+func (g *Generator) Next() Ref {
+	// Drain any data references scheduled by the last instruction.
+	if len(g.pendingData) > 0 {
+		r := g.pendingData[len(g.pendingData)-1]
+		g.pendingData = g.pendingData[:len(g.pendingData)-1]
+		return r
+	}
+
+	// Fetch the current instruction.
+	r := Ref{Addr: g.pc, Kind: Fetch}
+	g.pc += 4
+
+	// Schedule this instruction's data accesses.
+	if g.rng.Float64() < g.w.LoadsPerInstr {
+		g.pendingData = append(g.pendingData, Ref{Addr: g.dataAddr(), Kind: Load})
+	}
+	if g.rng.Float64() < g.w.StoresPerInstr {
+		g.pendingData = append(g.pendingData, Ref{Addr: g.dataAddr(), Kind: Store})
+	}
+
+	// Control flow at block boundaries.
+	if g.pc >= g.blockEnd {
+		switch u := g.rng.Float64(); {
+		case u < 0.70:
+			// Loop back within the function: re-enter near the
+			// function start, keeping the hot region hot.
+			back := uint64(g.rng.Int63n(int64(g.funcSize[g.fn]/2/64))) * 64
+			g.pc = g.funcBase[g.fn] + back
+			g.newBlock()
+		case u < 0.85:
+			// Fall through to the next block.
+			g.newBlock()
+		default:
+			// Call/branch to another function by popularity.
+			g.enterFunction(g.pickByCum(g.funcCum))
+		}
+	}
+	return r
+}
+
+// heapScatter is the odd multiplier of the rank→line bijection.
+const heapScatter = 2654435761 // Knuth's multiplicative hash constant
+
+// dataAddr samples one data address from the stack/heap/stream mix.
+func (g *Generator) dataAddr() uint64 {
+	u := g.rng.Float64()
+	switch {
+	case u < 0.35:
+		// Stack: offsets concentrate near the top of stack with an
+		// exponential-ish tail (|N(0, size/6)| clamped), so the hot
+		// frame fits even small caches.
+		size := float64(g.w.StackKB * 1024)
+		off := math.Abs(g.rng.NormFloat64()) * size / 6
+		if off >= size {
+			off = size - 1
+		}
+		return g.stackBase + uint64(off)
+	case u < 1-g.w.StreamFrac:
+		// Line-granularity Zipf heap, scattered across the footprint.
+		rank := g.heapZipf.Uint64()
+		line := (rank * heapScatter) % g.heapLines
+		return g.heapBase + line*DefaultLineBytes + uint64(g.rng.Int63n(DefaultLineBytes))
+	default:
+		// Streaming sweep: sequential, effectively compulsory misses.
+		g.streamPtr += 16
+		return g.streamBase + g.streamPtr
+	}
+}

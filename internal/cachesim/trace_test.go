@@ -1,0 +1,119 @@
+package cachesim
+
+import (
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(SPECLike())
+	g2 := NewGenerator(SPECLike())
+	for i := 0; i < 10_000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("trace diverged at ref %d", i)
+		}
+	}
+	g3 := NewGenerator(Workload{Name: "other", Seed: 99})
+	diverged := false
+	g4 := NewGenerator(SPECLike())
+	for i := 0; i < 1000; i++ {
+		if g3.Next() != g4.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds should produce different traces")
+	}
+}
+
+func TestTraceRegions(t *testing.T) {
+	g := NewGenerator(SPECLike())
+	var fetches, loads, stores int
+	for i := 0; i < 200_000; i++ {
+		r := g.Next()
+		switch r.Kind {
+		case Fetch:
+			fetches++
+			if r.Addr < codeBase || r.Addr >= heapBase {
+				t.Fatalf("fetch outside code region: %#x", r.Addr)
+			}
+			if r.Addr%4 != 0 {
+				t.Fatalf("unaligned fetch: %#x", r.Addr)
+			}
+		case Load:
+			loads++
+		case Store:
+			stores++
+		}
+		if r.Kind != Fetch && r.Addr >= codeBase && r.Addr < codeBase+1<<20 {
+			t.Fatalf("data access inside code region: %#x", r.Addr)
+		}
+	}
+	if fetches == 0 || loads == 0 || stores == 0 {
+		t.Fatalf("mix missing kinds: f=%d l=%d s=%d", fetches, loads, stores)
+	}
+	// Loads ≈ 0.25/instr, stores ≈ 0.10/instr.
+	lpi := float64(loads) / float64(fetches)
+	spi := float64(stores) / float64(fetches)
+	if lpi < 0.22 || lpi > 0.28 {
+		t.Errorf("loads/instr = %v, want ~0.25", lpi)
+	}
+	if spi < 0.08 || spi > 0.12 {
+		t.Errorf("stores/instr = %v, want ~0.10", spi)
+	}
+}
+
+func TestMissCurvesShape(t *testing.T) {
+	ic, dc, err := MissCurves(SPECLike(), []int{1, 8, 64, 512}, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMonotone := func(name string, curve []CurvePoint) {
+		t.Helper()
+		for i := 1; i < len(curve); i++ {
+			if curve[i].MissRate > curve[i-1].MissRate+0.005 {
+				t.Errorf("%s miss curve not decreasing: %+v", name, curve)
+			}
+		}
+		first, last := curve[0].MissRate, curve[len(curve)-1].MissRate
+		if first < 2*last {
+			t.Errorf("%s curve too flat: %v -> %v", name, first, last)
+		}
+	}
+	checkMonotone("I", ic)
+	checkMonotone("D", dc)
+	// SPEC-like magnitudes: small-cache data misses are substantial,
+	// large-cache misses approach the compulsory floor.
+	if dc[0].MissRate < 0.2 {
+		t.Errorf("D miss at 1KB = %v, want > 0.2", dc[0].MissRate)
+	}
+	if dc[len(dc)-1].MissRate > 0.1 {
+		t.Errorf("D miss at 512KB = %v, want < 0.1", dc[len(dc)-1].MissRate)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(10, 1.2)
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		if i > 0 && v >= w[i-1] {
+			t.Error("weights should decay")
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum = %v", sum)
+	}
+}
+
+func TestTinyWorkloadsDoNotPanic(t *testing.T) {
+	tiny := Workload{
+		Name: "tiny", Seed: 1,
+		CodeFootprintKB: 1, Functions: 16,
+		HeapFootprintKB: 1, StackKB: 1,
+	}
+	g := NewGenerator(tiny)
+	for i := 0; i < 50_000; i++ {
+		g.Next()
+	}
+}

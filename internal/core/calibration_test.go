@@ -1,0 +1,156 @@
+package core_test
+
+// Calibration tests: these pin the model's A11 outputs against the
+// numbers the paper reports in Figure 10 (time-to-market matrix) and
+// the wafer-count ratios quoted in Section 6.2. Advanced-node values
+// should land close to the paper's; legacy-node values are looser
+// because the paper's exact testing/packaging calibration is not
+// public (see EXPERIMENTS.md).
+
+import (
+	"math"
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+// within asserts |got-want| <= tol·want.
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %.2f, want %.2f (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+func TestA11Fig10SmallVolume(t *testing.T) {
+	// Fig. 10 row n=1K: TTM is tapeout + L_fab + L_TAP (production and
+	// testing are negligible at 1 000 chips).
+	paper := map[technode.Node]float64{
+		technode.N250: 20.3, technode.N180: 20.4, technode.N130: 20.7,
+		technode.N90: 21.0, technode.N65: 21.5, technode.N40: 22.2,
+		technode.N28: 23.3, technode.N14: 29.5, technode.N7: 42.9,
+		technode.N5: 53.5,
+	}
+	var m core.Model
+	for node, want := range paper {
+		got, err := m.TTM(scenario.A11At(node), 1e3, market.Full())
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		within(t, "TTM(A11,1K,"+node.String()+")", float64(got), want, 0.05)
+	}
+}
+
+func TestA11Fig10TenMillion(t *testing.T) {
+	// Fig. 10 row n=10M. Advanced nodes (>= 28 nm class throughput,
+	// small dies) should be tight; legacy nodes reflect our own
+	// testing/packaging calibration and get a wider band.
+	tight := map[technode.Node]float64{
+		technode.N65: 29.6, technode.N40: 25.4, technode.N28: 24.8,
+		technode.N14: 30.1, technode.N7: 43.1, technode.N5: 53.7,
+	}
+	loose := map[technode.Node]float64{
+		technode.N250: 135, technode.N180: 37.2, technode.N130: 47.9,
+		technode.N90: 51.3,
+	}
+	var m core.Model
+	for node, want := range tight {
+		got, err := m.TTM(scenario.A11At(node), 10e6, market.Full())
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		within(t, "TTM(A11,10M,"+node.String()+")", float64(got), want, 0.10)
+	}
+	for node, want := range loose {
+		got, err := m.TTM(scenario.A11At(node), 10e6, market.Full())
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		within(t, "TTM(A11,10M,"+node.String()+")", float64(got), want, 0.30)
+	}
+}
+
+func TestA11WaferRatios(t *testing.T) {
+	// Section 6.2: producing A11 at 5 nm requires 1.84x fewer wafers
+	// than 7 nm and 6.44x fewer than 14 nm; 14 nm requires 3.16x fewer
+	// than 28 nm.
+	var m core.Model
+	wafers := func(node technode.Node) float64 {
+		r, err := m.Evaluate(scenario.A11At(node), 10e6, market.Full())
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		return float64(r.Dies[0].Wafers)
+	}
+	w28, w14, w7, w5 := wafers(technode.N28), wafers(technode.N14), wafers(technode.N7), wafers(technode.N5)
+	within(t, "wafers(7nm)/wafers(5nm)", w7/w5, 1.84, 0.15)
+	within(t, "wafers(14nm)/wafers(5nm)", w14/w5, 6.44, 0.15)
+	within(t, "wafers(28nm)/wafers(14nm)", w28/w14, 3.16, 0.15)
+}
+
+func TestA11LegacyDieGeometry(t *testing.T) {
+	// Section 6.2: a 4.3 B-transistor die at 250 nm fits ~43 dies per
+	// 300 mm wafer (before edge losses) with ~48% expected yield.
+	var m core.Model
+	r, err := m.Evaluate(scenario.A11At(technode.N250), 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Dies[0]
+	within(t, "yield(A11@250nm)", d.Yield, 0.48, 0.07)
+	if d.Area < 1500 || d.Area > 1800 {
+		t.Errorf("area(A11@250nm) = %.0f mm², want ~1650", float64(d.Area))
+	}
+}
+
+func TestA11FastestNodeAt10M(t *testing.T) {
+	// Fig. 7: the 28 nm process has the quickest time-to-market for
+	// 10 M A11 chips.
+	var m core.Model
+	best, bestTTM := technode.Node(0), math.Inf(1)
+	for _, node := range technode.Producing() {
+		got, err := m.TTM(scenario.A11At(node), 10e6, market.Full())
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		if float64(got) < bestTTM {
+			best, bestTTM = node, float64(got)
+		}
+	}
+	if best != technode.N28 {
+		t.Errorf("fastest node for 10M A11 = %s (%.1f wk), want 28nm", best, bestTTM)
+	}
+}
+
+func TestA11CASOrderingFig9(t *testing.T) {
+	// Fig. 9: at full capacity, CAS(7nm) > CAS(14nm) > CAS(5nm) >
+	// CAS(28nm) > CAS(40nm) for 10 M A11 chips.
+	var m core.Model
+	cas := func(node technode.Node) float64 {
+		r, err := m.CAS(scenario.A11At(node), 10e6, market.Full())
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		return r.CAS
+	}
+	order := []technode.Node{technode.N7, technode.N14, technode.N5, technode.N28, technode.N40}
+	vals := make([]float64, len(order))
+	for i, n := range order {
+		vals[i] = cas(n)
+	}
+	for i := 1; i < len(vals); i++ {
+		if !(vals[i-1] > vals[i]) {
+			t.Errorf("CAS ordering violated: CAS(%s)=%.0f !> CAS(%s)=%.0f",
+				order[i-1], vals[i-1], order[i], vals[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core_test
+
+// Tests of the "plug in your values" workflow: evaluating designs
+// against a user-supplied process-node database instead of the
+// built-in calibration.
+
+import (
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+func TestCustomDatabaseChangesResults(t *testing.T) {
+	d := simple(technode.N28)
+	var base core.Model
+	baseTTM, err := base.TTM(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A foundry that doubles its 28 nm capacity.
+	fast := technode.MustLookup(technode.N28)
+	fast.WaferRate = units.KWPM(700)
+	db, err := (*technode.Database)(nil).With(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := core.Model{Nodes: db}
+	fastTTM, err := custom.TTM(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastTTM >= baseTTM {
+		t.Errorf("doubled capacity should cut TTM: %v -> %v", float64(baseTTM), float64(fastTTM))
+	}
+
+	// Agility doubles-ish with the doubled rate (CAS ∝ μ²/N_W).
+	baseCAS, err := base.CAS(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastCAS, err := custom.CAS(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := fastCAS.CAS / baseCAS.CAS
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("CAS ratio with 2x rate = %v, want ~4 (μ² scaling)", ratio)
+	}
+}
+
+func TestSpeculativeNodeEvaluates(t *testing.T) {
+	// Add a speculative "3 nm" node from the extrapolated tapeout
+	// curve and evaluate the A11 there — the forward-looking study the
+	// paper's effort-curve extrapolation enables.
+	e3, err := technode.ExtrapolateTapeout(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := technode.Params{
+		Node:          technode.Node(3),
+		WaferRate:     units.KWPM(55),
+		DefectDensity: 0.15,
+		Density:       180,
+		FabLatency:    22,
+		TAPLatency:    6,
+		TapeoutEffort: e3,
+		TestingEffort: 1.2e-17,
+		PackageEffort: 7e-12,
+		WaferCost:     25000,
+		MaskSetCost:   5e6,
+	}
+	db, err := (*technode.Database)(nil).With(n3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.Model{Nodes: db}
+	d := design.Design{
+		Name:        "a11-like@3nm",
+		TapeoutTeam: 100,
+		Dies:        []design.Die{{Name: "soc", Node: technode.Node(3), NTT: 4.3e9, NUT: 514e6}},
+	}
+	r, err := m.Evaluate(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extrapolated node's tapeout must exceed 5 nm's for the same
+	// design ("Big Trouble at 3nm").
+	var baseModel core.Model
+	r5, err := baseModel.Evaluate(design.Design{
+		Name: "a11-like@5nm", TapeoutTeam: 100,
+		Dies: []design.Die{{Name: "soc", Node: technode.N5, NTT: 4.3e9, NUT: 514e6}},
+	}, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tapeout <= r5.Tapeout {
+		t.Errorf("3nm tapeout (%v wk) should exceed 5nm's (%v wk)", float64(r.Tapeout), float64(r5.Tapeout))
+	}
+}
+
+func TestCustomDatabaseMissingNodeErrors(t *testing.T) {
+	db, err := technode.NewDatabase([]technode.Params{{Node: 28, Density: 7, WaferRate: units.KWPM(350)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.Model{Nodes: db}
+	if _, err := m.Evaluate(simple(technode.N7), 1e6, market.Full()); err == nil {
+		t.Error("design on an absent node should error")
+	}
+}

@@ -1,0 +1,301 @@
+// Package core implements the paper's primary contribution: the chip
+// creation time-to-market model (Section 3, Eqs. 1–7) and the Chip
+// Agility Score (Section 4, Eq. 8).
+//
+// The model decomposes time-to-market as
+//
+//	TTM = T_design+implementation + T_tapeout + T_fabrication + T_package
+//
+// where T_tapeout is engineering effort proportional to unique,
+// unverified transistors per node (Eq. 2); T_fabrication is the
+// worst-case die's queue plus pipelined production time (Eqs. 3–5);
+// and T_package is the testing/assembly/packaging time with
+// negative-binomial die yield (Eqs. 6–7). Packaging is the
+// synchronization point: every die type must finish fabrication before
+// assembly begins, which is what makes multi-node designs sensitive to
+// a disruption on any of their nodes.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/design"
+	"ttmcas/internal/geometry"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+	"ttmcas/internal/yield"
+)
+
+// Model evaluates designs under market conditions. The zero value is
+// the paper's configuration: 300 mm wafers, negative-binomial yield
+// with α = 3, and the partial-edge-die correction enabled.
+type Model struct {
+	// Wafer is the wafer geometry; the zero value means the standard
+	// 300 mm wafer.
+	Wafer geometry.Wafer
+	// YieldModel selects the die-yield family; the zero value is the
+	// paper's negative binomial.
+	YieldModel yield.Model
+	// Alpha is the yield cluster parameter; zero means the paper's 3.
+	Alpha float64
+	// NoEdgeCorrection disables the partial-edge-die correction in the
+	// gross-die count (ablation only).
+	NoEdgeCorrection bool
+	// Nodes is the process-node parameter database; nil means the
+	// built-in calibrated database. Supplying a custom database is the
+	// paper's "plug in your values" workflow.
+	Nodes *technode.Database
+	// Perturb scales the six closely-guarded inputs for Monte-Carlo
+	// uncertainty and Sobol sensitivity analysis; the zero value means
+	// no perturbation.
+	Perturb Perturbation
+}
+
+// Perturbation multiplies the six inputs Section 5 varies (±10%): total
+// transistor count, unique transistor count, defect density, wafer
+// production rate, foundry latency, and OSAT (testing/assembly/
+// packaging) latency. A zero field means a multiplier of 1.
+type Perturbation struct {
+	NTT, NUT, D0, Rate, FabLatency, TAPLatency float64
+}
+
+// or1 returns m if positive, else 1.
+func or1(m float64) float64 {
+	if m > 0 {
+		return m
+	}
+	return 1
+}
+
+// Inputs enumerates the perturbable inputs in the paper's Fig. 8 order.
+var Inputs = []string{"NTT", "NUT", "D0", "muW", "Lfab", "LOSAT"}
+
+// SetInput sets the multiplier for the named input (one of Inputs).
+func (p *Perturbation) SetInput(name string, m float64) error {
+	switch name {
+	case "NTT":
+		p.NTT = m
+	case "NUT":
+		p.NUT = m
+	case "D0":
+		p.D0 = m
+	case "muW":
+		p.Rate = m
+	case "Lfab":
+		p.FabLatency = m
+	case "LOSAT":
+		p.TAPLatency = m
+	default:
+		return fmt.Errorf("core: unknown perturbation input %q", name)
+	}
+	return nil
+}
+
+// DieResult reports the geometry and wafer demand of one die type.
+type DieResult struct {
+	Name string
+	Node technode.Node
+	// Area is the (possibly overridden) die area.
+	Area units.MM2
+	// Yield is the die yield fraction in (0, 1].
+	Yield float64
+	// GrossPerWafer is the (fractional) gross die sites per wafer.
+	GrossPerWafer float64
+	// Wafers is this die type's share of N_W.
+	Wafers units.Wafers
+}
+
+// NodeFabResult decomposes the fabrication phase (Eq. 3) for one
+// process node: every die type at the node shares its wafer rate.
+type NodeFabResult struct {
+	Node technode.Node
+	// Wafers is the node's aggregate wafer demand.
+	Wafers units.Wafers
+	// Queue, Production and FabTotal decompose Eqs. 4–5.
+	Queue, Production, FabTotal units.Weeks
+}
+
+// Result is a full TTM evaluation.
+type Result struct {
+	// DesignTime, Tapeout, Fabrication and Packaging are the four
+	// phases of Eq. 1; TTM is their sum.
+	DesignTime  units.Weeks
+	Tapeout     units.Weeks
+	Fabrication units.Weeks
+	Packaging   units.Weeks
+	TTM         units.Weeks
+	// TapeoutHours is the engineering-hours form of Eq. 2 before
+	// conversion to calendar weeks via the tapeout team size.
+	TapeoutHours units.Hours
+	// Dies details each die type; Nodes details each process node's
+	// fabrication; CriticalNode is the node bounding the phase (the
+	// max of Eq. 3).
+	Dies         []DieResult
+	Nodes        []NodeFabResult
+	CriticalNode technode.Node
+}
+
+// Evaluate computes the time-to-market of producing n final chips of
+// the design under the given market conditions.
+func (m Model) Evaluate(d design.Design, n float64, c market.Conditions) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n < 0 {
+		return Result{}, fmt.Errorf("core: negative chip count %v", n)
+	}
+	res := Result{DesignTime: d.DesignTime}
+
+	// Tapeout phase (Eq. 2): engineering-hours summed over the nodes
+	// the design uses, then divided across the tapeout team.
+	for _, node := range d.Nodes() {
+		p, err := m.Nodes.Lookup(node)
+		if err != nil {
+			return Result{}, err
+		}
+		nut := float64(d.UniqueTransistorsAt(node)) * or1(m.Perturb.NUT)
+		res.TapeoutHours += units.Hours(nut / 1e6 * p.TapeoutEffort)
+	}
+	res.Tapeout = res.TapeoutHours.Weeks(d.Team())
+
+	// Fabrication phase (Eqs. 3–5): all dies fabricated at the same
+	// node share that node's wafer production rate, so wafer demand
+	// aggregates per node; packaging then synchronizes on the slowest
+	// node (the max of Eq. 3).
+	var testWeeks, packWeeks float64
+	var tapLatency units.Weeks
+	nodeWafers := map[technode.Node]units.Wafers{}
+	for _, die := range d.Dies {
+		p, err := m.Nodes.Lookup(die.Node)
+		if err != nil {
+			return Result{}, err
+		}
+		if units.Weeks(float64(p.TAPLatency)*or1(m.Perturb.TAPLatency)) > tapLatency {
+			tapLatency = units.Weeks(float64(p.TAPLatency) * or1(m.Perturb.TAPLatency))
+		}
+
+		ntt := units.Transistors(float64(die.TotalTransistors()) * or1(m.Perturb.NTT))
+		area := die.AreaOverride
+		if area <= 0 {
+			// Derive area from the (possibly perturbed) transistor
+			// count so NTT variance propagates through area, yield and
+			// wafer count.
+			area = p.Area(ntt)
+		}
+		if area < die.MinArea {
+			area = die.MinArea
+		}
+
+		y := die.YieldOverride
+		if y == 0 {
+			yp := yield.Params{
+				Area:  area,
+				D0:    units.DefectsPerCM2(float64(p.DefectDensity) * or1(m.Perturb.D0)),
+				Alpha: m.Alpha,
+				Model: m.YieldModel,
+			}
+			if die.Salvage != nil {
+				y, err = yield.SalvageYield(yp, *die.Salvage)
+				if err != nil {
+					return Result{}, fmt.Errorf("core: die %q: %w", die.Name, err)
+				}
+			} else {
+				y = yield.Yield(yp)
+			}
+		}
+
+		wafer := m.waferFor(p)
+		var gross float64
+		if m.NoEdgeCorrection {
+			gross = float64(wafer.NaiveDies(area))
+		} else {
+			gross = wafer.GrossDiesFrac(area)
+		}
+		if gross < 1 {
+			return Result{}, fmt.Errorf("core: die %q (%.0f mm² at %s): %w",
+				die.Name, float64(area), die.Node, geometry.ErrDieTooLarge)
+		}
+
+		diesNeeded := yield.DiesNeeded(n*float64(die.Count()), y)
+		wafers := units.Wafers(diesNeeded / gross)
+		nodeWafers[die.Node] += wafers
+
+		res.Dies = append(res.Dies, DieResult{
+			Name:          die.Name,
+			Node:          die.Node,
+			Area:          area,
+			Yield:         y,
+			GrossPerWafer: gross,
+			Wafers:        wafers,
+		})
+
+		// Packaging phase contributions (Eq. 7). Testing covers every
+		// fabricated die (n/Y of them); assembly covers the n good
+		// chips' packaged area.
+		if y > 0 {
+			testWeeks += n * float64(die.Count()) / y * float64(ntt) * p.TestingEffort
+		}
+		packWeeks += n * float64(die.Count()) * float64(area) * p.PackageEffort
+	}
+
+	// Eqs. 3–5 per node, synchronized at the slowest node.
+	first := true
+	for _, node := range d.Nodes() {
+		p, err := m.Nodes.Lookup(node)
+		if err != nil {
+			return Result{}, err
+		}
+		nf := NodeFabResult{Node: node, Wafers: nodeWafers[node]}
+		rate := float64(c.Rate(p)) * or1(m.Perturb.Rate)
+		lfab := units.Weeks(float64(p.FabLatency) * or1(m.Perturb.FabLatency))
+		switch {
+		case rate > 0:
+			nf.Queue = units.Weeks(float64(c.QueueWafers(p)) / rate)    // Eq. 4
+			nf.Production = units.Weeks(float64(nf.Wafers)/rate) + lfab // Eq. 5
+			nf.FabTotal = nf.Queue + nf.Production
+		case nf.Wafers > 0 || c.QueueWafers(p) > 0:
+			// No production at this node: fabrication never finishes.
+			nf.Queue = units.Weeks(math.Inf(1))
+			nf.Production = units.Weeks(math.Inf(1))
+			nf.FabTotal = units.Weeks(math.Inf(1))
+		default:
+			nf.Production = lfab
+			nf.FabTotal = lfab
+		}
+		res.Nodes = append(res.Nodes, nf)
+		if first || nf.FabTotal > res.Fabrication {
+			res.Fabrication = nf.FabTotal
+			res.CriticalNode = node
+			first = false
+		}
+	}
+
+	res.Packaging = tapLatency + units.Weeks(testWeeks) + units.Weeks(packWeeks)
+	res.TTM = res.DesignTime + res.Tapeout + res.Fabrication + res.Packaging
+	return res, nil
+}
+
+// waferFor resolves the wafer geometry for a node: an explicit model
+// override wins, then the node's own line diameter, then the paper's
+// 300 mm-equivalent default.
+func (m Model) waferFor(p technode.Params) geometry.Wafer {
+	switch {
+	case m.Wafer.DiameterMM != 0:
+		return m.Wafer
+	case p.WaferDiameterMM > 0:
+		return geometry.Wafer{DiameterMM: p.WaferDiameterMM}
+	default:
+		return geometry.Default300()
+	}
+}
+
+// TTM is a convenience wrapper returning only the headline number.
+func (m Model) TTM(d design.Design, n float64, c market.Conditions) (units.Weeks, error) {
+	r, err := m.Evaluate(d, n, c)
+	if err != nil {
+		return 0, err
+	}
+	return r.TTM, nil
+}

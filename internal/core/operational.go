@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/design"
+	"ttmcas/internal/fabsim"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+// Operational evaluation: the analytic model (Eqs. 3–5) assumes
+// constant market conditions for the whole fabrication phase. Real
+// disruptions — a fab fire in week 3, a storm with a two-week recovery
+// — change capacity mid-run. EvaluateOperational keeps the analytic
+// tapeout and packaging phases but replaces the fabrication phase with
+// the discrete-event pipeline of internal/fabsim, run once per process
+// node under a per-node disruption schedule.
+
+// DisruptionSchedule maps process nodes to their capacity timelines.
+type DisruptionSchedule map[technode.Node][]fabsim.Disruption
+
+// OperationalResult extends the analytic Result with the simulated
+// fabrication outcome.
+type OperationalResult struct {
+	// Analytic is the closed-form evaluation under the *initial*
+	// conditions (what a planner would have promised).
+	Analytic Result
+	// Fabrication is the simulated fabrication phase: the slowest
+	// node's last-lot fab completion.
+	Fabrication units.Weeks
+	// TTM re-sums Eq. 1 with the simulated fabrication phase.
+	TTM units.Weeks
+	// PerNode details each node's simulated run.
+	PerNode map[technode.Node]fabsim.Result
+	// Slip is the simulated TTM minus the analytic promise.
+	Slip units.Weeks
+}
+
+// EvaluateOperational simulates producing n chips of the design under
+// market conditions c while the given disruptions unfold. Lots default
+// to 25 wafers; the TAP stage throughput is unbounded, matching the
+// analytic model's assumption.
+func (m Model) EvaluateOperational(d design.Design, n float64, c market.Conditions, sched DisruptionSchedule) (OperationalResult, error) {
+	analytic, err := m.Evaluate(d, n, c)
+	if err != nil {
+		return OperationalResult{}, err
+	}
+	out := OperationalResult{
+		Analytic: analytic,
+		PerNode:  make(map[technode.Node]fabsim.Result, len(analytic.Nodes)),
+	}
+	for _, nf := range analytic.Nodes {
+		p, err := m.Nodes.Lookup(nf.Node)
+		if err != nil {
+			return OperationalResult{}, err
+		}
+		rate := c.Rate(p)
+		if rate <= 0 {
+			return OperationalResult{}, fmt.Errorf("core: node %s has no production to simulate", nf.Node)
+		}
+		cfg := fabsim.Config{
+			Rate:       rate,
+			FabLatency: p.FabLatency,
+			TAPLatency: p.TAPLatency,
+		}
+		res, err := fabsim.Run(cfg, float64(nf.Wafers), c.QueueWafers(p), sched[nf.Node])
+		if err != nil {
+			return OperationalResult{}, fmt.Errorf("core: simulating %s: %w", nf.Node, err)
+		}
+		out.PerNode[nf.Node] = res
+		if res.LastFabComplete > out.Fabrication {
+			out.Fabrication = res.LastFabComplete
+		}
+	}
+	out.TTM = analytic.DesignTime + analytic.Tapeout + out.Fabrication + analytic.Packaging
+	out.Slip = out.TTM - analytic.TTM
+	if math.IsNaN(float64(out.Slip)) {
+		out.Slip = 0
+	}
+	return out, nil
+}

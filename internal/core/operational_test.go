@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/fabsim"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+func TestOperationalMatchesAnalyticWithoutDisruptions(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	res, err := m.EvaluateOperational(d, 10e6, market.Full(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lot quantization bounds the gap: one 25-wafer lot at the 28nm
+	// rate is well under an hour.
+	if slip := math.Abs(float64(res.Slip)); slip > 0.01 {
+		t.Errorf("undisrupted simulation slipped %v weeks from the analytic promise", slip)
+	}
+	if res.TTM <= 0 || len(res.PerNode) != 1 {
+		t.Errorf("result malformed: %+v", res)
+	}
+}
+
+func TestOperationalMultiNodeSynchronization(t *testing.T) {
+	var m core.Model
+	d := scenario.Zen2()
+	res, err := m.EvaluateOperational(d, 10e6, market.Full(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerNode) != 2 {
+		t.Fatalf("per-node results = %v", res.PerNode)
+	}
+	// The simulated fab phase is the max of the nodes' completions.
+	worst := 0.0
+	for _, r := range res.PerNode {
+		worst = math.Max(worst, float64(r.LastFabComplete))
+	}
+	if math.Abs(worst-float64(res.Fabrication)) > 1e-9 {
+		t.Errorf("fabrication %v != slowest node %v", float64(res.Fabrication), worst)
+	}
+}
+
+func TestOperationalDisruptionCausesSlip(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N90) // long production: ~321k wafers
+	// The 90nm line drops to 20% in week 2 and recovers in week 12.
+	sched := core.DisruptionSchedule{
+		technode.N90: {{AtWeek: 2, Fraction: 0.2}, {AtWeek: 12, Fraction: 1}},
+	}
+	res, err := m.EvaluateOperational(d, 10e6, market.Full(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 weeks at 20% capacity ⇒ ~8 weeks of lost starts.
+	if res.Slip < 6 || res.Slip > 10 {
+		t.Errorf("slip = %v weeks, want ~8", float64(res.Slip))
+	}
+	// A disruption on a node the design does not use is free.
+	other := core.DisruptionSchedule{
+		technode.N5: {{AtWeek: 0, Fraction: 0}},
+	}
+	clean, err := m.EvaluateOperational(d, 10e6, market.Full(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(clean.Slip)) > 0.01 {
+		t.Errorf("irrelevant disruption slipped %v weeks", float64(clean.Slip))
+	}
+}
+
+func TestOperationalDisruptionOnNonCriticalNode(t *testing.T) {
+	// Zen 2: the 7nm compute dies bound fabrication at full capacity.
+	// A mild, recovering 12nm outage is absorbed by the slack; a long
+	// one flips the critical node.
+	var m core.Model
+	d := scenario.Zen2()
+	base, err := m.EvaluateOperational(d, 10e6, market.Full(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mild := core.DisruptionSchedule{
+		technode.N12: {{AtWeek: 0, Fraction: 0.5}, {AtWeek: 1, Fraction: 1}},
+	}
+	r1, err := m.EvaluateOperational(d, 10e6, market.Full(), mild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TTM > base.TTM+0.01 {
+		t.Errorf("mild 12nm outage should hide in the sync slack: %v vs %v", float64(r1.TTM), float64(base.TTM))
+	}
+	severe := core.DisruptionSchedule{
+		technode.N12: {{AtWeek: 0, Fraction: 0.1}},
+	}
+	r2, err := m.EvaluateOperational(d, 10e6, market.Full(), severe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TTM <= base.TTM {
+		t.Error("a severe 12nm outage must delay the package")
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	var m core.Model
+	// Idle node: nothing to simulate.
+	d := scenario.A11At(technode.N20)
+	if _, err := m.EvaluateOperational(d, 1e6, market.Full(), nil); err == nil {
+		t.Error("idle node should error")
+	}
+	// A permanent outage never completes.
+	sched := core.DisruptionSchedule{
+		technode.N28: {{AtWeek: 0, Fraction: 0}},
+	}
+	if _, err := m.EvaluateOperational(scenario.A11At(technode.N28), 1e6, market.Full(), sched); err == nil {
+		t.Error("permanent outage should error")
+	}
+	_ = fabsim.DefaultLotSize
+}

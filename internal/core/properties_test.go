@@ -1,0 +1,187 @@
+package core_test
+
+// Property-based invariants of the TTM model beyond the calibration
+// tests: structural identities that must hold for arbitrary designs.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+// randDesign builds a structurally valid single-die design from fuzz
+// bytes, restricted to producing nodes.
+func randDesign(nttRaw, nutRaw uint32, nodeSel uint8) design.Design {
+	nodes := technode.Producing()
+	node := nodes[int(nodeSel)%len(nodes)]
+	ntt := float64(nttRaw%4_000_000_000) + 1e6
+	nut := math.Min(float64(nutRaw), ntt)
+	return design.Design{
+		Name: "fuzz",
+		Dies: []design.Die{{Name: "die", Node: node, NTT: units.Transistors(ntt), NUT: units.Transistors(nut)}},
+	}
+}
+
+func TestPropBlocksEquivalentToExplicitCounts(t *testing.T) {
+	// A die described as blocks must evaluate identically to the same
+	// die described by explicit NTT/NUT.
+	var m core.Model
+	f := func(coreTr uint32, inst uint8) bool {
+		tr := units.Transistors(float64(coreTr%50_000_000) + 1e5)
+		n := int(inst%8) + 1
+		blocks := design.Design{Dies: []design.Die{{
+			Name: "b", Node: technode.N28,
+			Blocks: []design.Block{{Name: "core", Transistors: tr, Instances: n}},
+		}}}
+		explicit := design.Design{Dies: []design.Die{{
+			Name: "e", Node: technode.N28,
+			NTT: tr * units.Transistors(n), NUT: tr,
+		}}}
+		tb, err1 := m.TTM(blocks, 1e6, market.Full())
+		te, err2 := m.TTM(explicit, 1e6, market.Full())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(float64(tb-te)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropReuseNeverSlowsTapeout(t *testing.T) {
+	// Marking blocks pre-verified (IP reuse) can only shrink tapeout
+	// and leaves fabrication/packaging untouched.
+	var m core.Model
+	f := func(nttRaw, nutRaw uint32, nodeSel uint8) bool {
+		d := randDesign(nttRaw, nutRaw, nodeSel)
+		reused := d
+		reused.Dies = append([]design.Die(nil), d.Dies...)
+		reused.Dies[0].NUT = 0
+		r1, err1 := m.Evaluate(d, 1e6, market.Full())
+		r2, err2 := m.Evaluate(reused, 1e6, market.Full())
+		if err1 != nil || err2 != nil {
+			return true // oversized die etc.: nothing to compare
+		}
+		return r2.Tapeout <= r1.Tapeout &&
+			math.Abs(float64(r1.Fabrication-r2.Fabrication)) < 1e-9 &&
+			math.Abs(float64(r1.Packaging-r2.Packaging)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTeamScalingOnlyAffectsTapeout(t *testing.T) {
+	var m core.Model
+	d := randDesign(3_000_000_000, 400_000_000, 6)
+	d.TapeoutTeam = 50
+	r50, err := m.Evaluate(d, 1e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.TapeoutTeam = 100
+	r100, err := m.Evaluate(d, 1e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(r50.Tapeout)-2*float64(r100.Tapeout)) > 1e-9 {
+		t.Errorf("doubling the team should halve tapeout: %v vs %v", r50.Tapeout, r100.Tapeout)
+	}
+	if r50.Fabrication != r100.Fabrication || r50.Packaging != r100.Packaging {
+		t.Error("team size must not touch downstream phases")
+	}
+}
+
+func TestPropWaferDemandScalesLinearly(t *testing.T) {
+	// Doubling the chip count doubles wafer demand exactly (the yield
+	// model is per-die, not per-order).
+	var m core.Model
+	f := func(nttRaw, nutRaw uint32, nodeSel uint8) bool {
+		d := randDesign(nttRaw, nutRaw, nodeSel)
+		r1, err1 := m.Evaluate(d, 1e6, market.Full())
+		r2, err2 := m.Evaluate(d, 2e6, market.Full())
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return math.Abs(float64(r2.Dies[0].Wafers)-2*float64(r1.Dies[0].Wafers)) < 1e-6*float64(r2.Dies[0].Wafers)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCASQuadraticInCapacity(t *testing.T) {
+	// For a single-node design with no queue, TTM = const + N_W/(fμ),
+	// so CAS(f) = (fμ)²/N_W: halving capacity quarters the score.
+	var m core.Model
+	d := randDesign(2_000_000_000, 100_000_000, 4)
+	full, err := m.CAS(d, 1e7, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := m.CAS(d, 1e7, market.Full().AtCapacity(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := full.CAS / half.CAS; math.Abs(ratio-4) > 0.05 {
+		t.Errorf("CAS(100%%)/CAS(50%%) = %v, want ~4", ratio)
+	}
+}
+
+func TestPropPackagingSyncDominance(t *testing.T) {
+	// A multi-die design is never faster than its slowest die built
+	// alone at the same per-package volume (the Eq. 3 max).
+	var m core.Model
+	combined := design.Design{
+		Name: "combined",
+		Dies: []design.Die{
+			{Name: "a", Node: technode.N7, NTT: 3e9, NUT: 2e8},
+			{Name: "b", Node: technode.N40, NTT: 2e9, NUT: 1e8},
+		},
+	}
+	rc, err := m.Evaluate(combined, 1e7, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, die := range combined.Dies {
+		solo := design.Design{Name: die.Name, Dies: []design.Die{die}}
+		rs, err := m.Evaluate(solo, 1e7, market.Full())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.Fabrication < rs.Fabrication-1e-9 {
+			t.Errorf("combined fabrication %v beats solo %s %v", rc.Fabrication, die.Name, rs.Fabrication)
+		}
+	}
+}
+
+func TestPropSameNodeDiesShareCapacity(t *testing.T) {
+	// Two die types on one node take as long as one die type with the
+	// same total wafer demand: per-node aggregation, not per-die lines.
+	var m core.Model
+	split := design.Design{
+		Name: "split",
+		Dies: []design.Die{
+			{Name: "a", Node: technode.N7, NTT: 1.9e9, NUT: 1e8},
+			{Name: "b", Node: technode.N7, NTT: 1.9e9, NUT: 1e8},
+		},
+	}
+	r, err := m.Evaluate(split, 1e7, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes) != 1 {
+		t.Fatalf("nodes = %v", r.Nodes)
+	}
+	wantWafers := float64(r.Dies[0].Wafers) + float64(r.Dies[1].Wafers)
+	if math.Abs(float64(r.Nodes[0].Wafers)-wantWafers) > 1e-9 {
+		t.Errorf("node wafers %v != sum of die wafers %v", float64(r.Nodes[0].Wafers), wantWafers)
+	}
+}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/cost"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/yield"
+)
+
+// salvageDesign is a Zen-style 8-core compute die, with and without
+// defect binning (sell dies with ≥6 good cores).
+func salvageDesign(withSalvage bool) design.Design {
+	die := design.Die{
+		Name: "ccd", Node: technode.N7,
+		NTT: 3.8e9, NUT: 475e6,
+	}
+	if withSalvage {
+		die.Salvage = &yield.Salvage{Cores: 8, MinGoodCores: 6, CoreAreaFraction: 0.7}
+	}
+	return design.Design{Name: "salvage-study", Dies: []design.Die{die}}
+}
+
+func TestSalvageCutsWafersAndTTM(t *testing.T) {
+	var m core.Model
+	plain, err := m.Evaluate(salvageDesign(false), 50e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	salv, err := m.Evaluate(salvageDesign(true), 50e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(salv.Dies[0].Yield > plain.Dies[0].Yield) {
+		t.Errorf("salvage yield %v should exceed plain %v", salv.Dies[0].Yield, plain.Dies[0].Yield)
+	}
+	if !(salv.Dies[0].Wafers < plain.Dies[0].Wafers) {
+		t.Error("salvage should need fewer wafers")
+	}
+	if !(salv.TTM < plain.TTM) {
+		t.Errorf("salvage should cut TTM: %v vs %v", float64(salv.TTM), float64(plain.TTM))
+	}
+	// Tapeout is identical: binning is a backend decision.
+	if salv.Tapeout != plain.Tapeout {
+		t.Error("salvage must not change tapeout time")
+	}
+}
+
+func TestSalvageImprovesAgility(t *testing.T) {
+	// Fewer wafers for the same chip count ⇒ smaller |∂TTM/∂μ| ⇒
+	// higher CAS: binning is a supply-chain resilience lever.
+	var m core.Model
+	plain, err := m.CAS(salvageDesign(false), 50e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	salv, err := m.CAS(salvageDesign(true), 50e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(salv.CAS > plain.CAS) {
+		t.Errorf("salvage CAS %v should exceed plain %v", salv.CAS, plain.CAS)
+	}
+}
+
+func TestSalvageValidatedThroughDesign(t *testing.T) {
+	d := salvageDesign(true)
+	d.Dies[0].Salvage = &yield.Salvage{Cores: 0, MinGoodCores: 1, CoreAreaFraction: 0.5}
+	var m core.Model
+	if _, err := m.Evaluate(d, 1e6, market.Full()); err == nil {
+		t.Error("invalid salvage spec should be rejected")
+	}
+}
+
+func TestSalvageCostConsistency(t *testing.T) {
+	// The cost model must see the same wafer savings the TTM model
+	// does.
+	var cm cost.Model
+	cPlain, err := cm.Evaluate(salvageDesign(false), 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSalv, err := cm.Evaluate(salvageDesign(true), 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cSalv.Wafers < cPlain.Wafers) {
+		t.Errorf("salvage should cut wafer cost: %v vs %v", cSalv.Wafers, cPlain.Wafers)
+	}
+	if cSalv.TapeoutNRE != cPlain.TapeoutNRE {
+		t.Error("salvage must not change NRE")
+	}
+}

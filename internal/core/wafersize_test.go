@@ -1,0 +1,89 @@
+package core_test
+
+// The paper evaluates everything on 300 mm-equivalent wafers and
+// footnotes that some legacy lines physically run 200 mm. These tests
+// exercise the un-normalized path: a node whose line runs 200 mm
+// yields ~2.4x fewer gross dies per wafer, so the same order needs
+// more wafers and more production time.
+
+import (
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/cost"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+// db200 returns a database whose 180 nm line runs physical 200 mm
+// wafers.
+func db200(t *testing.T) *technode.Database {
+	t.Helper()
+	p := technode.MustLookup(technode.N180)
+	p.WaferDiameterMM = 200
+	db, err := (*technode.Database)(nil).With(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSmallerWafersNeedMoreOfThem(t *testing.T) {
+	d := scenario.A11At(technode.N180)
+	var m300 core.Model
+	m200 := core.Model{Nodes: db200(t)}
+	r300, err := m300.Evaluate(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r200, err := m200.Evaluate(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area ratio 300²/200² = 2.25; edge losses make the gross-die gap
+	// a bit larger.
+	ratio := float64(r200.Dies[0].Wafers) / float64(r300.Dies[0].Wafers)
+	if ratio < 2.25 || ratio > 3.5 {
+		t.Errorf("200mm wafer ratio = %.2f, want in [2.25, 3.5]", ratio)
+	}
+	if r200.TTM <= r300.TTM {
+		t.Error("200mm line should be slower at the same wafer rate")
+	}
+}
+
+func TestWaferOverrideWinsOverNode(t *testing.T) {
+	// An explicit model-level wafer overrides the node's diameter.
+	d := scenario.A11At(technode.N180)
+	m := core.Model{Nodes: db200(t)}
+	m.Wafer.DiameterMM = 300
+	var base core.Model
+	rOverride, err := m.Evaluate(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := base.Evaluate(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOverride.Dies[0].GrossPerWafer != rBase.Dies[0].GrossPerWafer {
+		t.Error("explicit 300mm override should match the default geometry")
+	}
+}
+
+func TestCostSeesWaferSizeToo(t *testing.T) {
+	d := scenario.A11At(technode.N180)
+	var c300 cost.Model
+	c200 := cost.Model{Nodes: db200(t)}
+	b300, err := c300.Evaluate(d, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b200, err := c200.Evaluate(d, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b200.WaferCount <= b300.WaferCount {
+		t.Error("cost model must count 200mm wafers consistently with the TTM model")
+	}
+}

@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ttmcas/internal/design"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+func mcu(node technode.Node) design.Design {
+	return design.Design{
+		Name: "mcu@" + node.String(),
+		Dies: []design.Die{{Name: "mcu", Node: node, NTT: 30e6, NUT: 2.5e6, MinArea: 1}},
+	}
+}
+
+func TestCostIsAffine(t *testing.T) {
+	// The decomposition must predict the full evaluation at an
+	// arbitrary third volume exactly.
+	var m Model
+	d := mcu(technode.N90)
+	fixed, perChip, err := m.Affine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{1, 1e4, 1e8, 1e9} {
+		b, err := m.Evaluate(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(fixed) + float64(perChip)*n
+		if math.Abs(float64(b.Total)-want)/want > 1e-9 {
+			t.Errorf("n=%v: total %v != affine %v", n, float64(b.Total), want)
+		}
+	}
+	if fixed <= 0 || perChip <= 0 {
+		t.Errorf("decomposition: fixed=%v perChip=%v", float64(fixed), float64(perChip))
+	}
+}
+
+func TestBreakEvenCrossesWhereExpected(t *testing.T) {
+	// A 5nm tapeout has huge NRE but (for a huge design) fewer wafers
+	// than 28nm: the break-even volume is positive and finite, and the
+	// cheaper-NRE design wins below it.
+	var m Model
+	big28 := design.Design{Dies: []design.Die{{Name: "d", Node: technode.N28, NTT: 4.3e9, NUT: 514e6}}}
+	big5 := design.Design{Dies: []design.Die{{Name: "d", Node: technode.N5, NTT: 4.3e9, NUT: 514e6}}}
+	n, err := m.BreakEven(big28, big5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, err := m.Total(big28, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below5, err := m.Total(big5, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below >= below5 {
+		t.Errorf("below break-even, the low-NRE 28nm should win: %v vs %v", below, below5)
+	}
+	above, err := m.Total(big28, n*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above5, err := m.Total(big5, n*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above5 >= above {
+		t.Errorf("above break-even, the low-variable-cost 5nm should win: %v vs %v", above5, above)
+	}
+	// At the break-even itself the totals agree.
+	atA, _ := m.Total(big28, n)
+	atB, _ := m.Total(big5, n)
+	if math.Abs(float64(atA-atB))/float64(atA) > 1e-6 {
+		t.Errorf("totals at break-even differ: %v vs %v", atA, atB)
+	}
+}
+
+func TestBreakEvenDominance(t *testing.T) {
+	// The same design on the same node against itself: no crossing.
+	var m Model
+	d := mcu(technode.N90)
+	if _, err := m.BreakEven(d, d); !errors.Is(err, ErrNoBreakEven) {
+		t.Errorf("identical designs: err = %v", err)
+	}
+	// A strictly dominated alternative (same NTT, pricier node with
+	// higher NRE and higher per-chip cost) never breaks even either:
+	// 250nm vs 180nm for this MCU — 180nm has both the cheaper wafer
+	// amortization (denser) and... verify via decomposition instead of
+	// assuming: whichever dominates, BreakEven must agree with the
+	// affine components.
+	a, b := mcu(technode.N250), mcu(technode.N180)
+	fa, va, err := m.Affine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, vb, err := m.Affine(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.BreakEven(a, b)
+	crossExpected := (fb-fa > 0) == (va-vb > 0) && va != vb
+	if crossExpected && err != nil {
+		t.Errorf("expected a crossing (Δf=%v Δv=%v), got %v", float64(fb-fa), float64(va-vb), err)
+	}
+	if !crossExpected && !errors.Is(err, ErrNoBreakEven) {
+		t.Errorf("expected dominance, got n=%v err=%v", n, err)
+	}
+}
+
+func TestBreakEvenErrorPropagation(t *testing.T) {
+	var m Model
+	bad := design.Design{Dies: []design.Die{{Name: "x", Node: technode.N250, NTT: 500e9}}}
+	if _, err := m.BreakEven(bad, mcu(technode.N90)); err == nil {
+		t.Error("oversized die should surface an error")
+	}
+	if _, _, err := m.Affine(bad); err == nil {
+		t.Error("Affine should surface evaluation errors")
+	}
+	_ = units.USD(0)
+}

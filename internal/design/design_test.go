@@ -1,0 +1,207 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+func multicore() Design {
+	return Design{
+		Name: "test-multicore",
+		Dies: []Die{{
+			Name: "cpu",
+			Node: technode.N28,
+			Blocks: []Block{
+				{Name: "core", Transistors: 10e6, Instances: 4},
+				{Name: "sram", Transistors: 50e6, Instances: 1, PreVerified: true},
+				{Name: "uncore", Transistors: 5e6, Instances: 1},
+			},
+		}},
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	b := Block{Transistors: 10e6, Instances: 4}
+	if b.Total() != 40e6 {
+		t.Errorf("Total = %v", float64(b.Total()))
+	}
+	if b.Unique() != 10e6 {
+		t.Errorf("Unique = %v", float64(b.Unique()))
+	}
+	pv := Block{Transistors: 10e6, Instances: 4, PreVerified: true}
+	if pv.Unique() != 0 {
+		t.Errorf("pre-verified Unique = %v, want 0", float64(pv.Unique()))
+	}
+	zeroInst := Block{Transistors: 7}
+	if zeroInst.Total() != 7 {
+		t.Errorf("zero instances should count as one: %v", float64(zeroInst.Total()))
+	}
+}
+
+func TestDieCounts(t *testing.T) {
+	d := multicore().Dies[0]
+	if got := d.TotalTransistors(); got != 95e6 {
+		t.Errorf("NTT = %v, want 95e6", float64(got))
+	}
+	if got := d.UniqueTransistors(); got != 15e6 {
+		t.Errorf("NUT = %v, want 15e6", float64(got))
+	}
+	d.SkipTapeout = true
+	if d.UniqueTransistors() != 0 {
+		t.Error("SkipTapeout should zero NUT")
+	}
+}
+
+func TestDieExplicitCounts(t *testing.T) {
+	d := Die{NTT: 100, NUT: 40}
+	if d.TotalTransistors() != 100 || d.UniqueTransistors() != 40 {
+		t.Error("explicit counts ignored")
+	}
+}
+
+func TestDieArea(t *testing.T) {
+	p := technode.MustLookup(technode.N28) // 7.0 MTr/mm²
+	d := Die{NTT: 700e6}
+	if a := d.Area(p); math.Abs(float64(a)-100) > 1e-9 {
+		t.Errorf("Area = %v, want 100", float64(a))
+	}
+	d.AreaOverride = 42
+	if a := d.Area(p); a != 42 {
+		t.Errorf("override ignored: %v", float64(a))
+	}
+	small := Die{NTT: 1e3, MinArea: 1}
+	if a := small.Area(p); a != 1 {
+		t.Errorf("min-area clamp: %v, want 1", float64(a))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := multicore()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid design rejected: %v", err)
+	}
+	cases := map[string]Design{
+		"no dies":      {Name: "x"},
+		"missing node": {Dies: []Die{{NTT: 1}}},
+		"empty die":    {Dies: []Die{{Node: technode.N28}}},
+		"nut>ntt":      {Dies: []Die{{Node: technode.N28, NTT: 1, NUT: 2}}},
+		"bad yield":    {Dies: []Die{{Node: technode.N28, NTT: 1, YieldOverride: 1.5}}},
+	}
+	for name, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+func TestNodesAndAggregation(t *testing.T) {
+	d := Design{
+		Dies: []Die{
+			{Name: "a", Node: technode.N7, NTT: 100e6, NUT: 10e6, CountPerPackage: 2},
+			{Name: "b", Node: technode.N14, NTT: 50e6, NUT: 20e6},
+			{Name: "c", Node: technode.N7, NTT: 30e6, NUT: 5e6},
+		},
+	}
+	nodes := d.Nodes()
+	if len(nodes) != 2 || nodes[0] != technode.N14 || nodes[1] != technode.N7 {
+		t.Errorf("Nodes = %v, want [14nm 7nm]", nodes)
+	}
+	if got := d.UniqueTransistorsAt(technode.N7); got != 15e6 {
+		t.Errorf("NUT@7nm = %v, want 15e6 (die count must not multiply tapeout)", float64(got))
+	}
+	if got := d.DiesPerPackage(); got != 4 {
+		t.Errorf("DiesPerPackage = %d, want 4", got)
+	}
+	if got := d.TotalTransistorsPerChip(); got != 280e6 {
+		t.Errorf("NTT/chip = %v, want 280e6", float64(got))
+	}
+}
+
+func TestTeamDefault(t *testing.T) {
+	var d Design
+	if d.Team() != DefaultTapeoutTeam {
+		t.Errorf("default team = %d", d.Team())
+	}
+	d.TapeoutTeam = 20
+	if d.Team() != 20 {
+		t.Errorf("team = %d", d.Team())
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	d := Design{
+		Name: "orig",
+		Dies: []Die{{Name: "a", Node: technode.N7, NTT: 1e9, NUT: 1e8, AreaOverride: 74, SkipTapeout: true}},
+	}
+	r := d.Retarget(technode.N28)
+	if r.Dies[0].Node != technode.N28 {
+		t.Error("node not retargeted")
+	}
+	if r.Dies[0].AreaOverride != 0 {
+		t.Error("area override should clear on retarget")
+	}
+	if r.Dies[0].SkipTapeout {
+		t.Error("retarget restarts tapeout")
+	}
+	if d.Dies[0].Node != technode.N7 {
+		t.Error("original mutated")
+	}
+}
+
+func TestMonolithic(t *testing.T) {
+	d := Design{
+		Dies: []Die{
+			{Name: "compute", Node: technode.N7, NTT: 3.8e9, NUT: 475e6, CountPerPackage: 2},
+			{Name: "io", Node: technode.N14, NTT: 2.1e9, NUT: 523e6},
+		},
+	}
+	m := d.Monolithic(technode.N7)
+	if len(m.Dies) != 1 {
+		t.Fatalf("dies = %d", len(m.Dies))
+	}
+	if got := m.Dies[0].NTT; got != 9.7e9 {
+		t.Errorf("mono NTT = %v, want 9.7e9", float64(got))
+	}
+	if got := m.Dies[0].NUT; got != 998e6 {
+		t.Errorf("mono NUT = %v, want 998e6", float64(got))
+	}
+	if m.DiesPerPackage() != 1 {
+		t.Error("monolithic should package one die")
+	}
+}
+
+func TestWithInterposer(t *testing.T) {
+	d := Design{
+		Dies: []Die{
+			{Name: "compute", Node: technode.N7, AreaOverride: 74, NTT: 3.8e9, NUT: 475e6, CountPerPackage: 2},
+			{Name: "io", Node: technode.N14, AreaOverride: 125, NTT: 2.1e9, NUT: 523e6},
+		},
+	}
+	wi, err := d.WithInterposer(technode.N65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wi.Dies) != 3 {
+		t.Fatalf("dies = %d", len(wi.Dies))
+	}
+	ip := wi.Dies[2]
+	wantArea := units.MM2((74*2 + 125) * InterposerScale)
+	if math.Abs(float64(ip.AreaOverride-wantArea)) > 1e-9 {
+		t.Errorf("interposer area = %v, want %v", float64(ip.AreaOverride), float64(wantArea))
+	}
+	if ip.YieldOverride != PassiveInterposerYield {
+		t.Errorf("interposer yield = %v", ip.YieldOverride)
+	}
+	if ip.UniqueTransistors() != 0 {
+		t.Error("passive interposer should add no tapeout load")
+	}
+	if len(d.Dies) != 2 {
+		t.Error("original mutated")
+	}
+	if err := wi.Validate(); err != nil {
+		t.Errorf("interposer design invalid: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package figures
+
+import (
+	"fmt"
+
+	"ttmcas/internal/opt"
+	"ttmcas/internal/report"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+func init() {
+	register("4", fig4)
+	register("5", fig5)
+	register("6", fig6)
+}
+
+// Fig4Data is the full (I$, D$) scatter for 100M 16-core Ariane chips
+// at 14 nm.
+type Fig4Data struct {
+	Points []opt.CachePoint
+}
+
+// cacheStudyPoints builds the shared scatter of Figs. 4 and 5.
+func cacheStudyPoints(cfg Config) ([]opt.CachePoint, error) {
+	tbl, err := ipcTable(cfg.cacheRefs())
+	if err != nil {
+		return nil, err
+	}
+	study := opt.CacheStudy{Table: tbl}
+	return study.Evaluate(technode.N14, 100e6)
+}
+
+func fig4(cfg Config) (*Result, error) {
+	pts, err := cacheStudyPoints(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("IPC vs TTM per (I$, D$) configuration (16-core Ariane, 100M chips, 14nm)",
+		"I$ (KB)", "D$ (KB)", "IPC", "TTM (wk)", "cost ($B)")
+	for _, p := range pts {
+		t.AddRow(p.IKB, p.DKB, fmt.Sprintf("%.4f", p.IPC), report.Fmt1(float64(p.TTM)), report.Fmt2(p.Cost.Billions()))
+	}
+	return &Result{
+		ID:       "4",
+		Title:    "IPC and time-to-market across cache configurations",
+		Sections: []string{t.String()},
+		Data:     Fig4Data{Points: pts},
+	}, nil
+}
+
+// Fig5Data holds the normalized frontier and both optima.
+type Fig5Data struct {
+	Points     []opt.CachePoint
+	BestByTTM  opt.CachePoint
+	BestByCost opt.CachePoint
+	// Penalties quantify the paper's asymmetry claim: how much of the
+	// other metric each optimum gives up, as a fraction of its max.
+	TTMOptCostPenalty, CostOptTTMPenalty float64
+}
+
+func fig5(cfg Config) (*Result, error) {
+	pts, err := cacheStudyPoints(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byTTM, err := opt.Best(pts, opt.MaxIPCPerTTM)
+	if err != nil {
+		return nil, err
+	}
+	byCost, err := opt.Best(pts, opt.MaxIPCPerCost)
+	if err != nil {
+		return nil, err
+	}
+	data := Fig5Data{
+		Points: pts, BestByTTM: byTTM, BestByCost: byCost,
+		TTMOptCostPenalty: 1 - byTTM.IPCPerCost/byCost.IPCPerCost,
+		CostOptTTMPenalty: 1 - byCost.IPCPerTTM/byTTM.IPCPerTTM,
+	}
+	t := report.NewTable("Normalized IPC/TTM and IPC/cost per configuration",
+		"I$ (KB)", "D$ (KB)", "IPC/TTM (norm)", "IPC/cost (norm)", "marker")
+	for _, p := range pts {
+		marker := ""
+		if p.IKB == byTTM.IKB && p.DKB == byTTM.DKB {
+			marker = "IPC/TTM-opt"
+		}
+		if p.IKB == byCost.IKB && p.DKB == byCost.DKB {
+			if marker != "" {
+				marker += "+"
+			}
+			marker += "IPC/cost-opt"
+		}
+		t.AddRow(p.IKB, p.DKB,
+			fmt.Sprintf("%.3f", p.IPCPerTTM/byTTM.IPCPerTTM),
+			fmt.Sprintf("%.3f", p.IPCPerCost/byCost.IPCPerCost), marker)
+	}
+	summary := report.NewTable("Optima",
+		"objective", "I$ (KB)", "D$ (KB)", "IPC", "TTM (wk)", "cost ($B)", "penalty on other metric")
+	summary.AddRow("IPC/TTM", byTTM.IKB, byTTM.DKB, fmt.Sprintf("%.4f", byTTM.IPC),
+		report.Fmt1(float64(byTTM.TTM)), report.Fmt2(byTTM.Cost.Billions()),
+		fmt.Sprintf("%.1f%% worse IPC/cost", data.TTMOptCostPenalty*100))
+	summary.AddRow("IPC/cost", byCost.IKB, byCost.DKB, fmt.Sprintf("%.4f", byCost.IPC),
+		report.Fmt1(float64(byCost.TTM)), report.Fmt2(byCost.Cost.Billions()),
+		fmt.Sprintf("%.1f%% worse IPC/TTM", data.CostOptTTMPenalty*100))
+	return &Result{
+		ID:       "5",
+		Title:    "IPC/TTM vs IPC/cost optimization divergence",
+		Sections: []string{summary.String(), t.String()},
+		Data:     data,
+	}, nil
+}
+
+// Fig6Cell is one optimal configuration of the Fig. 6 matrix.
+type Fig6Cell struct {
+	IKB, DKB int
+	// AreaOverhead is the cache fraction of total die transistors,
+	// the paper's color scale.
+	AreaOverhead float64
+}
+
+// Fig6Data maps (quantity, node) to the IPC/TTM-optimal cache pair.
+type Fig6Data struct {
+	Nodes      []technode.Node
+	Quantities []float64
+	Cells      map[float64]map[technode.Node]Fig6Cell
+}
+
+func fig6(cfg Config) (*Result, error) {
+	tbl, err := ipcTable(cfg.cacheRefs())
+	if err != nil {
+		return nil, err
+	}
+	nodes := technode.Producing()
+	data := Fig6Data{Nodes: nodes, Quantities: Quantities, Cells: map[float64]map[technode.Node]Fig6Cell{}}
+	study := opt.CacheStudy{Table: tbl}
+	for _, q := range Quantities {
+		data.Cells[q] = map[technode.Node]Fig6Cell{}
+		for _, node := range nodes {
+			pts, err := study.Evaluate(node, q)
+			if err != nil {
+				return nil, err
+			}
+			best, err := opt.Best(pts, opt.MaxIPCPerTTM)
+			if err != nil {
+				return nil, err
+			}
+			cacheTr := 16 * float64(scenario.CacheTransistors(best.IKB)+scenario.CacheTransistors(best.DKB))
+			d := scenario.ArianeConfig{Cores: 16, ICacheKB: best.IKB, DCacheKB: best.DKB, Node: node}.Design()
+			data.Cells[q][node] = Fig6Cell{
+				IKB: best.IKB, DKB: best.DKB,
+				AreaOverhead: cacheTr / float64(d.Dies[0].TotalTransistors()),
+			}
+		}
+	}
+	rows := make([]string, len(Quantities))
+	for i, q := range Quantities {
+		rows[i] = report.FmtSI(q)
+	}
+	mx := report.NewMatrix("IPC/TTM-optimal I$/D$ (KB) per node and quantity; (xx%) is cache share of die transistors",
+		rows, nodeNames(nodes))
+	mx.CornerTag = "chips"
+	for i, q := range Quantities {
+		for j, node := range nodes {
+			c := data.Cells[q][node]
+			mx.Set(i, j, fmt.Sprintf("%d/%d (%.0f%%)", c.IKB, c.DKB, c.AreaOverhead*100))
+		}
+	}
+	return &Result{
+		ID:       "6",
+		Title:    "IPC/TTM-optimized cache configurations for the 16-core Ariane",
+		Sections: []string{mx.String()},
+		Data:     data,
+	}, nil
+}

@@ -1,0 +1,302 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/opt"
+	"ttmcas/internal/report"
+)
+
+// Chart is one rendered SVG figure panel.
+type Chart struct {
+	// Name is a file-friendly label ("fig9-cas").
+	Name string
+	// SVG is the complete document.
+	SVG string
+}
+
+// BuildCharts renders the SVG panels for a generated figure from its
+// structured Data. Results without a chartable payload (the tables)
+// return an empty slice.
+func BuildCharts(r *Result) []Chart {
+	switch d := r.Data.(type) {
+	case Fig3Data:
+		return chartsFig3(d)
+	case Fig4Data:
+		return chartsFig4(d)
+	case Fig5Data:
+		return chartsFig5(d)
+	case Fig6Data:
+		return chartsFig6(d)
+	case []Fig7Row:
+		return chartsFig7(d)
+	case Fig8Data:
+		return chartsFig8(d)
+	case Fig9Data:
+		return chartsFig9(d)
+	case Fig10Data:
+		return chartsFig10(d)
+	case QueueCurves:
+		return chartsQueue(r.ID, d)
+	case Fig13Data:
+		return chartsFig13(d)
+	case Fig14Data:
+		return chartsFig14(d)
+	default:
+		return nil
+	}
+}
+
+func chartsFig3(d Fig3Data) []Chart {
+	ttm := report.LineChart{
+		Title: "Fig. 3 — TTM vs production capacity (10M chips)", XLabel: "capacity fraction", YLabel: "TTM (weeks)",
+		YMinZero: true,
+	}
+	cas := report.LineChart{
+		Title: "Fig. 3 — CAS vs production capacity", XLabel: "capacity fraction", YLabel: "CAS (wafers/week²)",
+		YMinZero: true,
+	}
+	addChip := func(name string, pts []core.CASPoint) {
+		var xs, ts, cs []float64
+		for _, p := range pts {
+			xs = append(xs, p.Capacity)
+			ts = append(ts, float64(p.TTM))
+			cs = append(cs, p.CAS)
+		}
+		ttm.Series = append(ttm.Series, report.Series{Name: name, X: xs, Y: ts})
+		cas.Series = append(cas.Series, report.Series{Name: name, X: xs, Y: cs})
+	}
+	addChip("Chip A", d.ChipA)
+	addChip("Chip B", d.ChipB)
+	return []Chart{
+		{Name: "fig3-ttm", SVG: ttm.Render()},
+		{Name: "fig3-cas", SVG: cas.Render()},
+	}
+}
+
+func chartsFig4(d Fig4Data) []Chart {
+	c := report.LineChart{
+		Title: "Fig. 4 — IPC vs TTM per (I$, D$) configuration", XLabel: "IPC", YLabel: "TTM (weeks)",
+	}
+	// One scatter series per instruction-cache size (the paper's
+	// marker classes).
+	byI := map[int]*report.Series{}
+	var order []int
+	for _, p := range d.Points {
+		s, ok := byI[p.IKB]
+		if !ok {
+			s = &report.Series{Name: fmt.Sprintf("I$ %dKB", p.IKB), PointsOnly: true}
+			byI[p.IKB] = s
+			order = append(order, p.IKB)
+		}
+		s.X = append(s.X, p.IPC)
+		s.Y = append(s.Y, float64(p.TTM))
+	}
+	for _, ikb := range order {
+		c.Series = append(c.Series, *byI[ikb])
+	}
+	return []Chart{{Name: "fig4-scatter", SVG: c.Render()}}
+}
+
+func chartsFig5(d Fig5Data) []Chart {
+	c := report.LineChart{
+		Title:  "Fig. 5 — normalized IPC/TTM vs IPC/cost",
+		XLabel: "IPC/TTM (normalized)", YLabel: "IPC/cost (normalized)",
+	}
+	all := report.Series{Name: "configs", PointsOnly: true}
+	for _, p := range d.Points {
+		all.X = append(all.X, p.IPCPerTTM/d.BestByTTM.IPCPerTTM)
+		all.Y = append(all.Y, p.IPCPerCost/d.BestByCost.IPCPerCost)
+	}
+	c.Series = append(c.Series,
+		all,
+		report.Series{Name: "IPC/TTM opt", PointsOnly: true,
+			X: []float64{1}, Y: []float64{d.BestByTTM.IPCPerCost / d.BestByCost.IPCPerCost}},
+		report.Series{Name: "IPC/cost opt", PointsOnly: true,
+			X: []float64{d.BestByCost.IPCPerTTM / d.BestByTTM.IPCPerTTM}, Y: []float64{1}},
+	)
+	return []Chart{{Name: "fig5-frontier", SVG: c.Render()}}
+}
+
+func chartsFig6(d Fig6Data) []Chart {
+	rows := make([]string, len(d.Quantities))
+	text := make([][]string, len(d.Quantities))
+	vals := make([][]float64, len(d.Quantities))
+	cols := nodeNames(d.Nodes)
+	for i, q := range d.Quantities {
+		rows[i] = report.FmtSI(q)
+		text[i] = make([]string, len(d.Nodes))
+		vals[i] = make([]float64, len(d.Nodes))
+		for j, node := range d.Nodes {
+			cell := d.Cells[q][node]
+			text[i][j] = fmt.Sprintf("%d/%d", cell.IKB, cell.DKB)
+			vals[i][j] = cell.AreaOverhead
+		}
+	}
+	h := report.HeatmapChart{
+		Title:    "Fig. 6 — IPC/TTM-optimal I$/D$ (KB); shade = cache share of die",
+		RowNames: rows, ColNames: cols, Values: vals, CellText: text,
+	}
+	return []Chart{{Name: "fig6-optima", SVG: h.Render()}}
+}
+
+func chartsFig7(rows []Fig7Row) []Chart {
+	bars := report.StackedBarChart{
+		Title: "Fig. 7 — TTM phases for 10M A11 chips", YLabel: "weeks",
+	}
+	tape := report.BarSegment{Name: "tapeout"}
+	fab := report.BarSegment{Name: "fabrication"}
+	pack := report.BarSegment{Name: "packaging"}
+	cost := report.LineChart{
+		Title: "Fig. 7 — chip creation cost", XLabel: "node index (old → new)", YLabel: "cost ($B)", YMinZero: true,
+	}
+	var cx, cy []float64
+	for i, r := range rows {
+		bars.Categories = append(bars.Categories, r.Node.String())
+		tape.Values = append(tape.Values, float64(r.Tapeout))
+		fab.Values = append(fab.Values, float64(r.Fab))
+		pack.Values = append(pack.Values, float64(r.Pack))
+		cx = append(cx, float64(i))
+		cy = append(cy, r.Cost.Billions())
+	}
+	bars.Segments = []report.BarSegment{tape, fab, pack}
+	cost.Series = []report.Series{{Name: "10M chips", X: cx, Y: cy}}
+	return []Chart{
+		{Name: "fig7-phases", SVG: bars.Render()},
+		{Name: "fig7-cost", SVG: cost.Render()},
+	}
+}
+
+func chartsFig8(d Fig8Data) []Chart {
+	vals := make([][]float64, len(d.Inputs))
+	for i, in := range d.Inputs {
+		vals[i] = make([]float64, len(d.Nodes))
+		for j, node := range d.Nodes {
+			vals[i][j] = d.Total[in][node]
+		}
+	}
+	h := report.HeatmapChart{
+		Title:    "Fig. 8 — Sobol total-effect index S_T",
+		RowNames: d.Inputs, ColNames: nodeNames(d.Nodes), Values: vals,
+	}
+	return []Chart{{Name: "fig8-sensitivity", SVG: h.Render()}}
+}
+
+func chartsFig9(d Fig9Data) []Chart {
+	c := report.LineChart{
+		Title: "Fig. 9 — CAS for 10M A11 chips", XLabel: "capacity fraction",
+		YLabel: "CAS (wafers/week²)", YMinZero: true,
+	}
+	for _, node := range d.Nodes {
+		var xs, ys, lo, hi []float64
+		for i, b := range d.Bands[node] {
+			xs = append(xs, d.Capacity[i])
+			ys = append(ys, b.Mean)
+			lo = append(lo, b.CI10.Lo)
+			hi = append(hi, b.CI10.Hi)
+		}
+		c.Series = append(c.Series, report.Series{Name: node.String(), X: xs, Y: ys, BandLo: lo, BandHi: hi})
+	}
+	return []Chart{{Name: "fig9-cas", SVG: c.Render()}}
+}
+
+func chartsFig10(d Fig10Data) []Chart {
+	rows := make([]string, len(d.Quantities))
+	vals := make([][]float64, len(d.Quantities))
+	for i, q := range d.Quantities {
+		rows[i] = report.FmtSI(q)
+		vals[i] = make([]float64, len(d.Nodes))
+		for j, node := range d.Nodes {
+			vals[i][j] = float64(d.TTM[node][q])
+		}
+	}
+	h := report.HeatmapChart{
+		Title:    "Fig. 10 — A11 TTM (weeks) by node and volume",
+		RowNames: rows, ColNames: nodeNames(d.Nodes), Values: vals, Reverse: true,
+	}
+	return []Chart{{Name: "fig10-matrix", SVG: h.Render()}}
+}
+
+func chartsQueue(id string, d QueueCurves) []Chart {
+	title, ylabel, name := "Fig. 11 — TTM under foundry queues", "TTM (weeks)", "fig11-ttm"
+	if id == "12" {
+		title, ylabel, name = "Fig. 12 — CAS under foundry queues", "CAS (wafers/week²)", "fig12-cas"
+	}
+	c := report.LineChart{Title: title, XLabel: "capacity fraction", YLabel: ylabel, YMinZero: true}
+	for _, q := range d.QueueWeeks {
+		var xs, ys, lo, hi []float64
+		for i, b := range d.Bands[q] {
+			xs = append(xs, d.Capacity[i])
+			ys = append(ys, b.Mean)
+			lo = append(lo, b.CI10.Lo)
+			hi = append(hi, b.CI10.Hi)
+		}
+		c.Series = append(c.Series, report.Series{
+			Name: fmt.Sprintf("queue %.0f wk", float64(q)), X: xs, Y: ys, BandLo: lo, BandHi: hi,
+		})
+	}
+	return []Chart{{Name: name, SVG: c.Render()}}
+}
+
+func chartsFig13(d Fig13Data) []Chart {
+	ttm := report.LineChart{
+		Title: "Fig. 13a — TTM by final chip count", XLabel: "final chips (millions)", YLabel: "TTM (weeks)",
+	}
+	cost := report.LineChart{
+		Title: "Fig. 13b — chip creation cost", XLabel: "final chips (millions)", YLabel: "cost ($B)", YMinZero: true,
+	}
+	cas := report.LineChart{
+		Title: "Fig. 13c — CAS vs capacity (10M chips)", XLabel: "capacity fraction",
+		YLabel: "CAS (wafers/week²)", YMinZero: true,
+	}
+	for i, name := range d.Names {
+		var qx, ty, cy []float64
+		for j, q := range d.Quantities {
+			qx = append(qx, q/1e6)
+			ty = append(ty, float64(d.TTM[i][j]))
+			cy = append(cy, d.Cost[i][j].Billions())
+		}
+		ttm.Series = append(ttm.Series, report.Series{Name: name, X: qx, Y: ty})
+		cost.Series = append(cost.Series, report.Series{Name: name, X: qx, Y: cy})
+		var cx, cv []float64
+		for j, f := range d.Capacity {
+			cx = append(cx, f)
+			cv = append(cv, d.CAS[i][j])
+		}
+		cas.Series = append(cas.Series, report.Series{Name: name, X: cx, Y: cv})
+	}
+	return []Chart{
+		{Name: "fig13a-ttm", SVG: ttm.Render()},
+		{Name: "fig13b-cost", SVG: cost.Render()},
+		{Name: "fig13c-cas", SVG: cas.Render()},
+	}
+}
+
+func chartsFig14(d Fig14Data) []Chart {
+	rows := nodeNames(d.Nodes)
+	mk := func(name, title string, get func(p opt.SplitPoint) float64, reverse bool) Chart {
+		vals := make([][]float64, len(d.Nodes))
+		for i, sNode := range d.Nodes {
+			vals[i] = make([]float64, len(d.Nodes))
+			for j, pNode := range d.Nodes {
+				v := get(d.Matrix[pNode][sNode])
+				if math.IsInf(v, 0) {
+					v = math.Inf(1)
+				}
+				vals[i][j] = v
+			}
+		}
+		h := report.HeatmapChart{Title: title, RowNames: rows, ColNames: rows, Values: vals, Reverse: reverse}
+		return Chart{Name: name, SVG: h.Render()}
+	}
+	return []Chart{
+		mk("fig14a-ttm", "Fig. 14a — TTM (weeks) of CAS-optimal splits (rows: secondary, cols: primary)",
+			func(p opt.SplitPoint) float64 { return float64(p.TTM) }, true),
+		mk("fig14b-cost", "Fig. 14b — chip creation cost ($B)",
+			func(p opt.SplitPoint) float64 { return p.Cost.Billions() }, true),
+		mk("fig14c-split", "Fig. 14c — % of chips from the primary process",
+			func(p opt.SplitPoint) float64 { return p.FracPrimary * 100 }, false),
+	}
+}

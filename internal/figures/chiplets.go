@@ -1,0 +1,290 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/accel"
+	"ttmcas/internal/core"
+	"ttmcas/internal/cost"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/opt"
+	"ttmcas/internal/report"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+func init() {
+	register("t3", table3)
+	register("t4", table4)
+	register("13", fig13)
+	register("14", fig14)
+}
+
+// accelTeam is the tapeout team size of the accelerator study; the
+// paper's Table 3 tapeout weeks are consistent with roughly this team
+// against the 5 nm effort curve.
+const accelTeam = 68
+
+// Table3Row is one accelerator design's evaluation.
+type Table3Row struct {
+	Name        string
+	SpeedUp     float64
+	NUT         units.Transistors
+	AreaRatio   float64
+	TapeoutWk   units.Weeks
+	TapeoutCost units.USD
+}
+
+func table3(Config) (*Result, error) {
+	var cm cost.Model
+	var rows []Table3Row
+	p := technode.MustLookup(technode.N5)
+	var core5 accel.ScalarCore
+	for _, a := range accel.All() {
+		hours := float64(a.UniqueTransistors) / 1e6 * p.TapeoutEffort
+		tc, err := cm.TapeoutCost(a.UniqueTransistors, technode.N5)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Name:        a.Name,
+			SpeedUp:     a.KernelSpeedUp(core5),
+			NUT:         a.UniqueTransistors,
+			AreaRatio:   a.AreaRelativeToAriane(),
+			TapeoutWk:   units.Hours(hours).Weeks(accelTeam),
+			TapeoutCost: tc,
+		})
+	}
+	t := report.NewTable("Accelerator speed-up, tapeout time and tapeout cost at 5nm (2048-element blocks)",
+		"design", "speed-up", "N_TT (M)", "area vs Ariane", "T_tapeout (wk)", "C_tapeout")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.Fmt2(r.SpeedUp), report.Fmt2(r.NUT.Millions()),
+			report.Fmt2(r.AreaRatio)+"x", report.Fmt1(float64(r.TapeoutWk)), units.FmtUSD(r.TapeoutCost))
+	}
+	return &Result{
+		ID:       "t3",
+		Title:    "Cost of specialization (SPIRAL-style sorting and DFT accelerators)",
+		Sections: []string{t.String()},
+		Data:     rows,
+	}, nil
+}
+
+// Table4Row is one Zen 2 die's parameters at the two candidate nodes.
+type Table4Row struct {
+	Die       string
+	NTT, NUT  units.Transistors
+	Area14    units.MM2
+	Area7     units.MM2
+	Tapeout14 units.Weeks
+	Tapeout7  units.Weeks
+}
+
+func table4(Config) (*Result, error) {
+	p14 := technode.MustLookup(technode.N14)
+	p7 := technode.MustLookup(technode.N7)
+	team := scenario.Zen2().Team()
+	mk := func(name string, ntt, nut units.Transistors, a14, a7 units.MM2) Table4Row {
+		row := Table4Row{Die: name, NTT: ntt, NUT: nut, Area14: a14, Area7: a7}
+		row.Tapeout14 = units.Hours(float64(nut) / 1e6 * p14.TapeoutEffort).Weeks(team)
+		row.Tapeout7 = units.Hours(float64(nut) / 1e6 * p7.TapeoutEffort).Weeks(team)
+		return row
+	}
+	rows := []Table4Row{
+		// Source-reported areas where the paper stars them; derived
+		// from the density model otherwise.
+		mk("compute", scenario.Zen2ComputeNTT, scenario.Zen2ComputeNUT,
+			p14.Area(scenario.Zen2ComputeNTT), 74),
+		mk("io", scenario.Zen2IONTT, scenario.Zen2IONUT,
+			125, p7.Area(scenario.Zen2IONTT)),
+	}
+	t := report.NewTable("Zen 2-like die parameters (12nm-class dies use the 14nm database entry)",
+		"die", "N_TT (B)", "N_UT (M)", "area 14nm (mm2)", "area 7nm (mm2)", "tapeout 14nm (wk)", "tapeout 7nm (wk)")
+	for _, r := range rows {
+		t.AddRow(r.Die, report.Fmt2(r.NTT.Billions()), report.Fmt1(r.NUT.Millions()),
+			report.Fmt1(float64(r.Area14)), report.Fmt1(float64(r.Area7)),
+			report.Fmt1(float64(r.Tapeout14)), report.Fmt1(float64(r.Tapeout7)))
+	}
+	return &Result{
+		ID:       "t4",
+		Title:    "Zen 2 chiplet die inventory",
+		Sections: []string{t.String()},
+		Data:     rows,
+	}, nil
+}
+
+// fig13Designs builds the eight designs of the chiplet study.
+func fig13Designs() ([]design.Design, error) {
+	zen := scenario.Zen2()
+	withIp := func(d design.Design) (design.Design, error) {
+		return d.WithInterposer(scenario.InterposerNode)
+	}
+	zenIp, err := withIp(zen)
+	if err != nil {
+		return nil, err
+	}
+	c7 := scenario.Zen2Chiplet(technode.N7)
+	c7ip, err := withIp(c7)
+	if err != nil {
+		return nil, err
+	}
+	c14 := scenario.Zen2Chiplet(technode.N12)
+	c14ip, err := withIp(c14)
+	if err != nil {
+		return nil, err
+	}
+	return []design.Design{
+		zen, zenIp,
+		c7, c7ip, scenario.Zen2Monolithic(technode.N7),
+		c14, c14ip, scenario.Zen2Monolithic(technode.N12),
+	}, nil
+}
+
+// fig13Names are the display names in the paper's legend order.
+var fig13Names = []string{
+	"zen2", "zen2+interposer",
+	"7nm-chiplet", "7nm-chiplet+interposer", "7nm-monolithic",
+	"12nm-chiplet", "12nm-chiplet+interposer", "12nm-monolithic",
+}
+
+// Fig13Data holds the three panels.
+type Fig13Data struct {
+	Names      []string
+	Quantities []float64
+	// TTM and Cost index [design][quantity]; CAS indexes
+	// [design][capacity].
+	TTM      [][]units.Weeks
+	Cost     [][]units.USD
+	Capacity []float64
+	CAS      [][]float64
+}
+
+// fig13Quantities is the x-axis of panels (a) and (b) in final chips.
+var fig13Quantities = []float64{1e6, 5e6, 10e6, 20e6, 40e6, 60e6, 80e6, 100e6}
+
+func fig13(cfg Config) (*Result, error) {
+	var m core.Model
+	var cm cost.Model
+	designs, err := fig13Designs()
+	if err != nil {
+		return nil, err
+	}
+	caps := market.CapacitySweep(0.2, 1.0, cfg.capacityPoints())
+	data := Fig13Data{
+		Names: fig13Names, Quantities: fig13Quantities, Capacity: caps,
+		TTM:  make([][]units.Weeks, len(designs)),
+		Cost: make([][]units.USD, len(designs)),
+		CAS:  make([][]float64, len(designs)),
+	}
+	for i, d := range designs {
+		for _, q := range fig13Quantities {
+			ttm, err := m.TTM(d, q, market.Full())
+			if err != nil {
+				return nil, err
+			}
+			total, err := cm.Total(d, q)
+			if err != nil {
+				return nil, err
+			}
+			data.TTM[i] = append(data.TTM[i], ttm)
+			data.Cost[i] = append(data.Cost[i], total)
+		}
+		pts, err := m.CASCurve(d, 10e6, market.Full(), caps)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range pts {
+			data.CAS[i] = append(data.CAS[i], pt.CAS)
+		}
+	}
+
+	qCols := make([]string, len(fig13Quantities))
+	for i, q := range fig13Quantities {
+		qCols[i] = report.FmtSI(q)
+	}
+	ttmMx := report.NewMatrix("(a) TTM (weeks) by final chip count", fig13Names, qCols)
+	costMx := report.NewMatrix("(b) chip creation cost ($B) by final chip count", fig13Names, qCols)
+	for i := range designs {
+		for j := range fig13Quantities {
+			ttmMx.Set(i, j, report.Fmt1(float64(data.TTM[i][j])))
+			costMx.Set(i, j, report.Fmt2(data.Cost[i][j].Billions()))
+		}
+	}
+	capCols := make([]string, len(caps))
+	for i, c := range caps {
+		capCols[i] = percentHeader(c)
+	}
+	casMx := report.NewMatrix("(c) CAS (kilo-wafers/week², 10M chips) by production capacity", fig13Names, capCols)
+	for i := range designs {
+		for j := range caps {
+			casMx.Set(i, j, report.Fmt1(data.CAS[i][j]/1000))
+		}
+	}
+	return &Result{
+		ID:       "13",
+		Title:    "Chiplets and mixed-process nodes (Zen 2 family)",
+		Sections: []string{ttmMx.String(), costMx.String(), casMx.String()},
+		Data:     data,
+	}, nil
+}
+
+// Fig14Data is the two-process split study.
+type Fig14Data struct {
+	Nodes  []technode.Node
+	Matrix map[technode.Node]map[technode.Node]opt.SplitPoint
+	// BestPair is the overall fastest combination (the paper's blue
+	// highlight).
+	BestPrimary, BestSecondary technode.Node
+}
+
+func fig14(cfg Config) (*Result, error) {
+	study := opt.SplitStudy{
+		Factory: func(n technode.Node) design.Design {
+			return scenario.RavenConfig{Node: n}.Design()
+		},
+		Step: cfg.splitStep(),
+	}
+	const n = 1e9
+	matrix, err := study.PairMatrix(n)
+	if err != nil {
+		return nil, err
+	}
+	nodes := technode.Producing()
+	data := Fig14Data{Nodes: nodes, Matrix: matrix}
+	bestTTM := math.Inf(1)
+	for _, p := range nodes {
+		for _, s := range nodes {
+			pt := matrix[p][s]
+			if float64(pt.TTM) < bestTTM {
+				bestTTM = float64(pt.TTM)
+				data.BestPrimary, data.BestSecondary = p, s
+			}
+		}
+	}
+	cols := nodeNames(nodes)
+	rows := nodeNames(nodes)
+	ttmMx := report.NewMatrix("(a) TTM (weeks) of the CAS-optimal split; * marks the overall fastest", rows, cols)
+	costMx := report.NewMatrix("(b) chip creation cost ($B)", rows, cols)
+	splitMx := report.NewMatrix("(c) % of chips from the primary process", rows, cols)
+	ttmMx.CornerTag, costMx.CornerTag, splitMx.CornerTag = "2nd\\1st", "2nd\\1st", "2nd\\1st"
+	for i, sNode := range nodes { // rows: secondary (as in the paper)
+		for j, pNode := range nodes {
+			pt := matrix[pNode][sNode]
+			cell := report.Fmt1(float64(pt.TTM))
+			if pNode == data.BestPrimary && sNode == data.BestSecondary {
+				cell += "*"
+			}
+			ttmMx.Set(i, j, cell)
+			costMx.Set(i, j, report.Fmt2(pt.Cost.Billions()))
+			splitMx.Set(i, j, fmt.Sprintf("%.0f", pt.FracPrimary*100))
+		}
+	}
+	return &Result{
+		ID:       "14",
+		Title:    "Two-process chip design study (Raven-class MCU, 1B chips, CAS-maximizing splits)",
+		Sections: []string{ttmMx.String(), costMx.String(), splitMx.String()},
+		Data:     data,
+	}, nil
+}

@@ -1,0 +1,199 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Figs. 3–14, Tables 2–4) from the model packages. Each
+// generator returns a structured Result that the CLI renders as text,
+// the benchmark harness times, and the integration tests assert
+// against.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ttmcas/internal/cachesim"
+)
+
+// Config scales the Monte-Carlo and simulation budgets. The zero value
+// reproduces the paper's fidelity; Fast() is for tests.
+type Config struct {
+	// MCSamples is the Monte-Carlo sample count for error bars; zero
+	// means the paper's 1024.
+	MCSamples int
+	// CurveSamples is the per-point sample count for CI band curves
+	// (Figs. 9, 11, 12); zero means 256.
+	CurveSamples int
+	// CacheRefs is the trace length per cache simulation; zero means
+	// 1 000 000.
+	CacheRefs int
+	// SobolN is the Saltelli base sample count; zero means 512.
+	SobolN int
+	// SplitStep is the production-split granularity of Fig. 14; zero
+	// means 0.02.
+	SplitStep float64
+	// CapacityPoints is the number of samples on capacity sweeps; zero
+	// means 9 (20%..100%).
+	CapacityPoints int
+}
+
+func (c Config) mcSamples() int {
+	if c.MCSamples <= 0 {
+		return 1024
+	}
+	return c.MCSamples
+}
+
+func (c Config) curveSamples() int {
+	if c.CurveSamples <= 0 {
+		return 256
+	}
+	return c.CurveSamples
+}
+
+func (c Config) cacheRefs() int {
+	if c.CacheRefs <= 0 {
+		return 1_000_000
+	}
+	return c.CacheRefs
+}
+
+func (c Config) sobolN() int {
+	if c.SobolN <= 0 {
+		return 512
+	}
+	return c.SobolN
+}
+
+func (c Config) splitStep() float64 {
+	if c.SplitStep <= 0 {
+		return 0.02
+	}
+	return c.SplitStep
+}
+
+func (c Config) capacityPoints() int {
+	if c.CapacityPoints <= 0 {
+		return 9
+	}
+	return c.CapacityPoints
+}
+
+// Fast returns a configuration with reduced budgets for quick runs and
+// tests; shapes remain, error bars get noisier.
+func Fast() Config {
+	return Config{
+		MCSamples:      96,
+		CurveSamples:   48,
+		CacheRefs:      200_000,
+		SobolN:         96,
+		SplitStep:      0.10,
+		CapacityPoints: 5,
+	}
+}
+
+// Quantities is the chip-count axis shared by Figs. 6 and 10.
+var Quantities = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+
+// Result is a regenerated figure or table.
+type Result struct {
+	// ID is the registry key ("3".."14", "t2".."t4").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Sections are the rendered tables/matrices in order.
+	Sections []string
+	// Data holds the generator-specific structured output for tests.
+	Data interface{}
+}
+
+// Render concatenates the sections.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", label(r.ID), r.Title)
+	for i, s := range r.Sections {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+func label(id string) string {
+	switch {
+	case strings.HasPrefix(id, "t"):
+		return "Table " + strings.TrimPrefix(id, "t")
+	case strings.HasPrefix(id, "x"):
+		return "Extension " + strings.TrimPrefix(id, "x")
+	default:
+		return "Figure " + id
+	}
+}
+
+// Generator produces one figure/table.
+type Generator func(Config) (*Result, error)
+
+// registry maps figure ids to generators; populated by init functions
+// in the per-study files.
+var registry = map[string]Generator{}
+
+func register(id string, g Generator) { registry[id] = g }
+
+// IDs returns the known figure/table ids in presentation order:
+// figures 3–14, tables t2–t4, then extension studies x1–x4.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	rank := func(id string) int {
+		switch {
+		case strings.HasPrefix(id, "t"):
+			return 1
+		case strings.HasPrefix(id, "x"):
+			return 2
+		default:
+			return 0
+		}
+	}
+	num := func(id string) int {
+		var v int
+		fmt.Sscanf(strings.TrimLeft(id, "tx"), "%d", &v)
+		return v
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ri, rj := rank(ids[i]), rank(ids[j]); ri != rj {
+			return ri < rj
+		}
+		return num(ids[i]) < num(ids[j])
+	})
+	return ids
+}
+
+// Generate runs the generator for an id.
+func Generate(id string, cfg Config) (*Result, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("figures: unknown figure/table %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return g(cfg)
+}
+
+// ipcTables caches the expensive cache-simulation sweep per trace
+// length, shared by Figs. 4–6.
+var ipcTables sync.Map // int -> cachesim.IPCTable
+
+func ipcTable(refs int) (cachesim.IPCTable, error) {
+	if v, ok := ipcTables.Load(refs); ok {
+		return v.(cachesim.IPCTable), nil
+	}
+	tbl, err := cachesim.BuildIPCTable(cachesim.SPECLike(), cachesim.CPUModel{}, cachesim.SweepSizesKB, refs)
+	if err != nil {
+		return cachesim.IPCTable{}, err
+	}
+	ipcTables.Store(refs, tbl)
+	return tbl, nil
+}
+
+// percentHeader renders a capacity fraction as "60%".
+func percentHeader(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }

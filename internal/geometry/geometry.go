@@ -1,0 +1,121 @@
+// Package geometry models wafer and die geometry: how many die sites a
+// circular wafer of a given diameter provides for a rectangular die of a
+// given area.
+//
+// The paper's Section 5 computes the number of wafers N_W from the final
+// chip count, the die area, and the wafer area, "also account[ing] for
+// partial edge dies"; all results use 300 mm-diameter-equivalent wafers.
+// This package implements the standard gross-die-per-wafer estimate
+//
+//	GDPW = π(d/2)²/A − π·d/√(2A)
+//
+// (wafer area divided by die area, minus the ring of partial dies lost
+// at the wafer edge), together with a naive area-ratio estimate used by
+// the edge-correction ablation.
+package geometry
+
+import (
+	"errors"
+	"math"
+
+	"ttmcas/internal/units"
+)
+
+// DefaultWaferDiameterMM is the industry-standard 300 mm wafer used for
+// every evaluation in the paper (legacy 200 mm lines are folded into
+// 300 mm equivalents).
+const DefaultWaferDiameterMM = 300.0
+
+// ReticleLimitMM2 is the approximate maximum die area a single
+// photolithography exposure field can pattern (~26 mm × 33 mm). Designs
+// whose dies exceed this cannot be manufactured monolithically.
+const ReticleLimitMM2 units.MM2 = 858.0
+
+// ErrDieTooLarge is returned when a die cannot fit on the wafer at all.
+var ErrDieTooLarge = errors.New("geometry: die area exceeds usable wafer area")
+
+// Wafer describes a circular silicon wafer.
+type Wafer struct {
+	// DiameterMM is the wafer diameter in millimeters.
+	DiameterMM float64
+}
+
+// Default300 returns the standard 300 mm wafer.
+func Default300() Wafer { return Wafer{DiameterMM: DefaultWaferDiameterMM} }
+
+// Area returns the full circular area of the wafer.
+func (w Wafer) Area() units.MM2 {
+	r := w.DiameterMM / 2
+	return units.MM2(math.Pi * r * r)
+}
+
+// GrossDies returns the estimated number of complete die sites for a die
+// of the given area, applying the partial-edge-die correction. The
+// result is at least zero; it is zero when the die is larger than the
+// wafer can hold.
+func (w Wafer) GrossDies(die units.MM2) int {
+	n := w.GrossDiesFrac(die)
+	if n <= 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// GrossDiesFrac is GrossDies before truncation to an integer; exposed
+// for smooth optimization sweeps where integer steps would create
+// artificial plateaus.
+func (w Wafer) GrossDiesFrac(die units.MM2) float64 {
+	if die <= 0 {
+		return 0
+	}
+	a := float64(die)
+	n := float64(w.Area())/a - math.Pi*w.DiameterMM/math.Sqrt(2*a)
+	if n < 0 || math.IsNaN(n) {
+		return 0
+	}
+	return n
+}
+
+// NaiveDies returns the uncorrected wafer-area / die-area estimate. It
+// systematically over-counts by ignoring partial dies at the wafer edge
+// and exists for the edge-correction ablation benchmark.
+func (w Wafer) NaiveDies(die units.MM2) int {
+	if die <= 0 {
+		return 0
+	}
+	n := float64(w.Area()) / float64(die)
+	if n < 1 {
+		return 0
+	}
+	return int(n)
+}
+
+// WafersFor returns the expected number of wafers required to obtain
+// gross die sites for `dies` dies of the given area. It returns an error
+// when no die fits on the wafer. The result is fractional: the model
+// works in expectations and the caller decides whether to round up to
+// whole wafers (or lots).
+func (w Wafer) WafersFor(dies float64, die units.MM2) (units.Wafers, error) {
+	per := w.GrossDiesFrac(die)
+	if per < 1 {
+		return 0, ErrDieTooLarge
+	}
+	if dies <= 0 {
+		return 0, nil
+	}
+	return units.Wafers(dies / per), nil
+}
+
+// SplitDie returns the number of equal-sized dies a design of the given
+// total area must be split into so each die fits the reticle limit, and
+// the per-die area. A design that already fits returns (1, total).
+func SplitDie(total units.MM2) (n int, per units.MM2) {
+	if total <= 0 {
+		return 1, 0
+	}
+	n = int(math.Ceil(float64(total) / float64(ReticleLimitMM2)))
+	if n < 1 {
+		n = 1
+	}
+	return n, total / units.MM2(n)
+}

@@ -1,0 +1,130 @@
+package market
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ttmcas/internal/technode"
+)
+
+func TestFullConditions(t *testing.T) {
+	c := Full()
+	p := technode.MustLookup(technode.N28)
+	if got := c.Rate(p); got != p.WaferRate {
+		t.Errorf("full rate = %v, want %v", float64(got), float64(p.WaferRate))
+	}
+	if c.QueueWafers(p) != 0 {
+		t.Error("full conditions should have empty queue")
+	}
+}
+
+func TestZeroValueMeansFull(t *testing.T) {
+	var c Conditions
+	p := technode.MustLookup(technode.N7)
+	if got := c.Rate(p); got != p.WaferRate {
+		t.Errorf("zero-value rate = %v, want full", float64(got))
+	}
+}
+
+func TestCapacityScaling(t *testing.T) {
+	p := technode.MustLookup(technode.N28)
+	c := Full().AtCapacity(0.5)
+	if got := c.Rate(p); math.Abs(float64(got)-0.5*float64(p.WaferRate)) > 1e-9 {
+		t.Errorf("50%% rate = %v", float64(got))
+	}
+	c = c.WithNodeCapacity(technode.N28, 0.5)
+	if got := c.Rate(p); math.Abs(float64(got)-0.25*float64(p.WaferRate)) > 1e-9 {
+		t.Errorf("stacked rate = %v, want 25%% of full", float64(got))
+	}
+	neg := Full().AtCapacity(-1)
+	if got := neg.Rate(p); got != 0 {
+		t.Errorf("negative capacity should clamp to 0, got %v", float64(got))
+	}
+}
+
+func TestQueueWafersFixedAtQuote(t *testing.T) {
+	// The quote fixes the wafer count against the FULL rate: dropping
+	// capacity must not shrink the queue (that asymmetry is the point
+	// of Section 6.3).
+	p := technode.MustLookup(technode.N7)
+	c := Full().WithQueue(technode.N7, 2)
+	qFull := c.QueueWafers(p)
+	qHalf := c.AtCapacity(0.5).QueueWafers(p)
+	if qFull != qHalf {
+		t.Errorf("queue wafers changed with capacity: %v vs %v", float64(qFull), float64(qHalf))
+	}
+	if math.Abs(float64(qFull)-2*float64(p.WaferRate)) > 1e-9 {
+		t.Errorf("queue wafers = %v, want 2 weeks of full production", float64(qFull))
+	}
+}
+
+func TestWithQueueDoesNotMutate(t *testing.T) {
+	base := Full().WithQueue(technode.N7, 1)
+	mod := base.WithQueue(technode.N7, 4)
+	p := technode.MustLookup(technode.N7)
+	if base.QueueWafers(p) == mod.QueueWafers(p) {
+		t.Error("WithQueue should not alias the base map")
+	}
+	base2 := Full().WithNodeCapacity(technode.N7, 0.5)
+	mod2 := base2.WithNodeCapacity(technode.N7, 0.9)
+	if base2.Rate(p) == mod2.Rate(p) {
+		t.Error("WithNodeCapacity should not alias the base map")
+	}
+}
+
+func TestWithQueueAll(t *testing.T) {
+	c := Full().WithQueueAll(3)
+	for _, n := range technode.All() {
+		p := technode.MustLookup(n)
+		want := 3 * float64(p.WaferRate)
+		if math.Abs(float64(c.QueueWafers(p))-want) > 1e-9 {
+			t.Errorf("queue at %s = %v, want %v", n, float64(c.QueueWafers(p)), want)
+		}
+	}
+}
+
+func TestCapacitySweep(t *testing.T) {
+	s := CapacitySweep(0.1, 1.0, 10)
+	if len(s) != 10 || s[0] != 0.1 || s[9] != 1.0 {
+		t.Errorf("sweep = %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Error("sweep not increasing")
+		}
+	}
+	if got := CapacitySweep(0, 1, 1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("degenerate sweep = %v", got)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) < 5 {
+		t.Fatalf("expected >= 5 scenarios, got %d", len(ss))
+	}
+	names := map[string]bool{}
+	for _, s := range ss {
+		if s.Name == "" || s.Description == "" {
+			t.Errorf("scenario missing name/description: %+v", s)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate scenario %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if _, ok := FindScenario("baseline"); !ok {
+		t.Error("baseline scenario missing")
+	}
+	if _, ok := FindScenario("nope"); ok {
+		t.Error("unknown scenario should not resolve")
+	}
+}
+
+func TestConditionsString(t *testing.T) {
+	s := Full().WithQueue(technode.N7, 2).AtCapacity(0.8).String()
+	if !strings.Contains(s, "80%") || !strings.Contains(s, "7nm:2wk") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,141 @@
+// Package mc implements the Monte-Carlo uncertainty quantification of
+// Section 5: the six closely-guarded model inputs (defect density,
+// wafer production rate, foundry latency, OSAT latency, total
+// transistor count, unique transistor count) are perturbed with a
+// uniform ±10% (or ±25%) error range, the model is evaluated 1024
+// times, and the output is reported as the sample mean with an
+// empirical 95% confidence interval — the pink/green error bars and
+// shaded bands of Figs. 7, 9, 11 and 12.
+package mc
+
+import (
+	"math/rand"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/stats"
+	"ttmcas/internal/sweep"
+)
+
+// DefaultSamples is the paper's sample count.
+const DefaultSamples = 1024
+
+// Config controls a Monte-Carlo run.
+type Config struct {
+	// Samples is the number of perturbed evaluations; zero means the
+	// paper's 1024.
+	Samples int
+	// Variation is the half-width of the uniform input error range
+	// (0.10 for ±10%, 0.25 for ±25%); zero means 0.10.
+	Variation float64
+	// Seed makes runs reproducible; the zero seed is itself a valid
+	// fixed seed (runs are deterministic by default).
+	Seed int64
+}
+
+func (c Config) samples() int {
+	if c.Samples <= 0 {
+		return DefaultSamples
+	}
+	return c.Samples
+}
+
+func (c Config) variation() float64 {
+	if c.Variation <= 0 {
+		return 0.10
+	}
+	return c.Variation
+}
+
+// Estimate is a Monte-Carlo output summary.
+type Estimate struct {
+	// Mean is the sample mean of the output.
+	Mean float64
+	// CI is the empirical central 95% interval.
+	CI stats.Interval
+	// Samples is the number of evaluations aggregated.
+	Samples int
+}
+
+// Perturbations returns the sequence of input perturbations a config
+// generates: each of the six inputs drawn independently and uniformly
+// from [1−v, 1+v].
+func (c Config) Perturbations() []core.Perturbation {
+	rng := rand.New(rand.NewSource(c.Seed))
+	v := c.variation()
+	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
+	out := make([]core.Perturbation, c.samples())
+	for i := range out {
+		out[i] = core.Perturbation{
+			NTT: draw(), NUT: draw(), D0: draw(),
+			Rate: draw(), FabLatency: draw(), TAPLatency: draw(),
+		}
+	}
+	return out
+}
+
+// Run evaluates an arbitrary scalar model output under the config's
+// perturbations. The eval callback receives a model whose Perturb
+// field has been set; it must be a pure function of that model, since
+// samples are evaluated concurrently. Results are deterministic: the
+// perturbation stream is precomputed from the seed and kept in order.
+func Run(base core.Model, cfg Config, eval func(core.Model) (float64, error)) (Estimate, error) {
+	perts := cfg.Perturbations()
+	xs, err := sweep.Map(perts, 0, func(p core.Perturbation) (float64, error) {
+		m := base
+		m.Perturb = p
+		return eval(m)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Mean: stats.Mean(xs), CI: stats.CI95(xs), Samples: len(xs)}, nil
+}
+
+// TTM estimates the time-to-market distribution of a design.
+func TTM(base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
+	return Run(base, cfg, func(m core.Model) (float64, error) {
+		t, err := m.TTM(d, n, c)
+		return float64(t), err
+	})
+}
+
+// CAS estimates the Chip Agility Score distribution of a design.
+func CAS(base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
+	return Run(base, cfg, func(m core.Model) (float64, error) {
+		r, err := m.CAS(d, n, c)
+		return r.CAS, err
+	})
+}
+
+// Band is one x-position of a mean curve with its ±10% and ±25% CI
+// bands, the structure of the paper's shaded plots.
+type Band struct {
+	X    float64
+	Mean float64
+	CI10 stats.Interval
+	CI25 stats.Interval
+}
+
+// BandCurve evaluates a scalar output across xs, attaching both the
+// ±10% and ±25% confidence bands at each point. evalAt must return the
+// output of the perturbed model at position x.
+func BandCurve(base core.Model, cfg Config, xs []float64, evalAt func(core.Model, float64) (float64, error)) ([]Band, error) {
+	out := make([]Band, 0, len(xs))
+	cfg10, cfg25 := cfg, cfg
+	cfg10.Variation = 0.10
+	cfg25.Variation = 0.25
+	for _, x := range xs {
+		e10, err := Run(base, cfg10, func(m core.Model) (float64, error) { return evalAt(m, x) })
+		if err != nil {
+			return nil, err
+		}
+		e25, err := Run(base, cfg25, func(m core.Model) (float64, error) { return evalAt(m, x) })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Band{X: x, Mean: e10.Mean, CI10: e10.CI, CI25: e25.CI})
+	}
+	return out, nil
+}

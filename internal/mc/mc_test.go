@@ -1,0 +1,146 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+func TestDefaults(t *testing.T) {
+	var c Config
+	if c.samples() != DefaultSamples {
+		t.Errorf("default samples = %d", c.samples())
+	}
+	if c.variation() != 0.10 {
+		t.Errorf("default variation = %v", c.variation())
+	}
+}
+
+func TestPerturbationsDeterministicAndBounded(t *testing.T) {
+	cfg := Config{Samples: 200, Variation: 0.10, Seed: 42}
+	a := cfg.Perturbations()
+	b := cfg.Perturbations()
+	if len(a) != 200 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+		for _, v := range []float64{a[i].NTT, a[i].NUT, a[i].D0, a[i].Rate, a[i].FabLatency, a[i].TAPLatency} {
+			if v < 0.9 || v > 1.1 {
+				t.Fatalf("multiplier %v outside ±10%%", v)
+			}
+		}
+	}
+	other := Config{Samples: 200, Variation: 0.10, Seed: 43}.Perturbations()
+	if a[0] == other[0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTTMEstimateBracketsNominal(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	nominal, err := m.TTM(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := TTM(m, d, 10e6, market.Full(), Config{Samples: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.CI.Contains(float64(nominal)) {
+		t.Errorf("nominal %v outside CI [%v, %v]", float64(nominal), est.CI.Lo, est.CI.Hi)
+	}
+	if math.Abs(est.Mean-float64(nominal))/float64(nominal) > 0.05 {
+		t.Errorf("mean %v far from nominal %v", est.Mean, float64(nominal))
+	}
+	if est.Samples != 256 {
+		t.Errorf("samples = %d", est.Samples)
+	}
+}
+
+func TestWiderVariationWidensCI(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N7)
+	e10, err := TTM(m, d, 10e6, market.Full(), Config{Samples: 256, Variation: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e25, err := TTM(m, d, 10e6, market.Full(), Config{Samples: 256, Variation: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e25.CI.Width() <= e10.CI.Width() {
+		t.Errorf("±25%% CI (%v) should be wider than ±10%% (%v)", e25.CI.Width(), e10.CI.Width())
+	}
+}
+
+func TestCASEstimate(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N7)
+	est, err := CAS(m, d, 10e6, market.Full(), Config{Samples: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean <= 0 {
+		t.Errorf("CAS mean = %v", est.Mean)
+	}
+	nominal, err := m.CAS(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.CI.Contains(nominal.CAS) {
+		t.Errorf("nominal CAS %v outside CI [%v, %v]", nominal.CAS, est.CI.Lo, est.CI.Hi)
+	}
+}
+
+func TestBandCurve(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N7)
+	xs := []float64{0.5, 1.0}
+	bands, err := BandCurve(m, Config{Samples: 64}, xs, func(pm core.Model, x float64) (float64, error) {
+		v, err := pm.TTM(d, 10e6, market.Full().AtCapacity(x))
+		return float64(v), err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 2 {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	for _, b := range bands {
+		if b.CI25.Width() <= b.CI10.Width() {
+			t.Errorf("at x=%v: ±25%% band should be wider", b.X)
+		}
+		if !b.CI10.Contains(b.Mean) {
+			t.Errorf("at x=%v: mean outside its own band", b.X)
+		}
+	}
+	if bands[0].Mean <= bands[1].Mean {
+		t.Error("TTM at 50% capacity should exceed TTM at 100%")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	var m core.Model
+	wantErr := false
+	_, err := Run(m, Config{Samples: 4}, func(core.Model) (float64, error) {
+		wantErr = true
+		return 0, errSentinel
+	})
+	if err == nil || !wantErr {
+		t.Error("Run should surface eval errors")
+	}
+}
+
+type sentinel struct{}
+
+func (sentinel) Error() string { return "sentinel" }
+
+var errSentinel = sentinel{}

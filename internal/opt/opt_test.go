@@ -1,0 +1,223 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"ttmcas/internal/cachesim"
+	designpkg "ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+// smallTable builds a coarse IPC table once for the cache tests.
+func smallTable(t *testing.T) cachesim.IPCTable {
+	t.Helper()
+	tbl, err := cachesim.BuildIPCTable(cachesim.SPECLike(), cachesim.CPUModel{}, []int{1, 8, 32, 128, 1024}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestCacheStudyEvaluate(t *testing.T) {
+	study := CacheStudy{Table: smallTable(t)}
+	pts, err := study.Evaluate(technode.N14, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("points = %d, want 25", len(pts))
+	}
+	for _, p := range pts {
+		if p.IPC <= 0 || p.TTM <= 0 || p.Cost <= 0 || p.IPCPerTTM <= 0 || p.IPCPerCost <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+	// TTM must grow with total cache capacity (bigger dies).
+	var small, large CachePoint
+	for _, p := range pts {
+		if p.IKB == 1 && p.DKB == 1 {
+			small = p
+		}
+		if p.IKB == 1024 && p.DKB == 1024 {
+			large = p
+		}
+	}
+	if large.TTM <= small.TTM {
+		t.Errorf("TTM(1MB,1MB)=%v should exceed TTM(1KB,1KB)=%v", large.TTM, small.TTM)
+	}
+	if large.IPC <= small.IPC {
+		t.Error("IPC should grow with cache capacity")
+	}
+}
+
+func TestBestObjectivesDiffer(t *testing.T) {
+	// Fig. 5's headline: the IPC/TTM optimum is not the IPC/cost
+	// optimum, and neither is the raw-IPC optimum (which saturates at
+	// the largest caches).
+	study := CacheStudy{Table: smallTable(t)}
+	pts, err := study.Evaluate(technode.N14, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTTM, err := Best(pts, MaxIPCPerTTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIPC, err := Best(pts, MaxIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byIPC.IKB != 1024 || byIPC.DKB != 1024 {
+		t.Errorf("max-IPC config = (%d,%d), want the largest caches", byIPC.IKB, byIPC.DKB)
+	}
+	if byTTM.IKB == 1024 && byTTM.DKB == 1024 {
+		t.Error("IPC/TTM optimum should back off from the largest caches")
+	}
+	if _, err := Best(nil, MaxIPC); err == nil {
+		t.Error("empty points should error")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MaxIPCPerTTM.String() != "IPC/TTM" || MaxIPCPerCost.String() != "IPC/cost" || MaxIPC.String() != "IPC" {
+		t.Error("objective names wrong")
+	}
+	if Objective(9).String() == "" {
+		t.Error("unknown objective should render")
+	}
+}
+
+func ravenStudy(step float64) SplitStudy {
+	return SplitStudy{
+		Factory: func(n technode.Node) designpkg.Design {
+			return scenario.RavenConfig{Node: n}.Design()
+		},
+		Step: step,
+	}
+}
+
+func TestSingleProcessBaseline(t *testing.T) {
+	study := ravenStudy(0.25)
+	pt, err := study.evalPortfolio(technode.N28, technode.N28, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frac=1 must match the plain single-node evaluation.
+	d := study.Factory(technode.N28)
+	ttm, err := study.Model.TTM(d, 1e9, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(pt.TTM-ttm)) > 1e-9 {
+		t.Errorf("portfolio TTM %v != single TTM %v", float64(pt.TTM), float64(ttm))
+	}
+	if pt.CAS <= 0 {
+		t.Errorf("single-process CAS = %v", pt.CAS)
+	}
+}
+
+func TestSplitImprovesTTMForSlowLegacyNode(t *testing.T) {
+	// Section 7: for legacy nodes with low wafer rates (250, 130,
+	// 90 nm), adding parallel manufacturing on a second process saves
+	// weeks of time-to-market.
+	study := ravenStudy(0.05)
+	single, err := study.evalPortfolio(technode.N250, technode.N250, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := study.BestSplit(technode.N250, technode.N180, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.TTM >= single.TTM {
+		t.Errorf("best split TTM %v should beat single-process %v", float64(best.TTM), float64(single.TTM))
+	}
+	if best.FracPrimary >= 1 {
+		t.Error("best split should actually use the secondary node")
+	}
+}
+
+func TestSplitCASBeatsSingleProcess(t *testing.T) {
+	// A two-process portfolio can achieve higher agility than either
+	// single process: disruption on one node only slows part of the
+	// volume.
+	study := ravenStudy(0.05)
+	best, err := study.BestSplit(technode.N28, technode.N40, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := study.evalPortfolio(technode.N28, technode.N28, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.CAS <= single.CAS {
+		t.Errorf("best split CAS %v should beat single-process %v", best.CAS, single.CAS)
+	}
+	if best.Cost <= 0 || single.Cost <= 0 {
+		t.Error("costs should be positive")
+	}
+	// Two tapeouts cost more NRE, but the totals stay the same order
+	// of magnitude (packaging dominates at 1B chips).
+	if best.Cost > 2*single.Cost {
+		t.Errorf("split cost %v implausibly high vs %v", best.Cost, single.Cost)
+	}
+}
+
+func TestBestSplitSkipsIdleNodes(t *testing.T) {
+	study := ravenStudy(0.25)
+	// 20 nm has no capacity: every split using it strictly is
+	// infeasible except frac=1 (pure primary).
+	pt, err := study.BestSplit(technode.N28, technode.N20, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.FracPrimary != 1 {
+		t.Errorf("only the single-process point is feasible, got frac=%v", pt.FracPrimary)
+	}
+}
+
+func TestBestSplitRequiresFactory(t *testing.T) {
+	var study SplitStudy
+	if _, err := study.BestSplit(technode.N28, technode.N40, 1e6); err == nil {
+		t.Error("nil factory should error")
+	}
+}
+
+func TestPairMatrixSmall(t *testing.T) {
+	// Full pair matrix over a reduced database keeps the test fast
+	// while covering the Fig. 14 production path.
+	db, err := technode.NewDatabase([]technode.Params{
+		technode.MustLookup(technode.N40),
+		technode.MustLookup(technode.N28),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := ravenStudy(0.25)
+	study.Model.Nodes = db
+	study.CostModel.Nodes = db
+	matrix, err := study.PairMatrix(1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix) != 2 || len(matrix[technode.N40]) != 2 {
+		t.Fatalf("matrix shape: %v", matrix)
+	}
+	// Diagonal entries are single-process.
+	if matrix[technode.N28][technode.N28].FracPrimary != 1 {
+		t.Error("diagonal should be single-process")
+	}
+	// Off-diagonal entries are genuine splits with positive CAS.
+	off := matrix[technode.N28][technode.N40]
+	if off.CAS <= 0 || off.TTM <= 0 {
+		t.Errorf("off-diagonal entry degenerate: %+v", off)
+	}
+	// Default step (zero) resolves to 1%.
+	var s SplitStudy
+	if got := s.step(); got != 0.01 {
+		t.Errorf("default step = %v", got)
+	}
+}

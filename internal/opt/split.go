@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/cost"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+// Section 7: the same architecture is taped out on two process nodes
+// in parallel and production is split between them. The two variants
+// are independent chips (no packaging synchronization): the order is
+// complete when the slower variant's production completes, both
+// tapeouts are paid, and the portfolio's agility sums the TTM
+// sensitivity to both nodes' wafer rates.
+
+// Factory builds the architecture's design for a given node (e.g. the
+// Raven multicore re-targeted per node).
+type Factory func(technode.Node) design.Design
+
+// SplitPoint is one production split fully evaluated.
+type SplitPoint struct {
+	Primary, Secondary technode.Node
+	// FracPrimary is the fraction of final chips built on the primary
+	// node (1.0 = single-process).
+	FracPrimary float64
+	TTM         units.Weeks
+	Cost        units.USD
+	CAS         float64
+}
+
+// SplitStudy evaluates two-process manufacturing portfolios.
+type SplitStudy struct {
+	Factory    Factory
+	Model      core.Model
+	CostModel  cost.Model
+	Conditions market.Conditions
+	// Step is the split granularity; zero means 0.01 (1%).
+	Step float64
+}
+
+func (s SplitStudy) step() float64 {
+	if s.Step <= 0 {
+		return 0.01
+	}
+	return s.Step
+}
+
+// evalPortfolio computes TTM, cost and CAS for one split.
+func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64, n float64) (SplitPoint, error) {
+	pt := SplitPoint{Primary: primary, Secondary: secondary, FracPrimary: frac}
+
+	ttm, err := s.portfolioTTM(primary, secondary, frac, n, s.Conditions)
+	if err != nil {
+		return pt, err
+	}
+	pt.TTM = ttm
+
+	// Cost: both variants' full chip-creation cost (two tapeouts, two
+	// mask sets) on their share of the volume.
+	var total units.USD
+	for _, part := range s.parts(primary, secondary, frac, n) {
+		c, err := s.CostModel.Total(part.d, part.n)
+		if err != nil {
+			return pt, err
+		}
+		total += c
+	}
+	pt.Cost = total
+
+	// CAS over the portfolio: finite difference per node on the
+	// combined TTM, mirroring Eq. 8.
+	nodes := []technode.Node{primary}
+	if frac < 1 && secondary != primary {
+		nodes = append(nodes, secondary)
+	}
+	sum := 0.0
+	for _, node := range nodes {
+		p, err := s.Model.Nodes.Lookup(node)
+		if err != nil {
+			return pt, err
+		}
+		const h = core.DefaultDerivativeStep
+		up, err := s.portfolioTTM(primary, secondary, frac, n, s.Conditions.WithNodeCapacity(node, 1+h))
+		if err != nil {
+			return pt, err
+		}
+		down, err := s.portfolioTTM(primary, secondary, frac, n, s.Conditions.WithNodeCapacity(node, 1-h))
+		if err != nil {
+			return pt, err
+		}
+		sum += math.Abs(float64(up-down)) / (2 * h * float64(p.WaferRate))
+	}
+	if sum > 0 {
+		pt.CAS = 1 / sum
+	} else {
+		pt.CAS = math.Inf(1)
+	}
+	return pt, nil
+}
+
+type part struct {
+	d design.Design
+	n float64
+}
+
+// parts returns the per-node production assignments for a split. A
+// degenerate pair (primary == secondary) is a single-process run: the
+// node has one production line, so the whole volume lands on it.
+func (s SplitStudy) parts(primary, secondary technode.Node, frac float64, n float64) []part {
+	if primary == secondary {
+		return []part{{d: s.Factory(primary), n: n}}
+	}
+	var out []part
+	if frac > 0 {
+		out = append(out, part{d: s.Factory(primary), n: frac * n})
+	}
+	if frac < 1 {
+		out = append(out, part{d: s.Factory(secondary), n: (1 - frac) * n})
+	}
+	return out
+}
+
+// portfolioTTM is the max of the two variants' full TTM.
+func (s SplitStudy) portfolioTTM(primary, secondary technode.Node, frac float64, n float64, c market.Conditions) (units.Weeks, error) {
+	var worst units.Weeks
+	for _, part := range s.parts(primary, secondary, frac, n) {
+		t, err := s.Model.TTM(part.d, part.n, c)
+		if err != nil {
+			return 0, err
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// BestSplit sweeps the split fraction for a node pair and returns the
+// point with the highest CAS (ties broken by lower TTM), as Section 7
+// prescribes. frac sweeps from Step to 1.0; frac=1 is the pure
+// single-process baseline, included so a pair whose secondary never
+// helps degenerates gracefully.
+func (s SplitStudy) BestSplit(primary, secondary technode.Node, n float64) (SplitPoint, error) {
+	if s.Factory == nil {
+		return SplitPoint{}, errors.New("opt: SplitStudy.Factory is nil")
+	}
+	var best SplitPoint
+	found := false
+	steps := int(math.Round(1 / s.step()))
+	if steps < 1 {
+		steps = 1
+	}
+	for k := 1; k <= steps; k++ {
+		// Integer stepping so the final iteration is exactly the
+		// single-process point frac = 1.
+		f := float64(k) / float64(steps)
+		pt, err := s.evalPortfolio(primary, secondary, f, n)
+		if err != nil {
+			return SplitPoint{}, fmt.Errorf("opt: split %s/%s@%.2f: %w", primary, secondary, f, err)
+		}
+		if math.IsInf(float64(pt.TTM), 1) {
+			continue
+		}
+		if !found || pt.CAS > best.CAS || (pt.CAS == best.CAS && pt.TTM < best.TTM) {
+			best, found = pt, true
+		}
+	}
+	if !found {
+		return SplitPoint{}, fmt.Errorf("%w for %s/%s", ErrNoFeasibleSplit, primary, secondary)
+	}
+	return best, nil
+}
+
+// ErrNoFeasibleSplit is returned when every split point of a pair has
+// infinite time-to-market (e.g. an out-of-production node).
+var ErrNoFeasibleSplit = errors.New("opt: no feasible split")
+
+// PairMatrix evaluates BestSplit for every ordered pair of producing
+// nodes (the Fig. 14 heatmaps); the diagonal holds the single-process
+// baselines.
+func (s SplitStudy) PairMatrix(n float64) (map[technode.Node]map[technode.Node]SplitPoint, error) {
+	nodes := s.Model.Nodes.Producing()
+	out := make(map[technode.Node]map[technode.Node]SplitPoint, len(nodes))
+	for _, p := range nodes {
+		out[p] = make(map[technode.Node]SplitPoint, len(nodes))
+		for _, q := range nodes {
+			if p == q {
+				pt, err := s.evalPortfolio(p, q, 1, n)
+				if err != nil {
+					return nil, err
+				}
+				out[p][q] = pt
+				continue
+			}
+			pt, err := s.BestSplit(p, q, n)
+			if err != nil {
+				return nil, err
+			}
+			out[p][q] = pt
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ttmcas/internal/design"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+func ravenPlanner(multi bool) Planner {
+	p := Default(func(n technode.Node) design.Design {
+		return scenario.RavenConfig{Node: n}.Design()
+	})
+	p.MultiProcess = multi
+	p.SplitStep = 0.1
+	// Restrict the candidate set to keep tests fast.
+	p.Nodes = []technode.Node{technode.N250, technode.N90, technode.N40, technode.N28}
+	return p
+}
+
+func TestExploreSingleProcess(t *testing.T) {
+	opts, err := ravenPlanner(false).Explore(Requirements{Volume: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 4 {
+		t.Fatalf("options = %d, want 4 single-process candidates", len(opts))
+	}
+	// Unconstrained: everything is feasible, sorted by CAS descending.
+	for i, o := range opts {
+		if !o.Feasible || len(o.Violations) != 0 {
+			t.Errorf("%s should be feasible: %v", o.Name, o.Violations)
+		}
+		if i > 0 && o.CAS > opts[i-1].CAS {
+			t.Errorf("ranking broken at %s", o.Name)
+		}
+		if o.Secondary != 0 {
+			t.Errorf("%s: unexpected secondary node", o.Name)
+		}
+	}
+	// The high-capacity 28nm line tops the agility ranking.
+	if opts[0].Primary != technode.N28 {
+		t.Errorf("best single-process plan = %s, want 28nm", opts[0].Name)
+	}
+}
+
+func TestExploreMultiProcessBeatsSingle(t *testing.T) {
+	best, all, err := ravenPlanner(true).Recommend(Requirements{Volume: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Secondary == 0 {
+		t.Errorf("with multi-process search the winner should be a split, got %s", best.Name)
+	}
+	// Every split candidate is ranked and carries a descriptive name.
+	splits := 0
+	for _, o := range all {
+		if o.Secondary != 0 {
+			splits++
+			if !strings.Contains(o.Name, "+") {
+				t.Errorf("split name %q should mention both nodes", o.Name)
+			}
+		}
+	}
+	if splits == 0 {
+		t.Error("no splits explored")
+	}
+}
+
+func TestDeadlineAndBudgetConstraints(t *testing.T) {
+	p := ravenPlanner(false)
+	// A deadline only the faster nodes meet.
+	best, all, err := p.Recommend(Requirements{Volume: 1e9, Deadline: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.TTM > 30 {
+		t.Errorf("recommended plan misses the deadline: %v", best.TTM)
+	}
+	foundInfeasible := false
+	for _, o := range all {
+		if !o.Feasible {
+			foundInfeasible = true
+			if len(o.Violations) == 0 {
+				t.Errorf("%s infeasible without a violation message", o.Name)
+			}
+		}
+	}
+	if !foundInfeasible {
+		t.Error("the slow 250nm plan should violate a 30-week deadline")
+	}
+	// An impossible combination: nothing is feasible.
+	_, all, err = p.Recommend(Requirements{Volume: 1e9, Deadline: 1})
+	if !errors.Is(err, ErrNoFeasiblePlan) {
+		t.Errorf("err = %v, want ErrNoFeasiblePlan", err)
+	}
+	if len(all) == 0 {
+		t.Error("the failed search should still report the ranking")
+	}
+	// Budget constraint wires through too.
+	_, _, err = p.Recommend(Requirements{Volume: 1e9, Budget: 1})
+	if !errors.Is(err, ErrNoFeasiblePlan) {
+		t.Errorf("a $1 budget should be infeasible, got %v", err)
+	}
+}
+
+func TestMinCASConstraint(t *testing.T) {
+	p := ravenPlanner(false)
+	unconstrained, _, err := p.Recommend(Requirements{Volume: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand more agility than the best single-process plan offers.
+	_, _, err = p.Recommend(Requirements{Volume: 1e9, MinCAS: unconstrained.CAS * 2})
+	if !errors.Is(err, ErrNoFeasiblePlan) {
+		t.Errorf("err = %v, want ErrNoFeasiblePlan", err)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	var empty Planner
+	if _, err := empty.Explore(Requirements{Volume: 1}); err == nil {
+		t.Error("nil factory should error")
+	}
+	p := ravenPlanner(false)
+	for _, req := range []Requirements{
+		{},
+		{Volume: -1},
+		{Volume: 1, Deadline: -1},
+		{Volume: 1, Budget: -1},
+		{Volume: 1, MinCAS: -1},
+	} {
+		if _, err := p.Explore(req); err == nil {
+			t.Errorf("%+v should be rejected", req)
+		}
+	}
+}
+
+func TestIdleNodesReportedInfeasible(t *testing.T) {
+	p := ravenPlanner(false)
+	p.Nodes = []technode.Node{technode.N20, technode.N28}
+	opts, err := p.Explore(Requirements{Volume: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		if o.Primary == technode.N20 {
+			if o.Feasible {
+				t.Error("20nm has no capacity and must be infeasible")
+			}
+			if !math.IsInf(float64(o.TTM), 1) {
+				t.Errorf("20nm TTM = %v, want +Inf", float64(o.TTM))
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package report
+
+// Stdlib-only SVG chart rendering, so the figure generators can emit
+// actual plots — line charts with confidence bands (Figs. 3, 9, 11,
+// 12, 13c), stacked bars (Fig. 7), scatters (Figs. 4, 5), and heatmaps
+// (Figs. 6, 8, 10, 14) — alongside their text tables. The output is
+// deliberately simple, self-contained SVG 1.1 with no scripts or
+// external references.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chart geometry shared by all chart kinds.
+const (
+	chartW, chartH         = 720.0, 440.0
+	marginL, marginR       = 70.0, 160.0
+	marginT, marginB       = 40.0, 55.0
+	plotW                  = chartW - marginL - marginR
+	plotH                  = chartH - marginT - marginB
+	axisColor              = "#444"
+	gridColor              = "#ddd"
+	fontFamily             = "ui-sans-serif, Helvetica, Arial, sans-serif"
+	defaultSeriesColorsLen = 8
+)
+
+// seriesColors is a colorblind-friendly cycle.
+var seriesColors = [defaultSeriesColorsLen]string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// Series is one line or point set.
+type Series struct {
+	Name string
+	X, Y []float64
+	// BandLo/BandHi, when set (same length as X), shade a confidence
+	// band around the line.
+	BandLo, BandHi []float64
+	// PointsOnly suppresses the connecting line (scatter).
+	PointsOnly bool
+}
+
+// LineChart renders series against shared axes.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMinZero pins the y-axis at zero (the paper's CAS/TTM plots).
+	YMinZero bool
+}
+
+// svgHeader opens a document.
+func svgHeader(title string) *strings.Builder {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" role="img">`,
+		chartW, chartH, chartW, chartH)
+	b.WriteString("\n")
+	fmt.Fprintf(b, `<rect width="%g" height="%g" fill="white"/>`, chartW, chartH)
+	b.WriteString("\n")
+	if title != "" {
+		fmt.Fprintf(b, `<text x="%g" y="24" font-family="%s" font-size="15" font-weight="bold" fill="#222">%s</text>`,
+			marginL, fontFamily, escape(title))
+		b.WriteString("\n")
+	}
+	return b
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~5 round tick values covering [lo, hi].
+func niceTicks(lo, hi float64) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	switch {
+	case span/step > 8:
+		step *= 2
+	case span/step < 3:
+		step /= 2
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+1e-12; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// Render produces the SVG document.
+func (c LineChart) Render() string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+		for i := range s.BandLo {
+			ymin = math.Min(ymin, s.BandLo[i])
+		}
+		for i := range s.BandHi {
+			ymax = math.Max(ymax, s.BandHi[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.YMinZero && ymin > 0 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	b := svgHeader(c.Title)
+	// Grid and ticks.
+	for _, t := range niceTicks(ymin, ymax) {
+		y := py(t)
+		fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="%s"/>`, marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" font-family="%s" font-size="11" fill="%s" text-anchor="end">%s</text>`,
+			marginL-6, y+4, fontFamily, axisColor, trimFloat(t))
+		b.WriteString("\n")
+	}
+	for _, t := range niceTicks(xmin, xmax) {
+		x := px(t)
+		fmt.Fprintf(b, `<text x="%.1f" y="%g" font-family="%s" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			x, marginT+plotH+18, fontFamily, axisColor, trimFloat(t))
+		b.WriteString("\n")
+	}
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.5"/>`,
+		marginL, marginT, marginL, marginT+plotH, axisColor)
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.5"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, axisColor)
+	b.WriteString("\n")
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-family="%s" font-size="12" fill="#222" text-anchor="middle">%s</text>`,
+			marginL+plotW/2, chartH-12, fontFamily, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%g" font-family="%s" font-size="12" fill="#222" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`,
+			marginT+plotH/2, fontFamily, marginT+plotH/2, escape(c.YLabel))
+	}
+	b.WriteString("\n")
+
+	// Series.
+	for si, s := range c.Series {
+		color := seriesColors[si%defaultSeriesColorsLen]
+		// Confidence band first, under the line.
+		if len(s.BandLo) == len(s.X) && len(s.BandHi) == len(s.X) && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.BandHi[i])))
+			}
+			for i := len(s.X) - 1; i >= 0; i-- {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.BandLo[i])))
+			}
+			fmt.Fprintf(b, `<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="none"/>`,
+				strings.Join(pts, " "), color)
+			b.WriteString("\n")
+		}
+		if !s.PointsOnly && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+				strings.Join(pts, " "), color)
+			b.WriteString("\n")
+		}
+		for i := range s.X {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`, px(s.X[i]), py(s.Y[i]), color)
+		}
+		b.WriteString("\n")
+		// Legend entry.
+		ly := marginT + float64(si)*18
+		fmt.Fprintf(b, `<rect x="%g" y="%.1f" width="12" height="12" fill="%s"/>`, marginL+plotW+14, ly, color)
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" font-family="%s" font-size="11" fill="#222">%s</text>`,
+			marginL+plotW+30, ly+10, fontFamily, escape(s.Name))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// StackedBarChart renders categories of stacked segments (Fig. 7's
+// phase breakdown).
+type StackedBarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	// Segments[i] is one stack layer across all categories.
+	Segments []BarSegment
+}
+
+// BarSegment is one layer of the stack.
+type BarSegment struct {
+	Name   string
+	Values []float64
+}
+
+// Render produces the SVG document.
+func (c StackedBarChart) Render() string {
+	totals := make([]float64, len(c.Categories))
+	for _, seg := range c.Segments {
+		for i, v := range seg.Values {
+			if i < len(totals) {
+				totals[i] += v
+			}
+		}
+	}
+	ymax := 0.0
+	for _, t := range totals {
+		ymax = math.Max(ymax, t)
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	py := func(y float64) float64 { return marginT + (1-y/ymax)*plotH }
+
+	b := svgHeader(c.Title)
+	for _, t := range niceTicks(0, ymax) {
+		y := py(t)
+		fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="%s"/>`, marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" font-family="%s" font-size="11" fill="%s" text-anchor="end">%s</text>`,
+			marginL-6, y+4, fontFamily, axisColor, trimFloat(t))
+		b.WriteString("\n")
+	}
+	n := len(c.Categories)
+	if n == 0 {
+		n = 1
+	}
+	slot := plotW / float64(n)
+	barW := slot * 0.62
+	for ci, cat := range c.Categories {
+		x := marginL + float64(ci)*slot + (slot-barW)/2
+		yCursor := 0.0
+		for si, seg := range c.Segments {
+			v := 0.0
+			if ci < len(seg.Values) {
+				v = seg.Values[ci]
+			}
+			if v <= 0 {
+				continue
+			}
+			top := py(yCursor + v)
+			h := py(yCursor) - top
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, top, barW, h, seriesColors[si%defaultSeriesColorsLen])
+			yCursor += v
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%g" font-family="%s" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			x+barW/2, marginT+plotH+18, fontFamily, axisColor, escape(cat))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.5"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, axisColor)
+	if c.YLabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%g" font-family="%s" font-size="12" fill="#222" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`,
+			marginT+plotH/2, fontFamily, marginT+plotH/2, escape(c.YLabel))
+	}
+	b.WriteString("\n")
+	for si, seg := range c.Segments {
+		ly := marginT + float64(si)*18
+		fmt.Fprintf(b, `<rect x="%g" y="%.1f" width="12" height="12" fill="%s"/>`, marginL+plotW+14, ly, seriesColors[si%defaultSeriesColorsLen])
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" font-family="%s" font-size="11" fill="#222">%s</text>`,
+			marginL+plotW+30, ly+10, fontFamily, escape(seg.Name))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// HeatmapChart renders a labeled value grid with a sequential color
+// scale (Figs. 6, 8, 10, 14).
+type HeatmapChart struct {
+	Title    string
+	RowNames []string
+	ColNames []string
+	// Values[r][c]; NaN cells render gray.
+	Values [][]float64
+	// Reverse flips the scale (low = good for TTM matrices).
+	Reverse bool
+	// CellText optionally overrides the printed cell labels.
+	CellText [][]string
+}
+
+// heatColor maps t ∈ [0, 1] onto a white→blue ramp.
+func heatColor(t float64) string {
+	if math.IsNaN(t) {
+		return "#bbbbbb"
+	}
+	t = math.Max(0, math.Min(1, t))
+	r := int(247 - t*(247-8))
+	g := int(251 - t*(251-48))
+	bl := int(255 - t*(255-107))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+// Render produces the SVG document.
+func (c HeatmapChart) Render() string {
+	rows, cols := len(c.RowNames), len(c.ColNames)
+	if rows == 0 || cols == 0 {
+		return svgHeader(c.Title).String() + "</svg>\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range c.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	cw := plotW / float64(cols)
+	ch := plotH / float64(rows)
+
+	b := svgHeader(c.Title)
+	for r := 0; r < rows; r++ {
+		for col := 0; col < cols; col++ {
+			v := math.NaN()
+			if r < len(c.Values) && col < len(c.Values[r]) {
+				v = c.Values[r][col]
+			}
+			t := (v - lo) / (hi - lo)
+			if c.Reverse {
+				t = 1 - t
+			}
+			if math.IsInf(v, 0) {
+				t = math.NaN()
+			}
+			x := marginL + float64(col)*cw
+			y := marginT + float64(r)*ch
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="white"/>`,
+				x, y, cw, ch, heatColor(t))
+			label := ""
+			switch {
+			case c.CellText != nil && r < len(c.CellText) && col < len(c.CellText[r]):
+				label = c.CellText[r][col]
+			case !math.IsNaN(v) && !math.IsInf(v, 0):
+				label = trimFloat(math.Round(v*10) / 10)
+			}
+			if label != "" {
+				fill := "#222"
+				if !math.IsNaN(t) && t > 0.55 {
+					fill = "white"
+				}
+				fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+					x+cw/2, y+ch/2+3, fontFamily, fill, escape(label))
+			}
+		}
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" font-family="%s" font-size="11" fill="%s" text-anchor="end">%s</text>`,
+			marginL-6, marginT+float64(r)*ch+ch/2+4, fontFamily, axisColor, escape(c.RowNames[r]))
+		b.WriteString("\n")
+	}
+	for col := 0; col < cols; col++ {
+		fmt.Fprintf(b, `<text x="%.1f" y="%g" font-family="%s" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			marginL+float64(col)*cw+cw/2, marginT+plotH+16, fontFamily, axisColor, escape(c.ColNames[col]))
+	}
+	b.WriteString("\n</svg>\n")
+	return b.String()
+}

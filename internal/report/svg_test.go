@@ -1,0 +1,172 @@
+package report
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// wellFormed asserts the SVG parses as XML and counts elements.
+func wellFormed(t *testing.T, svg string) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	if counts["svg"] != 1 {
+		t.Fatalf("svg root count = %d", counts["svg"])
+	}
+	return counts
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := LineChart{
+		Title:  "CAS vs capacity",
+		XLabel: "capacity",
+		YLabel: "CAS",
+		Series: []Series{
+			{
+				Name: "7nm", X: []float64{0.2, 0.6, 1.0}, Y: []float64{10, 90, 260},
+				BandLo: []float64{8, 80, 230}, BandHi: []float64{12, 100, 290},
+			},
+			{Name: "5nm", X: []float64{0.2, 0.6, 1.0}, Y: []float64{3, 25, 73}},
+		},
+		YMinZero: true,
+	}
+	counts := wellFormed(t, c.Render())
+	if counts["polyline"] != 2 {
+		t.Errorf("polylines = %d, want 2", counts["polyline"])
+	}
+	if counts["polygon"] != 1 {
+		t.Errorf("confidence bands = %d, want 1", counts["polygon"])
+	}
+	if counts["circle"] != 6 {
+		t.Errorf("points = %d, want 6", counts["circle"])
+	}
+	if !strings.Contains(c.Render(), "CAS vs capacity") {
+		t.Error("title missing")
+	}
+}
+
+func TestLineChartScatterAndEmpty(t *testing.T) {
+	scatter := LineChart{Series: []Series{{Name: "pts", PointsOnly: true, X: []float64{1, 2}, Y: []float64{3, 4}}}}
+	counts := wellFormed(t, scatter.Render())
+	if counts["polyline"] != 0 {
+		t.Error("scatter should draw no lines")
+	}
+	empty := LineChart{Title: "empty"}
+	wellFormed(t, empty.Render())
+	// Degenerate single point must not divide by zero.
+	single := LineChart{Series: []Series{{Name: "one", X: []float64{5}, Y: []float64{5}}}}
+	if svg := single.Render(); strings.Contains(svg, "NaN") {
+		t.Error("degenerate chart produced NaN coordinates")
+	}
+}
+
+func TestLineChartEscapes(t *testing.T) {
+	c := LineChart{Title: `a<b & "c"`, Series: []Series{{Name: "<s>", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	wellFormed(t, c.Render())
+}
+
+func TestStackedBarChart(t *testing.T) {
+	c := StackedBarChart{
+		Title:      "TTM by phase",
+		YLabel:     "weeks",
+		Categories: []string{"28nm", "7nm"},
+		Segments: []BarSegment{
+			{Name: "tapeout", Values: []float64{5.3, 18.5}},
+			{Name: "fab", Values: []float64{13.9, 18.6}},
+			{Name: "package", Values: []float64{6.9, 6.5}},
+		},
+	}
+	counts := wellFormed(t, c.Render())
+	// 6 stack rects + 3 legend swatches + background.
+	if counts["rect"] != 10 {
+		t.Errorf("rects = %d, want 10", counts["rect"])
+	}
+	// Zero-valued segments are skipped.
+	zero := StackedBarChart{Categories: []string{"a"}, Segments: []BarSegment{{Name: "z", Values: []float64{0}}}}
+	z := wellFormed(t, zero.Render())
+	if z["rect"] != 2 { // background + legend swatch only
+		t.Errorf("zero-segment rects = %d, want 2", z["rect"])
+	}
+}
+
+func TestHeatmapChart(t *testing.T) {
+	c := HeatmapChart{
+		Title:    "TTM matrix",
+		RowNames: []string{"1K", "10M"},
+		ColNames: []string{"250nm", "28nm", "5nm"},
+		Values: [][]float64{
+			{20.3, 23.3, 53.5},
+			{120.6, 26.0, math.Inf(1)},
+		},
+		Reverse: true,
+	}
+	counts := wellFormed(t, c.Render())
+	if counts["rect"] != 7 { // 6 cells + background
+		t.Errorf("rects = %d, want 7", counts["rect"])
+	}
+	svg := c.Render()
+	if !strings.Contains(svg, "#bbbbbb") {
+		t.Error("infinite cell should render gray")
+	}
+	// Empty heatmap stays well-formed.
+	wellFormed(t, HeatmapChart{Title: "none"}.Render())
+}
+
+func TestHeatmapCellText(t *testing.T) {
+	c := HeatmapChart{
+		RowNames: []string{"r"},
+		ColNames: []string{"a", "b"},
+		Values:   [][]float64{{1, 2}},
+		CellText: [][]string{{"64/32", "128/64"}},
+	}
+	svg := c.Render()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "64/32") || !strings.Contains(svg, "128/64") {
+		t.Error("cell text overrides missing")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if heatColor(0) != "#f7fbff" {
+		t.Errorf("low end = %s", heatColor(0))
+	}
+	if heatColor(1) != "#08306b" {
+		t.Errorf("high end = %s", heatColor(1))
+	}
+	if heatColor(math.NaN()) != "#bbbbbb" {
+		t.Error("NaN should be gray")
+	}
+	// Clamped outside [0,1].
+	if heatColor(-5) != heatColor(0) || heatColor(5) != heatColor(1) {
+		t.Error("ramp should clamp")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5); len(got) == 0 {
+		t.Error("degenerate range should still tick")
+	}
+}

@@ -1,0 +1,178 @@
+package sens
+
+import (
+	"errors"
+	"math/rand"
+
+	"ttmcas/internal/stats"
+)
+
+// Bootstrap confidence intervals for the Sobol indices: the Saltelli
+// estimator is itself a Monte-Carlo estimate, so Fig. 8-style heatmaps
+// deserve error bars. The bootstrap resamples the (A_j, B_j, AB_i,j)
+// evaluation triples with replacement and re-runs the Jansen and
+// first-order estimators on each resample — no extra model
+// evaluations, just re-weighting of the ones already paid for.
+
+// BootstrapResult extends Result with per-index 95% CIs.
+type BootstrapResult struct {
+	Result
+	// TotalCI and FirstCI are per-input 95% bootstrap intervals.
+	TotalCI []stats.Interval
+	FirstCI []stats.Interval
+	// Resamples is the bootstrap replication count.
+	Resamples int
+}
+
+// TotalEffectWithCI runs TotalEffect while retaining the evaluation
+// triples, then bootstraps 95% CIs with the given replication count
+// (zero means 200). The extra cost over TotalEffect is only the
+// resampling arithmetic.
+func TotalEffectWithCI(names []string, cfg Config, resamples int, model func(mult []float64) (float64, error)) (BootstrapResult, error) {
+	k := len(names)
+	base, triples, err := totalEffectTriples(names, cfg, model)
+	if err != nil {
+		return BootstrapResult{}, err
+	}
+	if resamples <= 0 {
+		resamples = 200
+	}
+	n := len(triples.fA)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	totSamples := make([][]float64, k)
+	firstSamples := make([][]float64, k)
+	for i := range totSamples {
+		totSamples[i] = make([]float64, 0, resamples)
+		firstSamples[i] = make([]float64, 0, resamples)
+	}
+	idx := make([]int, n)
+	for r := 0; r < resamples; r++ {
+		for j := range idx {
+			idx[j] = rng.Intn(n)
+		}
+		tot, first := estimateFromTriples(triples, idx)
+		for i := 0; i < k; i++ {
+			totSamples[i] = append(totSamples[i], tot[i])
+			firstSamples[i] = append(firstSamples[i], first[i])
+		}
+	}
+	out := BootstrapResult{Result: base, Resamples: resamples,
+		TotalCI: make([]stats.Interval, k), FirstCI: make([]stats.Interval, k)}
+	for i := 0; i < k; i++ {
+		out.TotalCI[i] = stats.CI95(totSamples[i])
+		out.FirstCI[i] = stats.CI95(firstSamples[i])
+	}
+	return out, nil
+}
+
+// triples holds the retained evaluations: fA[j], fB[j] and fAB[i][j].
+type tripleSet struct {
+	fA, fB []float64
+	fAB    [][]float64
+}
+
+// totalEffectTriples mirrors TotalEffect but keeps every evaluation.
+func totalEffectTriples(names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, tripleSet, error) {
+	k := len(names)
+	if k == 0 {
+		return Result{}, tripleSet{}, errors.New("sens: no inputs")
+	}
+	n := cfg.n()
+	v := cfg.variation()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
+
+	A := make([][]float64, n)
+	B := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		A[j] = make([]float64, k)
+		B[j] = make([]float64, k)
+		for i := 0; i < k; i++ {
+			A[j][i] = draw()
+			B[j][i] = draw()
+		}
+	}
+	ts := tripleSet{fA: make([]float64, n), fB: make([]float64, n), fAB: make([][]float64, k)}
+	for j := 0; j < n; j++ {
+		var err error
+		if ts.fA[j], err = model(A[j]); err != nil {
+			return Result{}, tripleSet{}, err
+		}
+		if ts.fB[j], err = model(B[j]); err != nil {
+			return Result{}, tripleSet{}, err
+		}
+	}
+	x := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ts.fAB[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			copy(x, A[j])
+			x[i] = B[j][i]
+			y, err := model(x)
+			if err != nil {
+				return Result{}, tripleSet{}, err
+			}
+			ts.fAB[i][j] = y
+		}
+	}
+
+	all := make([]int, n)
+	for j := range all {
+		all[j] = j
+	}
+	tot, first := estimateFromTriples(ts, all)
+	res := Result{
+		Inputs:      append([]string(nil), names...),
+		Total:       tot,
+		First:       first,
+		VarY:        pooledVariance(ts, all),
+		Evaluations: n * (k + 2),
+	}
+	return res, ts, nil
+}
+
+// estimateFromTriples applies the Jansen total-effect and centered
+// first-order estimators over the selected sample indices.
+func estimateFromTriples(ts tripleSet, idx []int) (tot, first []float64) {
+	k := len(ts.fAB)
+	n := float64(len(idx))
+	varY := pooledVariance(ts, idx)
+	meanY := pooledMean(ts, idx)
+	tot = make([]float64, k)
+	first = make([]float64, k)
+	if varY <= 0 {
+		return tot, first
+	}
+	for i := 0; i < k; i++ {
+		var sumT, sumS float64
+		for _, j := range idx {
+			d := ts.fA[j] - ts.fAB[i][j]
+			sumT += d * d
+			sumS += (ts.fB[j] - meanY) * (ts.fAB[i][j] - ts.fA[j])
+		}
+		tot[i] = clamp01(sumT / (2 * n * varY))
+		first[i] = clamp01(sumS / (n * varY))
+	}
+	return tot, first
+}
+
+func pooledMean(ts tripleSet, idx []int) float64 {
+	s := 0.0
+	for _, j := range idx {
+		s += ts.fA[j] + ts.fB[j]
+	}
+	return s / float64(2*len(idx))
+}
+
+func pooledVariance(ts tripleSet, idx []int) float64 {
+	m := pooledMean(ts, idx)
+	s := 0.0
+	for _, j := range idx {
+		da, db := ts.fA[j]-m, ts.fB[j]-m
+		s += da*da + db*db
+	}
+	if len(idx) < 1 {
+		return 0
+	}
+	return s / float64(2*len(idx)-1)
+}

@@ -1,0 +1,101 @@
+package sens
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBootstrapCoversPointEstimate(t *testing.T) {
+	coeffs := []float64{1, 2, 4}
+	names := []string{"a", "b", "c"}
+	res, err := TotalEffectWithCI(names, Config{N: 1024, Seed: 5}, 200, additiveModel(coeffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resamples != 200 {
+		t.Errorf("resamples = %d", res.Resamples)
+	}
+	den := 1.0 + 4 + 16
+	want := []float64{1 / den, 4 / den, 16 / den}
+	for i := range names {
+		if !res.TotalCI[i].Contains(res.Total[i]) {
+			t.Errorf("S_T[%s] = %v outside its own CI %v", names[i], res.Total[i], res.TotalCI[i])
+		}
+		if !res.TotalCI[i].Contains(want[i]) {
+			t.Errorf("analytic S_T[%s] = %v outside CI [%v, %v]", names[i], want[i], res.TotalCI[i].Lo, res.TotalCI[i].Hi)
+		}
+		if res.TotalCI[i].Width() <= 0 || res.TotalCI[i].Width() > 0.3 {
+			t.Errorf("S_T[%s] CI width = %v implausible", names[i], res.TotalCI[i].Width())
+		}
+		if !res.FirstCI[i].Contains(res.First[i]) {
+			t.Errorf("S1[%s] outside its CI", names[i])
+		}
+	}
+}
+
+func TestBootstrapMatchesPlainEstimator(t *testing.T) {
+	// The retained-triple path must reproduce TotalEffect's point
+	// estimates exactly (same seed, same sample stream).
+	coeffs := []float64{1, 3}
+	names := []string{"a", "b"}
+	model := additiveModel(coeffs)
+	plain, err := TotalEffect(names, Config{N: 512, Seed: 9}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := TotalEffectWithCI(names, Config{N: 512, Seed: 9}, 10, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-12
+	for i := range names {
+		if math.Abs(plain.Total[i]-boot.Total[i]) > tol {
+			t.Errorf("S_T[%s]: %v != %v", names[i], plain.Total[i], boot.Total[i])
+		}
+		if math.Abs(plain.First[i]-boot.First[i]) > tol {
+			t.Errorf("S1[%s]: %v != %v", names[i], plain.First[i], boot.First[i])
+		}
+	}
+	if math.Abs(plain.VarY-boot.VarY) > tol*plain.VarY {
+		t.Errorf("VarY: %v != %v", plain.VarY, boot.VarY)
+	}
+}
+
+func TestBootstrapShrinksWithSamples(t *testing.T) {
+	names := []string{"a", "b"}
+	model := additiveModel([]float64{1, 2})
+	small, err := TotalEffectWithCI(names, Config{N: 128, Seed: 3}, 200, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TotalEffectWithCI(names, Config{N: 2048, Seed: 3}, 200, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if big.TotalCI[i].Width() >= small.TotalCI[i].Width() {
+			t.Errorf("S_T[%s]: CI should shrink with N: %v vs %v",
+				names[i], big.TotalCI[i].Width(), small.TotalCI[i].Width())
+		}
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	if _, err := TotalEffectWithCI(nil, Config{}, 10, func([]float64) (float64, error) { return 0, nil }); err == nil {
+		t.Error("no inputs should error")
+	}
+	boom := errors.New("boom")
+	_, err := TotalEffectWithCI([]string{"a"}, Config{N: 8}, 10, func([]float64) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// Default resample count kicks in for non-positive values.
+	res, err := TotalEffectWithCI([]string{"a"}, Config{N: 32}, 0, additiveModel([]float64{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resamples != 200 {
+		t.Errorf("default resamples = %d", res.Resamples)
+	}
+}

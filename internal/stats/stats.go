@@ -1,0 +1,244 @@
+// Package stats provides the small statistical toolkit the modeling
+// framework needs: descriptive statistics, confidence intervals, and
+// least-squares regression (linear and exponential).
+//
+// Section 5 of the paper derives its per-node engineering-effort curves
+// by fitting exponential and linear regressions through published cost
+// anchors, and reports Monte-Carlo means with 95% confidence intervals.
+// This package implements exactly those primitives on top of the
+// standard library.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator is given fewer
+// observations than it mathematically requires.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// ErrDomain is returned when input values fall outside an estimator's
+// domain (for example non-positive y values in an exponential fit).
+var ErrDomain = errors.New("stats: value outside estimator domain")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty
+// slice so that callers aggregating optional series need no special
+// casing; use Summary when emptiness must be detected.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Summary is a batch of descriptive statistics for one output series.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		s.Min, s.Max = math.NaN(), math.NaN()
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies within the closed interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// CI95 returns the empirical central 95% interval of xs (2.5th to 97.5th
+// percentile). The paper's shaded regions and error bars are empirical
+// 95% CIs of the Monte-Carlo output distribution, so percentile bounds
+// are the faithful estimator (the outputs are not Gaussian).
+func CI95(xs []float64) Interval {
+	return Interval{Lo: Percentile(xs, 2.5), Hi: Percentile(xs, 97.5)}
+}
+
+// MeanCI95 returns a normal-approximation 95% confidence interval for
+// the mean of xs (mean ± 1.96·s/√n). Used for estimator-convergence
+// tests rather than for the figure bands.
+func MeanCI95(xs []float64) Interval {
+	if len(xs) == 0 {
+		return Interval{math.NaN(), math.NaN()}
+	}
+	m := Mean(xs)
+	half := 1.959963985 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return Interval{Lo: m - half, Hi: m + half}
+}
+
+// LinearFit is y = Intercept + Slope·x.
+type LinearFit struct {
+	Intercept, Slope float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// Eval evaluates the fitted line at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// FitLinear computes the ordinary-least-squares line through (xs, ys).
+// It requires at least two points with non-identical x values.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched series lengths")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	f := LinearFit{Slope: sxy / sxx}
+	f.Intercept = my - f.Slope*mx
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range xs {
+			r := ys[i] - f.Eval(xs[i])
+			ssRes += r * r
+		}
+		f.R2 = 1 - ssRes/syy
+	} else {
+		f.R2 = 1
+	}
+	_ = n
+	return f, nil
+}
+
+// ExpFit is y = A·exp(B·x), the form the paper uses for tapeout and
+// packaging effort as a function of process generation.
+type ExpFit struct {
+	A, B float64
+	// R2 is computed in log space, where the fit is linear.
+	R2 float64
+}
+
+// Eval evaluates the fitted exponential at x.
+func (f ExpFit) Eval(x float64) float64 { return f.A * math.Exp(f.B*x) }
+
+// FitExponential fits y = A·exp(B·x) by linear least squares on
+// ln(y). All ys must be strictly positive.
+func FitExponential(xs, ys []float64) (ExpFit, error) {
+	logs := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			return ExpFit{}, ErrDomain
+		}
+		logs[i] = math.Log(y)
+	}
+	lin, err := FitLinear(xs, logs)
+	if err != nil {
+		return ExpFit{}, err
+	}
+	return ExpFit{A: math.Exp(lin.Intercept), B: lin.Slope, R2: lin.R2}, nil
+}
+
+// PowerFit is y = A·x^B, provided as an alternative effort-curve family
+// for ablation against the exponential form.
+type PowerFit struct {
+	A, B float64
+	R2   float64
+}
+
+// Eval evaluates the fitted power law at x (x must be positive).
+func (f PowerFit) Eval(x float64) float64 { return f.A * math.Pow(x, f.B) }
+
+// FitPower fits y = A·x^B by linear least squares in log-log space.
+// All xs and ys must be strictly positive.
+func FitPower(xs, ys []float64) (PowerFit, error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	if len(xs) != len(ys) {
+		return PowerFit{}, errors.New("stats: mismatched series lengths")
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerFit{}, ErrDomain
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	lin, err := FitLinear(lx, ly)
+	if err != nil {
+		return PowerFit{}, err
+	}
+	return PowerFit{A: math.Exp(lin.Intercept), B: lin.Slope, R2: lin.R2}, nil
+}

@@ -1,0 +1,74 @@
+// Package sweep is a small deterministic parallel map for parameter
+// sweeps: the figure generators evaluate hundreds to thousands of
+// model points (cache configs × nodes × quantities, node pairs ×
+// production splits) that are independent and CPU-bound.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map applies f to every item using `workers` goroutines (zero means
+// GOMAXPROCS) and returns results in input order. The first error
+// cancels no in-flight work but is reported after all workers drain,
+// keeping results deterministic.
+func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = -1
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := f(items[i])
+				if err != nil {
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("sweep: item %d: %w", firstIdx, firstErr)
+	}
+	return results, nil
+}
+
+// Grid returns the cross-product of two slices as index pairs, row
+// major, for two-dimensional sweeps.
+func Grid(n, m int) [][2]int {
+	out := make([][2]int, 0, n*m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}

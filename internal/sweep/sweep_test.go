@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(items, 8, func(x int) (string, error) {
+		return strconv.Itoa(x * 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if s != strconv.Itoa(i*2) {
+			t.Fatalf("result[%d] = %q", i, s)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(nil, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty map = %v, %v", got, err)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	got, err := Map([]int{1, 2, 3}, 0, func(x int) (int, error) { return x, nil })
+	if err != nil || len(got) != 3 {
+		t.Errorf("map = %v, %v", got, err)
+	}
+}
+
+func TestMapReportsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map([]int{0, 1, 2, 3}, 2, func(x int) (int, error) {
+		if x >= 2 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// The reported index is the smallest failing one.
+	if err == nil || err.Error() != "sweep: item 2: boom" {
+		t.Errorf("err = %v, want item 2", err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(2, 3)
+	if len(g) != 6 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0] != [2]int{0, 0} || g[5] != [2]int{1, 2} {
+		t.Errorf("grid = %v", g)
+	}
+}

@@ -1,0 +1,225 @@
+package technode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ttmcas/internal/units"
+)
+
+// The paper open-sources its framework so that "users can easily plug
+// in their values and availability for their particular chip designs".
+// Database is that plug-in point: an immutable-by-convention parameter
+// set that the model layers consult instead of the built-in table.
+// The zero value (or nil pointer) means the calibrated built-in
+// database.
+
+// Database is a set of per-node parameters.
+type Database struct {
+	params map[Node]Params
+	order  []Node
+}
+
+// Default returns a copy of the built-in calibrated database.
+func Default() *Database {
+	db := &Database{params: make(map[Node]Params, len(table))}
+	for n, p := range table {
+		db.params[n] = p
+	}
+	db.rebuildOrder()
+	return db
+}
+
+// NewDatabase builds a database from explicit parameter sets. Each
+// entry must name a node; duplicates are rejected.
+func NewDatabase(params []Params) (*Database, error) {
+	db := &Database{params: make(map[Node]Params, len(params))}
+	for _, p := range params {
+		if p.Node <= 0 {
+			return nil, fmt.Errorf("technode: parameter set without a node: %+v", p)
+		}
+		if _, dup := db.params[p.Node]; dup {
+			return nil, fmt.Errorf("technode: duplicate node %s", p.Node)
+		}
+		if err := validateParams(p); err != nil {
+			return nil, err
+		}
+		db.params[p.Node] = p
+	}
+	if len(db.params) == 0 {
+		return nil, fmt.Errorf("technode: empty database")
+	}
+	db.rebuildOrder()
+	return db, nil
+}
+
+func (db *Database) rebuildOrder() {
+	db.order = db.order[:0]
+	for n := range db.params {
+		db.order = append(db.order, n)
+	}
+	sort.Slice(db.order, func(i, j int) bool { return db.order[i] > db.order[j] })
+}
+
+// validateParams checks physical sanity of one node's parameters.
+func validateParams(p Params) error {
+	switch {
+	case p.WaferRate < 0:
+		return fmt.Errorf("technode: %s: negative wafer rate", p.Node)
+	case p.DefectDensity < 0:
+		return fmt.Errorf("technode: %s: negative defect density", p.Node)
+	case p.Density <= 0:
+		return fmt.Errorf("technode: %s: non-positive transistor density", p.Node)
+	case p.FabLatency < 0 || p.TAPLatency < 0:
+		return fmt.Errorf("technode: %s: negative latency", p.Node)
+	case p.TapeoutEffort < 0 || p.TestingEffort < 0 || p.PackageEffort < 0:
+		return fmt.Errorf("technode: %s: negative effort", p.Node)
+	case p.WaferCost < 0 || p.MaskSetCost < 0:
+		return fmt.Errorf("technode: %s: negative cost", p.Node)
+	case p.WaferDiameterMM < 0:
+		return fmt.Errorf("technode: %s: negative wafer diameter", p.Node)
+	}
+	return nil
+}
+
+// Lookup returns the node's parameters. A nil receiver consults the
+// built-in database, so model code can hold a *Database field whose
+// zero value means "the paper's calibration".
+func (db *Database) Lookup(n Node) (Params, error) {
+	if db == nil {
+		return Lookup(n)
+	}
+	p, ok := db.params[n]
+	if !ok {
+		return Params{}, fmt.Errorf("technode: node %s not in database", n)
+	}
+	return p, nil
+}
+
+// Nodes returns the database's nodes, oldest first. A nil receiver
+// returns the canonical Table 2 set.
+func (db *Database) Nodes() []Node {
+	if db == nil {
+		return All()
+	}
+	return append([]Node(nil), db.order...)
+}
+
+// Producing returns the database's nodes with non-zero capacity.
+func (db *Database) Producing() []Node {
+	var out []Node
+	for _, n := range db.Nodes() {
+		p, err := db.Lookup(n)
+		if err == nil && p.InProduction() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// With returns a copy of the database with the given node parameters
+// inserted or replaced — the "plug in your values" operation.
+func (db *Database) With(p Params) (*Database, error) {
+	if err := validateParams(p); err != nil {
+		return nil, err
+	}
+	if p.Node <= 0 {
+		return nil, fmt.Errorf("technode: parameter set without a node")
+	}
+	base := db
+	if base == nil {
+		base = Default()
+	}
+	out := &Database{params: make(map[Node]Params, len(base.params)+1)}
+	for n, q := range base.params {
+		out.params[n] = q
+	}
+	out.params[p.Node] = p
+	out.rebuildOrder()
+	return out, nil
+}
+
+// jsonParams is the serialized form: explicit units in the field names
+// so hand-written files are unambiguous.
+type jsonParams struct {
+	NodeNM             int     `json:"node_nm"`
+	WaferRateKWPM      float64 `json:"wafer_rate_kw_per_month"`
+	DefectPerCM2       float64 `json:"defect_density_per_cm2"`
+	DensityMTrPerMM2   float64 `json:"density_mtr_per_mm2"`
+	FabLatencyWeeks    float64 `json:"fab_latency_weeks"`
+	TAPLatencyWeeks    float64 `json:"tap_latency_weeks"`
+	WaferDiameterMM    float64 `json:"wafer_diameter_mm,omitempty"`
+	TapeoutHoursPerMTr float64 `json:"tapeout_effort_hours_per_mtr"`
+	TestingWeeksPerTr  float64 `json:"testing_effort_weeks_per_transistor"`
+	PackageWeeksPerMM2 float64 `json:"package_effort_weeks_per_chip_mm2"`
+	WaferCostUSD       float64 `json:"wafer_cost_usd"`
+	MaskSetCostUSD     float64 `json:"mask_set_cost_usd"`
+}
+
+func toJSON(p Params) jsonParams {
+	return jsonParams{
+		NodeNM:             int(p.Node),
+		WaferRateKWPM:      p.WaferRate.KWPMValue(),
+		DefectPerCM2:       float64(p.DefectDensity),
+		DensityMTrPerMM2:   float64(p.Density),
+		FabLatencyWeeks:    float64(p.FabLatency),
+		TAPLatencyWeeks:    float64(p.TAPLatency),
+		WaferDiameterMM:    p.WaferDiameterMM,
+		TapeoutHoursPerMTr: p.TapeoutEffort,
+		TestingWeeksPerTr:  p.TestingEffort,
+		PackageWeeksPerMM2: p.PackageEffort,
+		WaferCostUSD:       float64(p.WaferCost),
+		MaskSetCostUSD:     float64(p.MaskSetCost),
+	}
+}
+
+func fromJSON(j jsonParams) Params {
+	return Params{
+		Node:            Node(j.NodeNM),
+		WaferRate:       units.KWPM(j.WaferRateKWPM),
+		DefectDensity:   units.DefectsPerCM2(j.DefectPerCM2),
+		Density:         units.MTrPerMM2(j.DensityMTrPerMM2),
+		FabLatency:      units.Weeks(j.FabLatencyWeeks),
+		TAPLatency:      units.Weeks(j.TAPLatencyWeeks),
+		WaferDiameterMM: j.WaferDiameterMM,
+		TapeoutEffort:   j.TapeoutHoursPerMTr,
+		TestingEffort:   j.TestingWeeksPerTr,
+		PackageEffort:   j.PackageWeeksPerMM2,
+		WaferCost:       units.USD(j.WaferCostUSD),
+		MaskSetCost:     units.USD(j.MaskSetCostUSD),
+	}
+}
+
+// WriteJSON serializes the database (nil = built-in) as an indented
+// JSON array, oldest node first.
+func (db *Database) WriteJSON(w io.Writer) error {
+	eff := db
+	if eff == nil {
+		eff = Default()
+	}
+	out := make([]jsonParams, 0, len(eff.order))
+	for _, n := range eff.order {
+		out = append(out, toJSON(eff.params[n]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a database written by WriteJSON (or hand-authored in
+// the same schema) and validates every entry.
+func ReadJSON(r io.Reader) (*Database, error) {
+	var in []jsonParams
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("technode: parsing database: %w", err)
+	}
+	params := make([]Params, len(in))
+	for i, j := range in {
+		params[i] = fromJSON(j)
+	}
+	return NewDatabase(params)
+}

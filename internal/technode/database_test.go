@@ -1,0 +1,158 @@
+package technode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ttmcas/internal/units"
+)
+
+func TestDefaultDatabaseMatchesBuiltins(t *testing.T) {
+	db := Default()
+	for _, n := range append(All(), Variants()...) {
+		want := MustLookup(n)
+		got, err := db.Lookup(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if got != want {
+			t.Errorf("%s: database copy diverges", n)
+		}
+	}
+	if len(db.Nodes()) != 13 {
+		t.Errorf("default database nodes = %d, want 13 (Table 2 + 12nm variant)", len(db.Nodes()))
+	}
+}
+
+func TestNilDatabaseIsBuiltin(t *testing.T) {
+	var db *Database
+	p, err := db.Lookup(N28)
+	if err != nil || p != MustLookup(N28) {
+		t.Errorf("nil lookup = %+v, %v", p, err)
+	}
+	if len(db.Nodes()) != 12 {
+		t.Errorf("nil Nodes() = %d, want canonical 12", len(db.Nodes()))
+	}
+	if len(db.Producing()) != 10 {
+		t.Errorf("nil Producing() = %d", len(db.Producing()))
+	}
+}
+
+func TestNewDatabaseValidation(t *testing.T) {
+	good := Params{Node: 3, WaferRate: units.KWPM(10), Density: 300, FabLatency: 22, TAPLatency: 6,
+		TapeoutEffort: 320, TestingEffort: 1.2e-17, PackageEffort: 7e-12, WaferCost: 25000, MaskSetCost: 5e6}
+	if _, err := NewDatabase([]Params{good}); err != nil {
+		t.Errorf("valid database rejected: %v", err)
+	}
+	cases := map[string][]Params{
+		"empty":            {},
+		"no node":          {{Density: 1}},
+		"duplicate":        {good, good},
+		"negative rate":    {{Node: 3, WaferRate: -1, Density: 1}},
+		"zero density":     {{Node: 3}},
+		"negative latency": {{Node: 3, Density: 1, FabLatency: -2}},
+		"negative effort":  {{Node: 3, Density: 1, TapeoutEffort: -1}},
+		"negative cost":    {{Node: 3, Density: 1, WaferCost: -1}},
+	}
+	for name, ps := range cases {
+		if _, err := NewDatabase(ps); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+func TestWithInsertsAndReplaces(t *testing.T) {
+	n3 := Params{Node: 3, WaferRate: units.KWPM(30), Density: 300, FabLatency: 22, TAPLatency: 6,
+		TapeoutEffort: 320, TestingEffort: 1.2e-17, PackageEffort: 7e-12, WaferCost: 25000, MaskSetCost: 5e6}
+	db, err := (*Database)(nil).With(n3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Lookup(Node(3))
+	if err != nil || got.Density != 300 {
+		t.Fatalf("inserted node missing: %+v, %v", got, err)
+	}
+	// Replacing an existing node leaves the original database alone.
+	boosted := MustLookup(N28)
+	boosted.WaferRate = units.KWPM(700)
+	db2, err := db.With(boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := db.Lookup(N28)
+	p2, _ := db2.Lookup(N28)
+	if p1.WaferRate == p2.WaferRate {
+		t.Error("With should not mutate the receiver")
+	}
+	if p2.WaferRate.KWPMValue() != 700 {
+		t.Errorf("replacement not applied: %v", p2.WaferRate.KWPMValue())
+	}
+	// Validation applies on With too.
+	bad := boosted
+	bad.Density = -1
+	if _, err := db.With(bad); err == nil {
+		t.Error("invalid replacement should be rejected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (*Database)(nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range append(All(), Variants()...) {
+		want := MustLookup(n)
+		got, err := back.Lookup(n)
+		if err != nil {
+			t.Fatalf("%s lost in round trip: %v", n, err)
+		}
+		// Rates survive the kW/month round trip to float precision.
+		if d := float64(got.WaferRate - want.WaferRate); d > 1e-6 || d < -1e-6 {
+			t.Errorf("%s rate drifted: %v vs %v", n, got.WaferRate, want.WaferRate)
+		}
+		got.WaferRate = want.WaferRate
+		if got != want {
+			t.Errorf("%s drifted in round trip:\n got %+v\nwant %+v", n, got, want)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "nope",
+		"unknown field": `[{"node_nm":28,"bogus":1}]`,
+		"bad value":     `[{"node_nm":28,"density_mtr_per_mm2":-5}]`,
+		"empty":         `[]`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+func TestCustomDatabaseOrdering(t *testing.T) {
+	db, err := NewDatabase([]Params{
+		{Node: 28, Density: 7, WaferRate: units.KWPM(350)},
+		{Node: 180, Density: 3.1, WaferRate: units.KWPM(241)},
+		{Node: 7, Density: 55, WaferRate: units.KWPM(252)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := db.Nodes()
+	if len(nodes) != 3 || nodes[0] != N180 || nodes[2] != N7 {
+		t.Errorf("ordering = %v", nodes)
+	}
+	if len(db.Producing()) != 3 {
+		t.Errorf("producing = %v", db.Producing())
+	}
+	if _, err := db.Lookup(N5); err == nil {
+		t.Error("custom database should not resolve absent nodes")
+	}
+}

@@ -1,0 +1,121 @@
+// Package yield implements die-yield models. The paper (Eq. 6) uses the
+// negative-binomial yield model
+//
+//	Y(A, p) = (1 + A·D0(p)/α)^(−α)
+//
+// with defect density D0 per process node and cluster parameter α = 3
+// ("average defect clustering", after Cunningham [26] and Stow et
+// al. [111]). Poisson and Murphy models are provided as ablation
+// alternatives; all three agree as A·D0 → 0 and diverge for large,
+// defect-prone dies.
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/units"
+)
+
+// DefaultAlpha is the cluster parameter the paper fixes for its entire
+// evaluation.
+const DefaultAlpha = 3.0
+
+// Model identifies a die-yield model family.
+type Model int
+
+const (
+	// NegativeBinomial is the paper's model (Eq. 6).
+	NegativeBinomial Model = iota
+	// Poisson is the classical Y = exp(−A·D0) model, the α → ∞ limit
+	// of the negative binomial.
+	Poisson
+	// Murphy is Murphy's yield integral Y = ((1 − e^(−A·D0))/(A·D0))².
+	Murphy
+)
+
+// String implements fmt.Stringer for reporting.
+func (m Model) String() string {
+	switch m {
+	case NegativeBinomial:
+		return "negative-binomial"
+	case Poisson:
+		return "poisson"
+	case Murphy:
+		return "murphy"
+	default:
+		return fmt.Sprintf("yield.Model(%d)", int(m))
+	}
+}
+
+// Params bundles a yield computation's inputs.
+type Params struct {
+	// Area is the die area.
+	Area units.MM2
+	// D0 is the process node's defect density.
+	D0 units.DefectsPerCM2
+	// Alpha is the clustering parameter for the negative-binomial
+	// model; zero means DefaultAlpha.
+	Alpha float64
+	// Model selects the family; the zero value is the paper's
+	// negative binomial.
+	Model Model
+}
+
+// Yield returns the fraction of functional dies in [0, 1]. Non-positive
+// areas or defect densities yield 1 (a zero-area or defect-free die
+// always works), matching the model limits.
+func Yield(p Params) float64 {
+	ad := float64(p.Area) * p.D0.PerMM2() // expected defects per die
+	if ad <= 0 {
+		return 1
+	}
+	switch p.Model {
+	case Poisson:
+		return math.Exp(-ad)
+	case Murphy:
+		f := (1 - math.Exp(-ad)) / ad
+		return f * f
+	default:
+		alpha := p.Alpha
+		if alpha <= 0 {
+			alpha = DefaultAlpha
+		}
+		return math.Pow(1+ad/alpha, -alpha)
+	}
+}
+
+// NegBinomial is shorthand for the paper's Eq. 6 with the default α.
+func NegBinomial(area units.MM2, d0 units.DefectsPerCM2) float64 {
+	return Yield(Params{Area: area, D0: d0})
+}
+
+// DiesNeeded returns the expected number of dies that must be fabricated
+// so that `good` dies pass, given the yield fraction y. A yield of zero
+// returns +Inf: the design is unmanufacturable.
+func DiesNeeded(good float64, y float64) float64 {
+	if good <= 0 {
+		return 0
+	}
+	if y <= 0 {
+		return math.Inf(1)
+	}
+	return good / y
+}
+
+// AreaFor inverts the negative-binomial model: it returns the die area
+// at which the yield equals y (0 < y < 1) for the given defect density
+// and α. Used by tests and by capacity-planning what-ifs.
+func AreaFor(y float64, d0 units.DefectsPerCM2, alpha float64) units.MM2 {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if y >= 1 {
+		return 0
+	}
+	if y <= 0 || d0 <= 0 {
+		return units.MM2(math.Inf(1))
+	}
+	ad := alpha * (math.Pow(y, -1/alpha) - 1)
+	return units.MM2(ad / d0.PerMM2())
+}

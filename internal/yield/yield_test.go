@@ -1,0 +1,124 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ttmcas/internal/units"
+)
+
+func TestNegBinomialKnownValue(t *testing.T) {
+	// A·D0 = 0.83, α = 3 → Y = (1 + 0.83/3)^-3 ≈ 0.48, the paper's
+	// 250 nm A11 anchor.
+	y := NegBinomial(1660, 0.05)
+	if math.Abs(y-0.48) > 0.01 {
+		t.Errorf("Y(1660mm², 0.05/cm²) = %v, want ~0.48", y)
+	}
+}
+
+func TestYieldLimits(t *testing.T) {
+	if y := NegBinomial(0, 0.1); y != 1 {
+		t.Errorf("zero-area yield = %v, want 1", y)
+	}
+	if y := NegBinomial(100, 0); y != 1 {
+		t.Errorf("zero-defect yield = %v, want 1", y)
+	}
+	if y := NegBinomial(-5, 0.1); y != 1 {
+		t.Errorf("negative-area yield = %v, want 1", y)
+	}
+}
+
+func TestYieldBoundsAndMonotonicity(t *testing.T) {
+	// Properties: Y ∈ (0, 1]; monotone non-increasing in area and in
+	// defect density, for all three model families.
+	f := func(rawArea, rawD0 uint16, modelSel uint8) bool {
+		area := units.MM2(float64(rawArea%5000) + 1)
+		d0 := units.DefectsPerCM2(float64(rawD0%500)/1000 + 0.001)
+		model := Model(modelSel % 3)
+		y := Yield(Params{Area: area, D0: d0, Model: model})
+		if y <= 0 || y > 1 || math.IsNaN(y) {
+			return false
+		}
+		y2 := Yield(Params{Area: area * 2, D0: d0, Model: model})
+		if y2 > y {
+			return false
+		}
+		y3 := Yield(Params{Area: area, D0: d0 * 2, Model: model})
+		return y3 <= y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelsAgreeForSmallDefects(t *testing.T) {
+	// All three families converge to 1 − A·D0 as A·D0 → 0.
+	area, d0 := units.MM2(1), units.DefectsPerCM2(0.01) // A·D0 = 1e-4
+	nb := Yield(Params{Area: area, D0: d0, Model: NegativeBinomial})
+	po := Yield(Params{Area: area, D0: d0, Model: Poisson})
+	mu := Yield(Params{Area: area, D0: d0, Model: Murphy})
+	if math.Abs(nb-po) > 1e-6 || math.Abs(nb-mu) > 1e-6 {
+		t.Errorf("models diverge at small A·D0: nb=%v po=%v murphy=%v", nb, po, mu)
+	}
+}
+
+func TestModelOrderingForLargeDefects(t *testing.T) {
+	// With clustering, negative binomial is more optimistic than
+	// Poisson for large A·D0 (defects bunch on fewer dies).
+	area, d0 := units.MM2(1000), units.DefectsPerCM2(0.2) // A·D0 = 2
+	nb := Yield(Params{Area: area, D0: d0, Model: NegativeBinomial})
+	po := Yield(Params{Area: area, D0: d0, Model: Poisson})
+	if nb <= po {
+		t.Errorf("negative binomial (%v) should exceed Poisson (%v) at A·D0=2", nb, po)
+	}
+}
+
+func TestAlphaLimitApproachesPoisson(t *testing.T) {
+	area, d0 := units.MM2(500), units.DefectsPerCM2(0.1)
+	nb := Yield(Params{Area: area, D0: d0, Alpha: 1e7})
+	po := Yield(Params{Area: area, D0: d0, Model: Poisson})
+	if math.Abs(nb-po) > 1e-4 {
+		t.Errorf("α→∞ limit: nb=%v, poisson=%v", nb, po)
+	}
+}
+
+func TestDiesNeeded(t *testing.T) {
+	if got := DiesNeeded(100, 0.5); got != 200 {
+		t.Errorf("DiesNeeded = %v, want 200", got)
+	}
+	if got := DiesNeeded(0, 0.5); got != 0 {
+		t.Errorf("DiesNeeded(0 good) = %v, want 0", got)
+	}
+	if got := DiesNeeded(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("DiesNeeded(yield 0) = %v, want +Inf", got)
+	}
+}
+
+func TestAreaForInvertsYield(t *testing.T) {
+	f := func(rawY uint16) bool {
+		y := 0.05 + 0.9*float64(rawY)/65535
+		a := AreaFor(y, 0.1, DefaultAlpha)
+		back := NegBinomial(a, 0.1)
+		return math.Abs(back-y) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if a := AreaFor(1, 0.1, 3); a != 0 {
+		t.Errorf("AreaFor(1) = %v, want 0", float64(a))
+	}
+	if a := AreaFor(0, 0.1, 3); !math.IsInf(float64(a), 1) {
+		t.Errorf("AreaFor(0) = %v, want +Inf", float64(a))
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if NegativeBinomial.String() != "negative-binomial" ||
+		Poisson.String() != "poisson" || Murphy.String() != "murphy" {
+		t.Error("model names wrong")
+	}
+	if Model(99).String() == "" {
+		t.Error("unknown model should still render")
+	}
+}
