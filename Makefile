@@ -1,0 +1,23 @@
+# Developer/CI entry points. `make check` is what CI runs; the race
+# detector is part of it because internal/server is concurrent.
+
+GO ?= go
+
+.PHONY: check vet build test race serve
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+serve: build
+	$(GO) run ./cmd/ttmcas-serve

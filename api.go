@@ -1,7 +1,9 @@
 package ttmcas
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"ttmcas/internal/core"
 	"ttmcas/internal/cost"
@@ -137,6 +139,9 @@ func FullCapacity() Conditions { return market.Full() }
 
 // Scenarios returns the built-in named market scenarios.
 func Scenarios() []Scenario { return market.Scenarios() }
+
+// FindScenario returns a built-in market scenario by name.
+func FindScenario(name string) (Scenario, bool) { return market.FindScenario(name) }
 
 // Evaluate computes the time-to-market of producing n final chips of a
 // design under market conditions, with the default model (300 mm
@@ -291,3 +296,53 @@ func ChipA() Design { return scenario.ChipA() }
 
 // ChipB is Chip A's smaller, denser-node counterpart.
 func ChipB() Design { return scenario.ChipB() }
+
+// designRegistry is the single source of truth for the built-in
+// case-study designs addressable by name: the CLI's -design flag and
+// the server's "design" request field both resolve through it.
+var designRegistry = []struct {
+	name  string
+	study string
+	build func() Design
+}{
+	{"a11", "Section 6.2 (re-release study)", A11},
+	{"zen2", "Section 6.5 (chiplets)", Zen2},
+	{"ariane16", "Section 6.1 (cache sizing)", func() Design { return Ariane16(16, 32, N14) }},
+	{"raven", "Section 7 (multi-process)", func() Design { return RavenMCU(N180) }},
+	{"chipA", "Fig. 3", ChipA},
+	{"chipB", "Fig. 3", ChipB},
+}
+
+// DesignNames returns the canonical names DesignByName accepts, in
+// presentation order.
+func DesignNames() []string {
+	names := make([]string, len(designRegistry))
+	for i, e := range designRegistry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// DesignByName returns a built-in case-study design by its canonical
+// name (case-insensitive): a11, zen2, ariane16, raven, chipA, chipB.
+func DesignByName(name string) (Design, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range designRegistry {
+		if strings.ToLower(e.name) == want {
+			return e.build(), nil
+		}
+	}
+	return Design{}, fmt.Errorf("unknown design %q (%s)", name, strings.Join(DesignNames(), ", "))
+}
+
+// DesignStudy returns the paper section a built-in design reproduces
+// ("Section 6.2 (re-release study)" for a11), or "" for unknown names.
+func DesignStudy(name string) string {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range designRegistry {
+		if strings.ToLower(e.name) == want {
+			return e.study
+		}
+	}
+	return ""
+}

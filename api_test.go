@@ -1,6 +1,8 @@
 package ttmcas_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"testing"
@@ -169,5 +171,145 @@ func TestPlannerFacade(t *testing.T) {
 	}
 	if ttmcas.SplitFactory(ttmcas.RavenMCU(ttmcas.N180))(ttmcas.N28).Dies[0].Node != ttmcas.N28 {
 		t.Error("SplitFactory should retarget")
+	}
+}
+
+func TestDesignRegistry(t *testing.T) {
+	names := ttmcas.DesignNames()
+	want := []string{"a11", "zen2", "ariane16", "raven", "chipA", "chipB"}
+	if len(names) != len(want) {
+		t.Fatalf("DesignNames = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("DesignNames[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, name := range names {
+		d, err := ttmcas.DesignByName(name)
+		if err != nil {
+			t.Errorf("DesignByName(%q): %v", name, err)
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: invalid design: %v", name, err)
+		}
+		if ttmcas.DesignStudy(name) == "" {
+			t.Errorf("DesignStudy(%q) empty", name)
+		}
+	}
+	// Case-insensitive, as the CLI always accepted.
+	if d, err := ttmcas.DesignByName("CHIPA"); err != nil || d.Name != ttmcas.ChipA().Name {
+		t.Errorf("DesignByName(CHIPA) = %v, %v", d.Name, err)
+	}
+	if _, err := ttmcas.DesignByName("nonesuch"); err == nil {
+		t.Error("unknown design should error")
+	}
+	if ttmcas.DesignStudy("nonesuch") != "" {
+		t.Error("unknown design should have no study")
+	}
+}
+
+// TestWriteNodeDatabaseNil pins the doc-comment promise that a nil
+// database serializes the built-in calibrated one (the nil-receiver
+// path of technode.Database.WriteJSON).
+func TestWriteNodeDatabaseNil(t *testing.T) {
+	var nilOut, defaultOut bytes.Buffer
+	if err := ttmcas.WriteNodeDatabase(&nilOut, nil); err != nil {
+		t.Fatalf("WriteNodeDatabase(w, nil): %v", err)
+	}
+	if err := ttmcas.WriteNodeDatabase(&defaultOut, ttmcas.DefaultNodeDatabase()); err != nil {
+		t.Fatalf("WriteNodeDatabase(w, Default): %v", err)
+	}
+	if nilOut.String() != defaultOut.String() {
+		t.Error("nil database should serialize identically to the built-in one")
+	}
+	db, err := ttmcas.ReadNodeDatabase(&nilOut)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	for _, n := range ttmcas.Nodes() {
+		got, err := db.Lookup(n)
+		if err != nil {
+			t.Fatalf("round-tripped database missing %s: %v", n, err)
+		}
+		want, _ := ttmcas.LookupNode(n)
+		if got != want {
+			t.Errorf("%s: round trip changed params:\n got %+v\nwant %+v", n, got, want)
+		}
+	}
+}
+
+func TestParseNodeErrorPaths(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ttmcas.Node
+		wantErr bool
+	}{
+		{"", 0, true},
+		{"3nm", 0, true}, // plausible-looking but outside the database
+		{"abc", 0, true},
+		{"-7", 0, true},
+		{"28nm", ttmcas.N28, false},
+		{"28", ttmcas.N28, false},
+		{"28nm ", ttmcas.N28, false}, // trailing whitespace is tolerated
+		{" 28", ttmcas.N28, false},
+	}
+	for _, tc := range cases {
+		n, err := ttmcas.ParseNode(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseNode(%q) = %v, want error", tc.in, n)
+			}
+			continue
+		}
+		if err != nil || n != tc.want {
+			t.Errorf("ParseNode(%q) = %v, %v, want %v", tc.in, n, err, tc.want)
+		}
+	}
+}
+
+// TestLookupNodeAbsentFromCustomDatabase checks the error path of a
+// database that deliberately omits nodes: a single-node database built
+// through the public JSON surface must reject every other node.
+func TestLookupNodeAbsentFromCustomDatabase(t *testing.T) {
+	var full bytes.Buffer
+	if err := ttmcas.WriteNodeDatabase(&full, nil); err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(full.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	var only []map[string]any
+	for _, e := range entries {
+		if e["node_nm"] == float64(28) {
+			only = append(only, e)
+		}
+	}
+	if len(only) != 1 {
+		t.Fatalf("expected one 28nm entry, got %d", len(only))
+	}
+	single, err := json.Marshal(only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ttmcas.ReadNodeDatabase(bytes.NewReader(single))
+	if err != nil {
+		t.Fatalf("single-node database: %v", err)
+	}
+	if _, err := db.Lookup(ttmcas.N28); err != nil {
+		t.Errorf("Lookup(28nm) on its own database: %v", err)
+	}
+	if _, err := db.Lookup(ttmcas.N5); err == nil {
+		t.Error("Lookup(5nm) should fail on a database that omits it")
+	}
+	// The package-level LookupNode still answers from the built-in
+	// database, and still rejects nodes outside it.
+	if _, err := ttmcas.LookupNode(ttmcas.N5); err != nil {
+		t.Errorf("LookupNode(5nm) on the built-in database: %v", err)
+	}
+	if _, err := ttmcas.LookupNode(ttmcas.Node(3)); err == nil {
+		t.Error("LookupNode(3) should fail: not in the built-in database")
 	}
 }

@@ -1,0 +1,71 @@
+// Command ttmcas-serve runs the supply-chain model as an always-on
+// HTTP evaluation service: a JSON REST API over the public ttmcas
+// package with a keyed LRU response cache, single-flight deduplication
+// of concurrent identical evaluations, a bounded worker pool for the
+// expensive analyses, and health/metrics endpoints.
+//
+// Usage:
+//
+//	ttmcas-serve [-addr :8080] [-cache-size 1024] [-max-concurrent 4] [-request-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/ttm          time-to-market with per-phase breakdown
+//	POST /v1/cas          Chip Agility Score (optionally a CAS/TTM curve)
+//	POST /v1/cost         chip-creation cost breakdown
+//	POST /v1/sensitivity  Sobol sensitivity of TTM (worker pool)
+//	POST /v1/plan         §7 manufacturing-plan recommendation (worker pool)
+//	GET  /v1/nodes        the process-node database
+//	GET  /v1/scenarios    built-in market scenarios
+//	GET  /v1/designs      built-in case-study designs
+//	GET  /healthz         liveness probe
+//	GET  /metrics         Prometheus text-format counters
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ttmcas/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttmcas-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttmcas-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache-size", 1024, "response-cache capacity in entries (negative disables caching)")
+	maxConcurrent := fs.Int("max-concurrent", 4, "worker-pool bound for sensitivity/plan requests")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         log.New(os.Stderr, "ttmcas-serve ", log.LstdFlags|log.Lmicroseconds),
+	})
+	return srv.ListenAndServe(ctx)
+}

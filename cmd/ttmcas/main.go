@@ -182,22 +182,7 @@ func (df *designFlags) parse(args []string) (ttmcas.Design, ttmcas.Conditions, e
 }
 
 func lookupDesign(name string) (ttmcas.Design, error) {
-	switch strings.ToLower(name) {
-	case "a11":
-		return ttmcas.A11(), nil
-	case "zen2":
-		return ttmcas.Zen2(), nil
-	case "ariane16":
-		return ttmcas.Ariane16(16, 32, ttmcas.N14), nil
-	case "raven":
-		return ttmcas.RavenMCU(ttmcas.N180), nil
-	case "chipa":
-		return ttmcas.ChipA(), nil
-	case "chipb":
-		return ttmcas.ChipB(), nil
-	default:
-		return ttmcas.Design{}, fmt.Errorf("unknown design %q (a11, zen2, ariane16, raven, chipA, chipB)", name)
-	}
+	return ttmcas.DesignByName(name)
 }
 
 func cmdNodes(args []string) error {
@@ -238,26 +223,18 @@ func cmdScenarios() error {
 
 func cmdDesigns() error {
 	t := report.NewTable("built-in designs", "name", "dies", "nodes", "N_TT/chip", "N_die/pkg", "study")
-	rows := []struct {
-		name  string
-		d     ttmcas.Design
-		study string
-	}{
-		{"a11", ttmcas.A11(), "Section 6.2 (re-release study)"},
-		{"zen2", ttmcas.Zen2(), "Section 6.5 (chiplets)"},
-		{"ariane16", ttmcas.Ariane16(16, 32, ttmcas.N14), "Section 6.1 (cache sizing)"},
-		{"raven", ttmcas.RavenMCU(ttmcas.N180), "Section 7 (multi-process)"},
-		{"chipA", ttmcas.ChipA(), "Fig. 3"},
-		{"chipB", ttmcas.ChipB(), "Fig. 3"},
-	}
-	for _, r := range rows {
+	for _, name := range ttmcas.DesignNames() {
+		d, err := ttmcas.DesignByName(name)
+		if err != nil {
+			return err
+		}
 		nodes := make([]string, 0, 2)
-		for _, n := range r.d.Nodes() {
+		for _, n := range d.Nodes() {
 			nodes = append(nodes, n.String())
 		}
-		t.AddRow(r.name, len(r.d.Dies), strings.Join(nodes, "+"),
-			fmt.Sprintf("%.2fB", r.d.TotalTransistorsPerChip().Billions()),
-			r.d.DiesPerPackage(), r.study)
+		t.AddRow(name, len(d.Dies), strings.Join(nodes, "+"),
+			fmt.Sprintf("%.2fB", d.TotalTransistorsPerChip().Billions()),
+			d.DiesPerPackage(), ttmcas.DesignStudy(name))
 	}
 	fmt.Print(t.String())
 	return nil

@@ -33,6 +33,19 @@
 // subcommands), and the benchmark harness in bench_test.go times each
 // one.
 //
+// # Serving
+//
+// The cmd/ttmcas-serve binary runs the framework as an always-on HTTP
+// evaluation service (internal/server): a JSON REST API over this
+// package — POST /v1/ttm, /v1/cas, /v1/cost, /v1/sensitivity,
+// /v1/plan and GET /v1/nodes, /v1/scenarios, /v1/designs — with a
+// keyed LRU response cache, single-flight deduplication of concurrent
+// identical evaluations, a bounded worker pool for the expensive
+// analyses, per-request timeouts, graceful shutdown, and
+// /healthz + /metrics endpoints. Built-in designs are addressable by
+// name through DesignByName, the same registry the CLI's -design flag
+// uses.
+//
 // The model equations are implemented exactly as printed in the paper;
 // parameter values are calibrated to the paper's published anchors as
 // documented in DESIGN.md. Absolute weeks and dollars are

@@ -1,0 +1,81 @@
+// Command serveclient is an end-to-end smoke test of the HTTP
+// evaluation service: it starts ttmcas-serve's server on a random
+// port, issues a TTM and a CAS request over real HTTP, and prints the
+// responses — the programmatic equivalent of
+//
+//	ttmcas-serve -addr :8080 &
+//	curl -s localhost:8080/v1/ttm -d '{"design":"a11","node":"28nm","n":10e6}'
+//	curl -s localhost:8080/v1/cas -d '{"design":"zen2","n":10e6}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"ttmcas/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serveclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Logger: log.New(io.Discard, "", 0),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("server listening on %s\n\n", ln.Addr())
+
+	// The paper's re-release question: the A11 on 28 nm, 10 M chips.
+	if err := post(base+"/v1/ttm", `{"design":"a11","node":"28nm","n":10e6}`); err != nil {
+		return err
+	}
+	// And how agile is the Zen 2 chiplet design?
+	if err := post(base+"/v1/cas", `{"design":"zen2","n":10e6}`); err != nil {
+		return err
+	}
+
+	cancel()
+	return <-done
+}
+
+func post(url, body string) error {
+	fmt.Printf("POST %s\n  %s\n", url, body)
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, raw)
+	}
+	var pretty map[string]any
+	if err := json.Unmarshal(raw, &pretty); err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(pretty, "  ", "  ")
+	fmt.Printf("  %s\n\n", out)
+	return nil
+}

@@ -1,0 +1,84 @@
+// Package server is the HTTP serving layer of the framework: a JSON
+// REST API over the public ttmcas package, built only on the standard
+// library. The supply-chain models are read-mostly and cheap to key —
+// a request is fully described by its canonical JSON — so the server
+// is built around a keyed LRU response cache with single-flight
+// deduplication: concurrent identical evaluations compute once, and
+// repeated ones are served from memory. Expensive analyses
+// (sensitivity, planning) additionally pass through a bounded worker
+// pool so a burst of heavy requests cannot starve the cheap hot path.
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used cache mapping a
+// canonical request key to a marshaled response body. It is safe for
+// concurrent use.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache returns a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) Put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	el := c.ll.PushFront(&lruEntry{key: key, body: body})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

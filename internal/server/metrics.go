@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the server's operational counters and renders
+// them in the Prometheus plain-text exposition format — hand-rolled,
+// since the repository is dependency-free. Counters are monotonic for
+// the life of the process; the in-flight gauge is instantaneous.
+type Metrics struct {
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[routeCode]uint64
+	latency  map[string]*latencySummary
+
+	cacheHits    uint64
+	cacheMisses  uint64
+	flightShared uint64
+	evaluations  uint64
+}
+
+// routeCode keys the request counter by route pattern and status code.
+type routeCode struct {
+	route string
+	code  int
+}
+
+// latencySummary is a count/sum/max summary per route — enough to
+// derive mean latency and spot outliers without histogram buckets.
+type latencySummary struct {
+	count uint64
+	sum   time.Duration
+	max   time.Duration
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[routeCode]uint64),
+		latency:  make(map[string]*latencySummary),
+	}
+}
+
+// ObserveRequest records one completed request on a route.
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	ls, ok := m.latency[route]
+	if !ok {
+		ls = &latencySummary{}
+		m.latency[route] = ls
+	}
+	ls.count++
+	ls.sum += d
+	if d > ls.max {
+		ls.max = d
+	}
+}
+
+// CacheHit records a response served from the LRU cache.
+func (m *Metrics) CacheHit() { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+
+// CacheMiss records a cache lookup that found nothing.
+func (m *Metrics) CacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+
+// FlightShared records a request that piggybacked on an identical
+// in-flight computation instead of evaluating the model itself.
+func (m *Metrics) FlightShared() { m.mu.Lock(); m.flightShared++; m.mu.Unlock() }
+
+// Evaluation records one actual model computation.
+func (m *Metrics) Evaluation() { m.mu.Lock(); m.evaluations++; m.mu.Unlock() }
+
+// IncInflight/DecInflight track the in-flight request gauge.
+func (m *Metrics) IncInflight() { m.inflight.Add(1) }
+func (m *Metrics) DecInflight() { m.inflight.Add(-1) }
+
+// Inflight returns the current in-flight request count.
+func (m *Metrics) Inflight() int64 { return m.inflight.Load() }
+
+// Requests returns the total request count across routes and codes.
+func (m *Metrics) Requests() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.requests {
+		n += v
+	}
+	return n
+}
+
+// RequestCount returns the count for one route and status code.
+func (m *Metrics) RequestCount(route string, code int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[routeCode{route, code}]
+}
+
+// CacheHits, CacheMisses, Shared and Evaluations expose the counters
+// for tests and acceptance checks.
+func (m *Metrics) CacheHits() uint64   { m.mu.Lock(); defer m.mu.Unlock(); return m.cacheHits }
+func (m *Metrics) CacheMisses() uint64 { m.mu.Lock(); defer m.mu.Unlock(); return m.cacheMisses }
+func (m *Metrics) Shared() uint64      { m.mu.Lock(); defer m.mu.Unlock(); return m.flightShared }
+func (m *Metrics) Evaluations() uint64 { m.mu.Lock(); defer m.mu.Unlock(); return m.evaluations }
+
+// WriteTo renders the registry in the Prometheus text exposition
+// format, with series sorted for deterministic output.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+
+	if err := emit("# HELP ttmcas_requests_total Completed HTTP requests by route and status code.\n# TYPE ttmcas_requests_total counter\n"); err != nil {
+		return total, err
+	}
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		if err := emit("ttmcas_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k]); err != nil {
+			return total, err
+		}
+	}
+
+	if err := emit("# HELP ttmcas_request_duration_seconds Request latency summary by route.\n# TYPE ttmcas_request_duration_seconds summary\n"); err != nil {
+		return total, err
+	}
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		ls := m.latency[r]
+		if err := emit("ttmcas_request_duration_seconds_count{route=%q} %d\nttmcas_request_duration_seconds_sum{route=%q} %g\nttmcas_request_duration_seconds_max{route=%q} %g\n",
+			r, ls.count, r, ls.sum.Seconds(), r, ls.max.Seconds()); err != nil {
+			return total, err
+		}
+	}
+
+	scalars := []struct {
+		name, help, typ string
+		value           any
+	}{
+		{"ttmcas_cache_hits_total", "Responses served from the LRU cache.", "counter", m.cacheHits},
+		{"ttmcas_cache_misses_total", "Cache lookups that found nothing.", "counter", m.cacheMisses},
+		{"ttmcas_singleflight_shared_total", "Requests that shared an identical in-flight computation.", "counter", m.flightShared},
+		{"ttmcas_model_evaluations_total", "Actual model computations performed.", "counter", m.evaluations},
+		{"ttmcas_inflight_requests", "Requests currently being served.", "gauge", m.inflight.Load()},
+	}
+	for _, s := range scalars {
+		if err := emit("# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.value); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest("POST /v1/ttm", 200, 10*time.Millisecond)
+	m.ObserveRequest("POST /v1/ttm", 200, 30*time.Millisecond)
+	m.ObserveRequest("POST /v1/ttm", 400, time.Millisecond)
+	m.ObserveRequest("GET /healthz", 200, time.Microsecond)
+	m.CacheHit()
+	m.CacheMiss()
+	m.CacheMiss()
+	m.FlightShared()
+	m.Evaluation()
+
+	if got := m.RequestCount("POST /v1/ttm", 200); got != 2 {
+		t.Errorf("RequestCount(ttm, 200) = %d, want 2", got)
+	}
+	if got := m.Requests(); got != 4 {
+		t.Errorf("Requests() = %d, want 4", got)
+	}
+	if m.CacheHits() != 1 || m.CacheMisses() != 2 || m.Shared() != 1 || m.Evaluations() != 1 {
+		t.Errorf("counters = %d/%d/%d/%d", m.CacheHits(), m.CacheMisses(), m.Shared(), m.Evaluations())
+	}
+}
+
+func TestMetricsInflightGauge(t *testing.T) {
+	m := NewMetrics()
+	m.IncInflight()
+	m.IncInflight()
+	m.DecInflight()
+	if got := m.Inflight(); got != 1 {
+		t.Errorf("Inflight = %d, want 1", got)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest("POST /v1/ttm", 200, 20*time.Millisecond)
+	m.CacheHit()
+	m.CacheMiss()
+	m.Evaluation()
+	m.IncInflight()
+
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ttmcas_requests_total{route="POST /v1/ttm",code="200"} 1`,
+		`ttmcas_request_duration_seconds_count{route="POST /v1/ttm"} 1`,
+		`ttmcas_request_duration_seconds_sum{route="POST /v1/ttm"} 0.02`,
+		"ttmcas_cache_hits_total 1",
+		"ttmcas_cache_misses_total 1",
+		"ttmcas_singleflight_shared_total 0",
+		"ttmcas_model_evaluations_total 1",
+		"ttmcas_inflight_requests 1",
+		"# TYPE ttmcas_requests_total counter",
+		"# TYPE ttmcas_inflight_requests gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a production-sensible default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// CacheSize is the LRU response-cache capacity in entries
+	// (default 1024); negative disables caching.
+	CacheSize int
+	// MaxConcurrent bounds the worker pool used by the expensive
+	// routes — sensitivity analysis and planning (default 4).
+	MaxConcurrent int
+	// RequestTimeout is the per-request deadline (default 30s); work
+	// queued behind a full worker pool gives up when it expires.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// ShutdownGrace bounds how long Serve drains in-flight requests
+	// after its context is canceled (default 30s).
+	ShutdownGrace time.Duration
+	// Logger receives structured request logs (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server is the HTTP evaluation service: JSON handlers over the public
+// ttmcas API, a keyed LRU response cache with single-flight
+// deduplication, a bounded worker pool for the expensive analyses, and
+// a metrics registry exposed at /metrics.
+type Server struct {
+	cfg     Config
+	log     *log.Logger
+	handler http.Handler
+	cache   *lruCache
+	flight  flightGroup
+	metrics *Metrics
+	heavy   chan struct{}
+
+	// slowEval, when set, runs at the start of every model
+	// computation; tests use it to hold requests in flight.
+	slowEval func()
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		cache:   newLRUCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		heavy:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.handler = s.routes()
+	return s
+}
+
+// Handler returns the server's root handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// routes builds the route table. Every route is wrapped with the
+// middleware stack under its own metrics label.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.wrap(pattern, h))
+	}
+	handle("POST /v1/ttm", s.handleTTM)
+	handle("POST /v1/cas", s.handleCAS)
+	handle("POST /v1/cost", s.handleCost)
+	handle("POST /v1/sensitivity", s.handleSensitivity)
+	handle("POST /v1/plan", s.handlePlan)
+	handle("GET /v1/nodes", s.handleNodes)
+	handle("GET /v1/scenarios", s.handleScenarios)
+	handle("GET /v1/designs", s.handleDesigns)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// ListenAndServe listens on the configured address and serves until
+// ctx is canceled, then drains gracefully.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.log.Printf("ttmcas-serve listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}
+
+// Serve accepts connections on ln until ctx is canceled. Cancellation
+// triggers a graceful shutdown: the listener closes immediately (new
+// connections are refused) while in-flight requests get up to
+// ShutdownGrace to complete.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          s.log,
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(drainCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	select {
+	case err := <-shutdownErr:
+		return err
+	case <-ctx.Done():
+		return <-shutdownErr
+	}
+}
+
+// apiError is an error carrying the HTTP status it should produce.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &apiError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func unprocessablef(format string, args ...any) error {
+	return &apiError{http.StatusUnprocessableEntity, fmt.Sprintf(format, args...)}
+}
+
+// errorResponse is the uniform error body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	writeRaw(w, status, body)
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(errorResponse{Error: msg})
+	writeRaw(w, status, body)
+}
+
+// fail maps an error to its HTTP status and writes the error body.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		writeError(w, ae.status, ae.msg)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	default:
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// acquireHeavy takes a worker-pool slot, or fails with 503 when the
+// pool stays saturated past the request deadline.
+func (s *Server) acquireHeavy(ctx context.Context) error {
+	select {
+	case s.heavy <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return &apiError{http.StatusServiceUnavailable,
+			fmt.Sprintf("worker pool saturated (%d concurrent heavy requests)", cap(s.heavy))}
+	}
+}
+
+func (s *Server) releaseHeavy() { <-s.heavy }
+
+// respondCached serves a POST evaluation through the cache →
+// single-flight → compute pipeline. req must already be decoded: its
+// canonical JSON, prefixed by the route, keys both layers. Only
+// successful responses are cached; errors pass through single-flight
+// (concurrent identical failures fail once) but are never remembered.
+func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route string, req any, heavy bool, compute func(ctx context.Context) (any, error)) {
+	keyBytes, err := json.Marshal(req)
+	if err != nil {
+		s.fail(w, badRequestf("encoding request key: %v", err))
+		return
+	}
+	key := route + "|" + string(keyBytes)
+
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.CacheMiss()
+
+	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		if heavy {
+			if err := s.acquireHeavy(r.Context()); err != nil {
+				return nil, err
+			}
+			defer s.releaseHeavy()
+		}
+		if s.slowEval != nil {
+			s.slowEval()
+		}
+		s.metrics.Evaluation()
+		v, err := compute(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, &apiError{http.StatusInternalServerError, "encoding response: " + err.Error()}
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if shared {
+		s.metrics.FlightShared()
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, body)
+}

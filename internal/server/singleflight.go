@@ -1,0 +1,53 @@
+package server
+
+import "sync"
+
+// flightGroup deduplicates concurrent calls with the same key: the
+// first caller runs fn, later callers with the same in-flight key
+// block and share the first caller's result. Unlike a cache, the entry
+// is forgotten as soon as the call completes, so errors are never
+// remembered.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg   sync.WaitGroup
+	body []byte
+	err  error
+}
+
+// flightTestHookJoin, when set, runs each time a caller joins an
+// in-flight call; tests use it to sequence joins deterministically.
+var flightTestHookJoin func()
+
+// Do runs fn once per concurrent set of callers sharing key. The
+// shared result reports whether this caller piggybacked on another
+// caller's execution.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if flightTestHookJoin != nil {
+			flightTestHookJoin()
+		}
+		c.wg.Wait()
+		return c.body, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.body, false, c.err
+}
