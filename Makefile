@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve
+.PHONY: check vet build test race serve bench benchsmoke
 
-check: vet build race
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +21,12 @@ race:
 
 serve: build
 	$(GO) run ./cmd/ttmcas-serve
+
+# One iteration of every throughput benchmark — catches benchmarks that
+# no longer compile or fail, without paying for measurement runs.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/mc ./internal/sens
+
+# Full serial-vs-parallel measurement runs; writes BENCH_jobs.json.
+bench:
+	scripts/bench.sh

@@ -1,6 +1,7 @@
 package ttmcas
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -178,14 +179,25 @@ func Cost(d Design, n float64) (CostBreakdown, error) {
 // TTMWithUncertainty runs the paper's Monte-Carlo uncertainty pass
 // (±10% on the six guarded inputs, 1024 samples by default) over TTM.
 func TTMWithUncertainty(d Design, n float64, c Conditions, cfg MCConfig) (MCEstimate, error) {
+	return TTMWithUncertaintyCtx(context.Background(), d, n, c, cfg)
+}
+
+// TTMWithUncertaintyCtx is TTMWithUncertainty under a context:
+// cancelling ctx stops the run within one evaluation per worker.
+func TTMWithUncertaintyCtx(ctx context.Context, d Design, n float64, c Conditions, cfg MCConfig) (MCEstimate, error) {
 	var m Model
-	return mc.TTM(m, d, n, c, cfg)
+	return mc.TTM(ctx, m, d, n, c, cfg)
 }
 
 // CASWithUncertainty is the Monte-Carlo pass over the agility score.
 func CASWithUncertainty(d Design, n float64, c Conditions, cfg MCConfig) (MCEstimate, error) {
+	return CASWithUncertaintyCtx(context.Background(), d, n, c, cfg)
+}
+
+// CASWithUncertaintyCtx is CASWithUncertainty under a context.
+func CASWithUncertaintyCtx(ctx context.Context, d Design, n float64, c Conditions, cfg MCConfig) (MCEstimate, error) {
 	var m Model
-	return mc.CAS(m, d, n, c, cfg)
+	return mc.CAS(ctx, m, d, n, c, cfg)
 }
 
 // SensitivityInputs names the six guarded inputs in Fig. 8 order.
@@ -197,10 +209,21 @@ func Sensitivity(d Design, n float64, c Conditions, cfg SensitivityConfig) (Sens
 	return SensitivityWithModel(Model{}, d, n, c, cfg)
 }
 
+// SensitivityCtx is Sensitivity under a context: cancelling ctx stops
+// the Saltelli batches within one evaluation per worker.
+func SensitivityCtx(ctx context.Context, d Design, n float64, c Conditions, cfg SensitivityConfig) (SensitivityResult, error) {
+	return SensitivityWithModelCtx(ctx, Model{}, d, n, c, cfg)
+}
+
 // SensitivityWithModel is Sensitivity against an explicit model (e.g.
 // one carrying a custom node database).
 func SensitivityWithModel(base Model, d Design, n float64, c Conditions, cfg SensitivityConfig) (SensitivityResult, error) {
-	return sens.TotalEffect(core.Inputs, cfg, func(mult []float64) (float64, error) {
+	return SensitivityWithModelCtx(context.Background(), base, d, n, c, cfg)
+}
+
+// SensitivityWithModelCtx is SensitivityWithModel under a context.
+func SensitivityWithModelCtx(ctx context.Context, base Model, d Design, n float64, c Conditions, cfg SensitivityConfig) (SensitivityResult, error) {
+	return sens.TotalEffect(ctx, core.Inputs, cfg, func(mult []float64) (float64, error) {
 		m := base
 		for i, name := range core.Inputs {
 			if err := m.Perturb.SetInput(name, mult[i]); err != nil {

@@ -10,6 +10,7 @@ package ttmcas_test
 // discrete-event fabrication).
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -222,14 +223,14 @@ func BenchmarkAblationSobolEstimator(b *testing.B) {
 	cfg := sens.Config{N: 128, Seed: 1}
 	b.Run("saltelli", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sens.TotalEffect(core.Inputs, cfg, model); err != nil {
+			if _, err := sens.TotalEffect(context.Background(), core.Inputs, cfg, model); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sens.NaiveTotalEffect(core.Inputs, cfg, model); err != nil {
+			if _, err := sens.NaiveTotalEffect(context.Background(), core.Inputs, cfg, model); err != nil {
 				b.Fatal(err)
 			}
 		}

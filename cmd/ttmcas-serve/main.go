@@ -7,22 +7,31 @@
 // Usage:
 //
 //	ttmcas-serve [-addr :8080] [-cache-size 1024] [-max-concurrent 4] [-request-timeout 30s]
+//	             [-job-workers 2] [-max-jobs 32] [-job-ttl 1h] [-job-timeout 10m]
+//	             [-job-snapshots DIR] [-max-samples 8192] [-max-curve-points 64]
 //
 // Endpoints:
 //
-//	POST /v1/ttm          time-to-market with per-phase breakdown
-//	POST /v1/cas          Chip Agility Score (optionally a CAS/TTM curve)
-//	POST /v1/cost         chip-creation cost breakdown
-//	POST /v1/sensitivity  Sobol sensitivity of TTM (worker pool)
-//	POST /v1/plan         §7 manufacturing-plan recommendation (worker pool)
-//	GET  /v1/nodes        the process-node database
-//	GET  /v1/scenarios    built-in market scenarios
-//	GET  /v1/designs      built-in case-study designs
-//	GET  /healthz         liveness probe
-//	GET  /metrics         Prometheus text-format counters
+//	POST   /v1/ttm              time-to-market with per-phase breakdown
+//	POST   /v1/cas              Chip Agility Score (optionally a CAS/TTM curve)
+//	POST   /v1/cost             chip-creation cost breakdown
+//	POST   /v1/sensitivity      Sobol sensitivity of TTM (worker pool)
+//	POST   /v1/plan             §7 manufacturing-plan recommendation (worker pool)
+//	POST   /v1/jobs             submit an async batch job (mc-band, sensitivity,
+//	                            sweep, pareto, plan-portfolio)
+//	GET    /v1/jobs             list batch jobs, newest first
+//	GET    /v1/jobs/{id}        job status with progress and ETA
+//	GET    /v1/jobs/{id}/result finished job's result document
+//	DELETE /v1/jobs/{id}        cancel a job (remove it once finished)
+//	GET    /v1/nodes            the process-node database
+//	GET    /v1/scenarios        built-in market scenarios
+//	GET    /v1/designs          built-in case-study designs
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus text-format counters
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM.
+// SIGTERM; running batch jobs are cancelled, and with -job-snapshots
+// they are persisted and resumed on the next start.
 package main
 
 import (
@@ -52,6 +61,13 @@ func run(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 4, "worker-pool bound for sensitivity/plan requests")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
+	jobWorkers := fs.Int("job-workers", 2, "concurrent batch jobs")
+	maxJobs := fs.Int("max-jobs", 32, "largest pending+running batch-job count")
+	jobTTL := fs.Duration("job-ttl", time.Hour, "how long finished job results are retained")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "default per-job deadline")
+	jobSnapshots := fs.String("job-snapshots", "", "directory for job snapshots (persists results across restarts; empty disables)")
+	maxSamples := fs.Int("max-samples", 8192, "largest accepted sample count (sensitivity N, Monte-Carlo samples)")
+	maxCurvePoints := fs.Int("max-curve-points", 64, "largest accepted curve/grid point list")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +81,13 @@ func run(args []string) error {
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBody,
+		JobWorkers:     *jobWorkers,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
+		JobTimeout:     *jobTimeout,
+		JobSnapshotDir: *jobSnapshots,
+		MaxSamples:     *maxSamples,
+		MaxCurvePoints: *maxCurvePoints,
 		Logger:         log.New(os.Stderr, "ttmcas-serve ", log.LstdFlags|log.Lmicroseconds),
 	})
 	return srv.ListenAndServe(ctx)

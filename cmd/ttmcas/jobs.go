@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ttmcas/internal/jobs"
+)
+
+// cmdJobs runs one batch-evaluation spec locally through the same
+// jobs engine the server exposes at /v1/jobs: progress goes to stderr,
+// the result document to stdout. Ctrl-C cancels the job (observed
+// within one evaluation batch) instead of killing the process ungated.
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	specPath := fs.String("spec", "", `spec file (JSON; "-" reads stdin); see 'ttmcas jobs -kinds'`)
+	kinds := fs.Bool("kinds", false, "list the supported job kinds and exit")
+	timeout := fs.Duration("timeout", 10*time.Minute, "job deadline")
+	quiet := fs.Bool("quiet", false, "suppress the progress line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *kinds {
+		for _, k := range jobs.Kinds() {
+			fmt.Println(k)
+		}
+		return nil
+	}
+	if *specPath == "" {
+		return fmt.Errorf(`jobs needs -spec FILE (e.g. {"kind":"mc-band","design":"a11","node":"28nm"})`)
+	}
+	var data []byte
+	var err error
+	if *specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec jobs.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("decoding spec: %w", err)
+	}
+
+	m := jobs.New(jobs.Config{
+		Workers:        1,
+		DefaultTimeout: *timeout,
+		Logger:         log.New(io.Discard, "", 0),
+	})
+	defer m.Close()
+
+	v, err := m.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ttmcas: job %s (%s) submitted\n", v.ID, v.Kind)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interrupted := false
+	for {
+		select {
+		case <-ctx.Done():
+			if !interrupted {
+				interrupted = true
+				fmt.Fprintf(os.Stderr, "\nttmcas: cancelling %s\n", v.ID)
+				m.Cancel(v.ID)
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+		cur, ok := m.Get(v.ID)
+		if !ok {
+			return fmt.Errorf("job %s disappeared", v.ID)
+		}
+		if !*quiet {
+			eta := ""
+			if cur.ETASeconds != nil {
+				eta = fmt.Sprintf(", eta %s", (time.Duration(*cur.ETASeconds * float64(time.Second))).Round(time.Second))
+			}
+			fmt.Fprintf(os.Stderr, "\rttmcas: %s %s %d/%d (%.0f%%)%s   ",
+				cur.ID, cur.Status, cur.Done, cur.Total, cur.Fraction*100, eta)
+		}
+		if cur.Status.Finished() {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			break
+		}
+	}
+
+	raw, fin, err := m.Result(v.ID)
+	if err != nil {
+		return err
+	}
+	if fin.Status != jobs.StatusSucceeded {
+		return fmt.Errorf("job %s %s: %s", fin.ID, fin.Status, fin.Error)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+		pretty.Write(raw)
+	}
+	fmt.Println(pretty.String())
+	return nil
+}

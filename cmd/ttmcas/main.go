@@ -75,6 +75,8 @@ func run(args []string) error {
 		return cmdAll(rest)
 	case "fabsim":
 		return cmdFabsim(rest)
+	case "jobs":
+		return cmdJobs(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -102,6 +104,7 @@ subcommands:
   table N     regenerate paper table N (2..4)
   all         regenerate every figure and table
   fabsim      run the discrete-event fab/packaging pipeline
+  jobs        run a batch-evaluation spec locally (same engine as POST /v1/jobs)
 
 run 'ttmcas <subcommand> -h' for flags.
 `)

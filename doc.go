@@ -46,6 +46,21 @@
 // name through DesignByName, the same registry the CLI's -design flag
 // uses.
 //
+// # Batch jobs
+//
+// The analyses behind the paper's figures — Monte-Carlo uncertainty
+// bands, Sobol sensitivity, node-by-volume sweeps, cache Pareto
+// fronts, multi-scenario plan portfolios — take seconds to minutes, so
+// the server also runs them asynchronously (internal/jobs): POST
+// /v1/jobs accepts a typed spec and returns 202 with a job id; GET
+// /v1/jobs/{id} reports progress (done/total and ETA); DELETE cancels
+// a running job promptly. Jobs are executed by a bounded worker pool
+// with per-job deadlines and panic isolation, and with snapshot
+// persistence enabled they survive a server restart: finished results
+// come back queryable and interrupted jobs re-run from their
+// deterministic specs. The ttmcas CLI's `jobs` subcommand runs the
+// same specs locally without a server.
+//
 // The model equations are implemented exactly as printed in the paper;
 // parameter values are calibrated to the paper's published anchors as
 // documented in DESIGN.md. Absolute weeks and dollars are

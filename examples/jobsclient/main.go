@@ -1,0 +1,159 @@
+// Command jobsclient is an end-to-end walkthrough of the async jobs
+// API: it starts the evaluation server on a random port, submits a
+// Monte-Carlo band job over HTTP, polls its progress until it
+// succeeds, fetches the result document, and then demonstrates
+// cancelling a second, larger job mid-run — the programmatic
+// equivalent of
+//
+//	ttmcas-serve -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"mc-band","design":"a11","node":"28nm","samples":64}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000002
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ttmcas/internal/jobs"
+	"ttmcas/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jobsclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Logger: log.New(io.Discard, "", 0),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("server listening on %s\n\n", ln.Addr())
+
+	// 1. Submit the paper's re-release question as a batch job: the
+	// uncertainty band of A11@28nm TTM across capacity allocations.
+	spec := `{"kind":"mc-band","design":"a11","node":"28nm","samples":64,"seed":7}`
+	fmt.Printf("POST %s/v1/jobs\n  %s\n", base, spec)
+	v, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  accepted as %s (%s)\n\n", v.ID, v.Status)
+
+	// 2. Poll until it finishes, printing progress.
+	for !v.Status.Finished() {
+		time.Sleep(50 * time.Millisecond)
+		if v, err = get(base, v.ID); err != nil {
+			return err
+		}
+		fmt.Printf("  %s: %s %d/%d (%.0f%%)\n", v.ID, v.Status, v.Done, v.Total, v.Fraction*100)
+	}
+	if v.Status != jobs.StatusSucceeded {
+		return fmt.Errorf("job %s ended %s: %s", v.ID, v.Status, v.Error)
+	}
+
+	// 3. Fetch the result document.
+	raw, err := body(http.Get(base + "/v1/jobs/" + v.ID + "/result"))
+	if err != nil {
+		return err
+	}
+	var res struct {
+		Result struct {
+			Points []struct {
+				X    float64  `json:"x"`
+				Mean *float64 `json:"mean"`
+			} `json:"points"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return err
+	}
+	fmt.Printf("\nband curve (%d points):\n", len(res.Result.Points))
+	for _, p := range res.Result.Points {
+		if p.Mean != nil {
+			fmt.Printf("  x=%.2f  mean TTM %.1f weeks\n", p.X, *p.Mean)
+		}
+	}
+
+	// 4. Cancellation: submit a much larger job and abort it mid-run.
+	big, err := submit(base, `{"kind":"mc-band","design":"a11","node":"28nm","samples":4096,"seed":1}`)
+	if err != nil {
+		return err
+	}
+	for big.Status == jobs.StatusPending || big.Done == 0 {
+		time.Sleep(5 * time.Millisecond)
+		if big, err = get(base, big.ID); err != nil {
+			return err
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+big.ID, nil)
+	if _, err := body(http.DefaultClient.Do(req)); err != nil {
+		return err
+	}
+	for !big.Status.Finished() {
+		time.Sleep(10 * time.Millisecond)
+		if big, err = get(base, big.ID); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\ncancelled %s after %d/%d evaluations (status %s)\n",
+		big.ID, big.Done, big.Total, big.Status)
+
+	cancel()
+	return <-done
+}
+
+func submit(base, spec string) (jobs.View, error) {
+	return view(http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec)))
+}
+
+func get(base, id string) (jobs.View, error) {
+	return view(http.Get(base + "/v1/jobs/" + id))
+}
+
+func view(resp *http.Response, err error) (jobs.View, error) {
+	raw, err := body(resp, err)
+	if err != nil {
+		return jobs.View{}, err
+	}
+	var v jobs.View
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return jobs.View{}, err
+	}
+	return v, nil
+}
+
+func body(resp *http.Response, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("%s: %s", resp.Status, raw)
+	}
+	return raw, nil
+}

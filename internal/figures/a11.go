@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -98,11 +99,11 @@ func fig7(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		e10, err := mc.TTM(m, d, n, market.Full(), mc.Config{Samples: cfg.mcSamples(), Variation: 0.10})
+		e10, err := mc.TTM(context.Background(), m, d, n, market.Full(), mc.Config{Samples: cfg.mcSamples(), Variation: 0.10})
 		if err != nil {
 			return nil, err
 		}
-		e25, err := mc.TTM(m, d, n, market.Full(), mc.Config{Samples: cfg.mcSamples(), Variation: 0.25})
+		e25, err := mc.TTM(context.Background(), m, d, n, market.Full(), mc.Config{Samples: cfg.mcSamples(), Variation: 0.25})
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +216,7 @@ func fig9(cfg Config) (*Result, error) {
 	data := Fig9Data{Nodes: fig9Nodes, Capacity: caps, Bands: map[technode.Node][]mc.Band{}}
 	for _, node := range fig9Nodes {
 		d := scenario.A11At(node)
-		bands, err := mc.BandCurve(m, mc.Config{Samples: cfg.curveSamples()}, caps,
+		bands, err := mc.BandCurve(context.Background(), m, mc.Config{Samples: cfg.curveSamples()}, caps,
 			func(pm core.Model, x float64) (float64, error) {
 				r, err := pm.CAS(d, n, market.Full().AtCapacity(x))
 				return r.CAS, err
@@ -321,7 +322,7 @@ func queueStudy(cfg Config, output func(core.Model, market.Conditions) (float64,
 		if q > 0 {
 			base = base.WithQueue(technode.N7, q)
 		}
-		bands, err := mc.BandCurve(m, mc.Config{Samples: cfg.curveSamples()}, caps,
+		bands, err := mc.BandCurve(context.Background(), m, mc.Config{Samples: cfg.curveSamples()}, caps,
 			func(pm core.Model, x float64) (float64, error) {
 				return output(pm, base.AtCapacity(x))
 			})

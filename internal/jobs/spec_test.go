@@ -1,0 +1,216 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"ttmcas/internal/core"
+)
+
+func TestValidateAcceptsEveryKindWithDefaults(t *testing.T) {
+	for _, kind := range Kinds() {
+		s := Spec{Kind: kind, Design: "a11"}.normalized()
+		if err := s.Validate(Limits{}); err != nil {
+			t.Errorf("Validate(%s) = %v", kind, err)
+		}
+		if s.EstimatedEvaluations() <= 0 {
+			t.Errorf("EstimatedEvaluations(%s) = %d", kind, s.EstimatedEvaluations())
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		lim  Limits
+	}{
+		{"missing kind", Spec{Design: "a11"}, Limits{}},
+		{"unknown kind", Spec{Kind: "frobnicate", Design: "a11"}, Limits{}},
+		{"missing design", Spec{Kind: KindMCBand}, Limits{}},
+		{"unknown design", Spec{Kind: KindMCBand, Design: "nope"}, Limits{}},
+		{"bad node", Spec{Kind: KindMCBand, Design: "a11", Node: "3nm"}, Limits{}},
+		{"negative n", Spec{Kind: KindMCBand, Design: "a11", N: -1}, Limits{}},
+		{"unknown scenario", Spec{Kind: KindMCBand, Design: "a11", Scenario: "nope"}, Limits{}},
+		{"capacity out of range", Spec{Kind: KindMCBand, Design: "a11", Capacity: 1.5}, Limits{}},
+		{"negative queue", Spec{Kind: KindMCBand, Design: "a11", QueueWeeks: -2}, Limits{}},
+		{"samples over limit", Spec{Kind: KindMCBand, Design: "a11", Samples: 100}, Limits{MaxSamples: 99}},
+		{"variation out of range", Spec{Kind: KindSensitivity, Design: "a11", Variation: 1}, Limits{}},
+		{"too many xs", Spec{Kind: KindMCBand, Design: "a11", Xs: []float64{0.1, 0.2, 0.3}}, Limits{MaxPoints: 2}},
+		{"x out of range", Spec{Kind: KindMCBand, Design: "a11", Xs: []float64{0}}, Limits{}},
+		{"bad grid node", Spec{Kind: KindSweep, Design: "a11", Nodes: []string{"bogus"}}, Limits{}},
+		{"bad quantity", Spec{Kind: KindSweep, Design: "a11", Quantities: []float64{-5}}, Limits{}},
+		{"bad metric", Spec{Kind: KindMCBand, Design: "a11", Metric: "ipc"}, Limits{}},
+		{"cache refs out of range", Spec{Kind: KindPareto, Design: "a11", CacheRefs: 3_000_000}, Limits{}},
+		{"negative constraint", Spec{Kind: KindPlanPortfolio, Design: "a11", MinCAS: -1}, Limits{}},
+		{"unknown portfolio scenario", Spec{Kind: KindPlanPortfolio, Design: "a11", Scenarios: []string{"nope"}}, Limits{}},
+		{"negative timeout", Spec{Kind: KindMCBand, Design: "a11", TimeoutSeconds: -1}, Limits{}},
+		{"evaluation budget", Spec{Kind: KindMCBand, Design: "a11", Samples: 64}, Limits{MaxEvaluations: 100}},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.normalized().Validate(tc.lim); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("%s: err = %v, want ErrInvalidSpec", tc.name, err)
+		}
+	}
+}
+
+func TestNormalizedFoldsCase(t *testing.T) {
+	s := Spec{Kind: " MC-Band ", Metric: "TTM"}.normalized()
+	if s.Kind != KindMCBand || s.Metric != "ttm" {
+		t.Fatalf("normalized = %+v", s)
+	}
+}
+
+func TestEstimatedEvaluationsMCBand(t *testing.T) {
+	s := Spec{Kind: KindMCBand, Design: "a11", Samples: 10, Xs: []float64{0.5, 0.75, 1}}
+	if got := s.EstimatedEvaluations(); got != 3*2*10 {
+		t.Fatalf("estimate = %d, want 60", got)
+	}
+}
+
+// trackerFor builds a Tracker over a throwaway job for direct runner
+// calls.
+func trackerFor() (Tracker, *Job) {
+	j := &Job{}
+	return Tracker{j}, j
+}
+
+func TestRunSensitivity(t *testing.T) {
+	pr, j := trackerFor()
+	// a11 must be re-targeted to a producing node: at its native node
+	// TTM is infinite and the output variance degenerates.
+	s := Spec{Kind: KindSensitivity, Design: "a11", Node: "28", Samples: 32, Seed: 3}.normalized()
+	out, err := s.run(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(SensitivityResult)
+	if len(res.Inputs) != len(core.Inputs) || len(res.TotalEffect) != len(core.Inputs) {
+		t.Fatalf("result shape = %+v", res)
+	}
+	want := uint64(32 * (len(core.Inputs) + 2))
+	if j.done.Load() != want || j.total.Load() != want {
+		t.Fatalf("progress = %d/%d, want %d", j.done.Load(), j.total.Load(), want)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	pr, j := trackerFor()
+	s := Spec{Kind: KindSweep, Design: "a11", N: 1e6,
+		Nodes: []string{"28", "40"}, Quantities: []float64{1e5, 1e6}}.normalized()
+	out, err := s.run(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(SweepResult)
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		if cell.Stalled != (cell.TTMWeeks == nil) {
+			t.Fatalf("cell %+v: stalled flag inconsistent", cell)
+		}
+		if cell.TTMWeeks != nil && (*cell.TTMWeeks <= 0 || math.IsInf(*cell.TTMWeeks, 0)) {
+			t.Fatalf("cell %+v: bad TTM", cell)
+		}
+	}
+	if j.done.Load() != 4 {
+		t.Fatalf("progress = %d, want 4", j.done.Load())
+	}
+	// The whole result must survive JSON encoding (no Inf leaks).
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPareto(t *testing.T) {
+	pr, j := trackerFor()
+	s := Spec{Kind: KindPareto, Design: "ariane16", N: 1e5,
+		Nodes: []string{"14"}, Quantities: []float64{1e5}, CacheRefs: 20_000}.normalized()
+	out, err := s.run(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(ParetoResult)
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	if len(cell.Front) == 0 || len(cell.Front) > cell.Configs {
+		t.Fatalf("front = %d of %d configs", len(cell.Front), cell.Configs)
+	}
+	if cell.BestPerTTM == nil {
+		t.Fatal("missing best-per-TTM point")
+	}
+	if j.done.Load() != j.total.Load() || j.total.Load() == 0 {
+		t.Fatalf("progress = %d/%d", j.done.Load(), j.total.Load())
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanPortfolio(t *testing.T) {
+	pr, j := trackerFor()
+	s := Spec{Kind: KindPlanPortfolio, Design: "raven", N: 1e6,
+		Scenarios: []string{"baseline"}}.normalized()
+	if err := s.Validate(Limits{}); err != nil {
+		// Scenario names are data-dependent; fall back to the default
+		// portfolio if "baseline" is not a built-in.
+		s.Scenarios = nil
+	}
+	out, err := s.run(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(PortfolioResult)
+	if len(res.Scenarios) == 0 {
+		t.Fatal("no scenarios evaluated")
+	}
+	for _, ps := range res.Scenarios {
+		if ps.Feasible && ps.Recommended == nil {
+			t.Fatalf("scenario %s feasible without recommendation", ps.Scenario)
+		}
+		if len(ps.Options) == 0 {
+			t.Fatalf("scenario %s has no options", ps.Scenario)
+		}
+	}
+	if j.done.Load() != uint64(len(res.Scenarios)) {
+		t.Fatalf("progress = %d, want %d", j.done.Load(), len(res.Scenarios))
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlanPortfolioCancelled(t *testing.T) {
+	pr, _ := trackerFor()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Spec{Kind: KindPlanPortfolio, Design: "raven"}.normalized()
+	if _, err := s.run(ctx, pr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunMCBandCASMetric(t *testing.T) {
+	pr, _ := trackerFor()
+	s := Spec{Kind: KindMCBand, Design: "a11", Samples: 8,
+		Metric: "cas", Xs: []float64{0.5, 1}}.normalized()
+	out, err := s.run(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(BandResult)
+	if res.Metric != "cas" || len(res.Points) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.Mean == nil {
+			t.Fatalf("CAS point with nil mean: %+v", p)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package mc
 
 import (
+	"context"
 	"math/rand"
 
 	"ttmcas/internal/core"
@@ -80,9 +81,11 @@ func (c Config) Perturbations() []core.Perturbation {
 // field has been set; it must be a pure function of that model, since
 // samples are evaluated concurrently. Results are deterministic: the
 // perturbation stream is precomputed from the seed and kept in order.
-func Run(base core.Model, cfg Config, eval func(core.Model) (float64, error)) (Estimate, error) {
+// Cancelling ctx stops the run within one evaluation per worker and
+// returns ctx.Err().
+func Run(ctx context.Context, base core.Model, cfg Config, eval func(core.Model) (float64, error)) (Estimate, error) {
 	perts := cfg.Perturbations()
-	xs, err := sweep.Map(perts, 0, func(p core.Perturbation) (float64, error) {
+	xs, err := sweep.Map(ctx, perts, 0, func(p core.Perturbation) (float64, error) {
 		m := base
 		m.Perturb = p
 		return eval(m)
@@ -94,16 +97,16 @@ func Run(base core.Model, cfg Config, eval func(core.Model) (float64, error)) (E
 }
 
 // TTM estimates the time-to-market distribution of a design.
-func TTM(base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
-	return Run(base, cfg, func(m core.Model) (float64, error) {
+func TTM(ctx context.Context, base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
+	return Run(ctx, base, cfg, func(m core.Model) (float64, error) {
 		t, err := m.TTM(d, n, c)
 		return float64(t), err
 	})
 }
 
 // CAS estimates the Chip Agility Score distribution of a design.
-func CAS(base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
-	return Run(base, cfg, func(m core.Model) (float64, error) {
+func CAS(ctx context.Context, base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
+	return Run(ctx, base, cfg, func(m core.Model) (float64, error) {
 		r, err := m.CAS(d, n, c)
 		return r.CAS, err
 	})
@@ -118,24 +121,53 @@ type Band struct {
 	CI25 stats.Interval
 }
 
-// BandCurve evaluates a scalar output across xs, attaching both the
-// ±10% and ±25% confidence bands at each point. evalAt must return the
-// output of the perturbed model at position x.
-func BandCurve(base core.Model, cfg Config, xs []float64, evalAt func(core.Model, float64) (float64, error)) ([]Band, error) {
-	out := make([]Band, 0, len(xs))
+// bandAt evaluates one x-position's ±10% and ±25% bands. Each call
+// derives its own two perturbation streams from cfg.Seed — the streams
+// are per-point and independent of evaluation order, which is what
+// makes the parallel and serial curve walks bit-for-bit identical.
+func bandAt(ctx context.Context, base core.Model, cfg Config, x float64, evalAt func(core.Model, float64) (float64, error)) (Band, error) {
 	cfg10, cfg25 := cfg, cfg
 	cfg10.Variation = 0.10
 	cfg25.Variation = 0.25
+	e10, err := Run(ctx, base, cfg10, func(m core.Model) (float64, error) { return evalAt(m, x) })
+	if err != nil {
+		return Band{}, err
+	}
+	e25, err := Run(ctx, base, cfg25, func(m core.Model) (float64, error) { return evalAt(m, x) })
+	if err != nil {
+		return Band{}, err
+	}
+	return Band{X: x, Mean: e10.Mean, CI10: e10.CI, CI25: e25.CI}, nil
+}
+
+// BandCurve evaluates a scalar output across xs, attaching both the
+// ±10% and ±25% confidence bands at each point. evalAt must return the
+// output of the perturbed model at position x; like Run's callback it
+// must be pure, since both the x-positions and the samples within each
+// position are evaluated concurrently.
+//
+// The curve is deterministic: every x-position derives its
+// perturbation streams from cfg.Seed alone, so the output matches
+// BandCurveSerial bit-for-bit regardless of scheduling. Cancelling ctx
+// stops the whole curve within one evaluation per worker.
+func BandCurve(ctx context.Context, base core.Model, cfg Config, xs []float64, evalAt func(core.Model, float64) (float64, error)) ([]Band, error) {
+	return sweep.Map(ctx, xs, 0, func(x float64) (Band, error) {
+		return bandAt(ctx, base, cfg, x, evalAt)
+	})
+}
+
+// BandCurveSerial is the serial reference implementation of BandCurve:
+// one x-position at a time, samples within each position still
+// parallel. It is retained for the equivalence test and the
+// serial-vs-parallel benchmark.
+func BandCurveSerial(ctx context.Context, base core.Model, cfg Config, xs []float64, evalAt func(core.Model, float64) (float64, error)) ([]Band, error) {
+	out := make([]Band, 0, len(xs))
 	for _, x := range xs {
-		e10, err := Run(base, cfg10, func(m core.Model) (float64, error) { return evalAt(m, x) })
+		b, err := bandAt(ctx, base, cfg, x, evalAt)
 		if err != nil {
 			return nil, err
 		}
-		e25, err := Run(base, cfg25, func(m core.Model) (float64, error) { return evalAt(m, x) })
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Band{X: x, Mean: e10.Mean, CI10: e10.CI, CI25: e25.CI})
+		out = append(out, b)
 	}
 	return out, nil
 }

@@ -1,7 +1,10 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"ttmcas/internal/core"
@@ -50,7 +53,7 @@ func TestTTMEstimateBracketsNominal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := TTM(m, d, 10e6, market.Full(), Config{Samples: 256})
+	est, err := TTM(context.Background(), m, d, 10e6, market.Full(), Config{Samples: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +71,11 @@ func TestTTMEstimateBracketsNominal(t *testing.T) {
 func TestWiderVariationWidensCI(t *testing.T) {
 	var m core.Model
 	d := scenario.A11At(technode.N7)
-	e10, err := TTM(m, d, 10e6, market.Full(), Config{Samples: 256, Variation: 0.10})
+	e10, err := TTM(context.Background(), m, d, 10e6, market.Full(), Config{Samples: 256, Variation: 0.10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e25, err := TTM(m, d, 10e6, market.Full(), Config{Samples: 256, Variation: 0.25})
+	e25, err := TTM(context.Background(), m, d, 10e6, market.Full(), Config{Samples: 256, Variation: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestWiderVariationWidensCI(t *testing.T) {
 func TestCASEstimate(t *testing.T) {
 	var m core.Model
 	d := scenario.A11At(technode.N7)
-	est, err := CAS(m, d, 10e6, market.Full(), Config{Samples: 128})
+	est, err := CAS(context.Background(), m, d, 10e6, market.Full(), Config{Samples: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +107,7 @@ func TestBandCurve(t *testing.T) {
 	var m core.Model
 	d := scenario.A11At(technode.N7)
 	xs := []float64{0.5, 1.0}
-	bands, err := BandCurve(m, Config{Samples: 64}, xs, func(pm core.Model, x float64) (float64, error) {
+	bands, err := BandCurve(context.Background(), m, Config{Samples: 64}, xs, func(pm core.Model, x float64) (float64, error) {
 		v, err := pm.TTM(d, 10e6, market.Full().AtCapacity(x))
 		return float64(v), err
 	})
@@ -130,7 +133,7 @@ func TestBandCurve(t *testing.T) {
 func TestRunPropagatesErrors(t *testing.T) {
 	var m core.Model
 	wantErr := false
-	_, err := Run(m, Config{Samples: 4}, func(core.Model) (float64, error) {
+	_, err := Run(context.Background(), m, Config{Samples: 4}, func(core.Model) (float64, error) {
 		wantErr = true
 		return 0, errSentinel
 	})
@@ -144,3 +147,70 @@ type sentinel struct{}
 func (sentinel) Error() string { return "sentinel" }
 
 var errSentinel = sentinel{}
+
+func TestBandCurveMatchesSerialBitForBit(t *testing.T) {
+	// The acceptance bar for the parallel rewrite: over ≥16 x-positions
+	// with a fixed seed, the parallel curve must equal the serial walk
+	// exactly — every mean and every CI bound, not just approximately.
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = 0.25 + 0.05*float64(i)
+	}
+	evalAt := func(pm core.Model, x float64) (float64, error) {
+		v, err := pm.TTM(d, 10e6, market.Full().AtCapacity(x))
+		return float64(v), err
+	}
+	cfg := Config{Samples: 48, Seed: 7}
+	par, err := BandCurve(context.Background(), m, cfg, xs, evalAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := BandCurveSerial(context.Background(), m, cfg, xs, evalAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(ser) {
+		t.Fatalf("parallel %d points, serial %d", len(par), len(ser))
+	}
+	for i := range par {
+		if par[i] != ser[i] {
+			t.Errorf("x=%v: parallel %+v != serial %+v", xs[i], par[i], ser[i])
+		}
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	var m core.Model
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, m, Config{Samples: 64}, func(core.Model) (float64, error) {
+		t.Error("eval ran under a cancelled context")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBandCurveCancelledMidRun(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = 0.2 + 0.025*float64(i)
+	}
+	_, err := BandCurve(ctx, m, Config{Samples: 512}, xs, func(pm core.Model, x float64) (float64, error) {
+		if evals.Add(1) == 10 {
+			cancel()
+		}
+		v, err := pm.TTM(d, 10e6, market.Full().AtCapacity(x))
+		return float64(v), err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

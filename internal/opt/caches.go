@@ -5,6 +5,7 @@
 package opt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -72,6 +73,12 @@ type CacheStudy struct {
 
 // Evaluate computes every configuration for the node and quantity.
 func (s CacheStudy) Evaluate(node technode.Node, n float64) ([]CachePoint, error) {
+	return s.EvaluateCtx(context.Background(), node, n)
+}
+
+// EvaluateCtx is Evaluate under a context: cancelling ctx abandons the
+// sweep within one configuration per worker.
+func (s CacheStudy) EvaluateCtx(ctx context.Context, node technode.Node, n float64) ([]CachePoint, error) {
 	sizes := s.Table.SizesKB
 	if len(sizes) == 0 {
 		return nil, errors.New("opt: empty IPC table")
@@ -81,7 +88,7 @@ func (s CacheStudy) Evaluate(node technode.Node, n float64) ([]CachePoint, error
 		cores = 16
 	}
 	pairs := sweep.Grid(len(sizes), len(sizes))
-	return sweep.Map(pairs, 0, func(ij [2]int) (CachePoint, error) {
+	return sweep.Map(ctx, pairs, 0, func(ij [2]int) (CachePoint, error) {
 		ikb, dkb := sizes[ij[0]], sizes[ij[1]]
 		ipc, err := s.Table.At(ikb, dkb)
 		if err != nil {

@@ -1,0 +1,50 @@
+package sens
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// Sobol throughput, serial vs parallel: the jobs PR moved the Saltelli
+// N·(k+2) evaluation batches onto the sweep worker pool. `make bench`
+// records both variants in BENCH_jobs.json.
+
+func benchSobol(b *testing.B, run func(Config, func([]float64) (float64, error)) (Result, error)) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	model := func(x []float64) (float64, error) {
+		// A mildly nonlinear stand-in with per-call cost comparable to
+		// a cheap model evaluation.
+		s := 0.0
+		for i, v := range x {
+			s += math.Sin(float64(i+1)*v) + v*v
+		}
+		return s, nil
+	}
+	cfg := Config{N: 128, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(cfg, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluations == 0 {
+			b.Fatal("no evaluations")
+		}
+	}
+	evalsPerOp := float64(cfg.n() * (len(names) + 2))
+	b.ReportMetric(evalsPerOp*float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
+func BenchmarkSobolSerial(b *testing.B) {
+	benchSobol(b, func(cfg Config, m func([]float64) (float64, error)) (Result, error) {
+		return totalEffectSerial([]string{"a", "b", "c", "d", "e", "f"}, cfg, m)
+	})
+}
+
+func BenchmarkSobolParallel(b *testing.B) {
+	benchSobol(b, func(cfg Config, m func([]float64) (float64, error)) (Result, error) {
+		return TotalEffect(context.Background(), []string{"a", "b", "c", "d", "e", "f"}, cfg, m)
+	})
+}

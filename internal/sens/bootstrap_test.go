@@ -1,6 +1,7 @@
 package sens
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -40,7 +41,7 @@ func TestBootstrapMatchesPlainEstimator(t *testing.T) {
 	coeffs := []float64{1, 3}
 	names := []string{"a", "b"}
 	model := additiveModel(coeffs)
-	plain, err := TotalEffect(names, Config{N: 512, Seed: 9}, model)
+	plain, err := TotalEffect(context.Background(), names, Config{N: 512, Seed: 9}, model)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,73 @@
+package sens
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ttmcas/internal/stats"
+)
+
+// totalEffectSerial is the pre-parallelization TotalEffect body, kept
+// verbatim as the reference for the bit-for-bit equivalence test and
+// the serial-vs-parallel throughput benchmark.
+func totalEffectSerial(names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, error) {
+	k := len(names)
+	if k == 0 {
+		return Result{}, errors.New("sens: no inputs")
+	}
+	n := cfg.n()
+	A, B := saltelliMatrices(cfg, k)
+
+	evals := 0
+	eval := func(x []float64) (float64, error) {
+		evals++
+		return model(x)
+	}
+
+	fA := make([]float64, n)
+	fB := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var err error
+		if fA[j], err = eval(A[j]); err != nil {
+			return Result{}, fmt.Errorf("sens: model eval: %w", err)
+		}
+		if fB[j], err = eval(B[j]); err != nil {
+			return Result{}, fmt.Errorf("sens: model eval: %w", err)
+		}
+	}
+
+	pooled := append(append([]float64(nil), fA...), fB...)
+	varY := stats.Variance(pooled)
+	res := Result{
+		Inputs: append([]string(nil), names...),
+		Total:  make([]float64, k),
+		First:  make([]float64, k),
+		VarY:   varY,
+	}
+	if varY <= 0 || math.IsNaN(varY) {
+		res.Evaluations = evals
+		return res, ErrDegenerate
+	}
+
+	meanY := stats.Mean(pooled)
+	x := make([]float64, k)
+	for i := 0; i < k; i++ {
+		var sumT, sumS float64
+		for j := 0; j < n; j++ {
+			copy(x, A[j])
+			x[i] = B[j][i]
+			fABi, err := eval(x)
+			if err != nil {
+				return Result{}, fmt.Errorf("sens: model eval: %w", err)
+			}
+			dT := fA[j] - fABi
+			sumT += dT * dT
+			sumS += (fB[j] - meanY) * (fABi - fA[j])
+		}
+		res.Total[i] = clamp01(sumT / (2 * float64(n) * varY))
+		res.First[i] = clamp01(sumS / (float64(n) * varY))
+	}
+	res.Evaluations = evals
+	return res, nil
+}

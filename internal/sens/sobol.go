@@ -19,12 +19,14 @@
 package sens
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"ttmcas/internal/stats"
+	"ttmcas/internal/sweep"
 )
 
 // Config controls an estimation run.
@@ -75,23 +77,16 @@ type Result struct {
 // zero, so indices are undefined.
 var ErrDegenerate = errors.New("sens: output variance is zero; indices undefined")
 
-// TotalEffect estimates Sobol first-order and total-effect indices for
-// a model over k inputs, each an independent multiplier drawn uniformly
-// from [1−v, 1+v]. The model callback receives one multiplier per
-// input, in the order of the names slice.
-func TotalEffect(names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, error) {
-	k := len(names)
-	if k == 0 {
-		return Result{}, errors.New("sens: no inputs")
-	}
+// saltelliMatrices draws the A and B sample matrices a config
+// generates, in the fixed stream order shared by the parallel and
+// serial estimators.
+func saltelliMatrices(cfg Config, k int) (A, B [][]float64) {
 	n := cfg.n()
 	v := cfg.variation()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
-
-	// Sample matrices A and B.
-	A := make([][]float64, n)
-	B := make([][]float64, n)
+	A = make([][]float64, n)
+	B = make([][]float64, n)
 	for j := 0; j < n; j++ {
 		A[j] = make([]float64, k)
 		B[j] = make([]float64, k)
@@ -100,27 +95,35 @@ func TotalEffect(names []string, cfg Config, model func(mult []float64) (float64
 			B[j][i] = draw()
 		}
 	}
+	return A, B
+}
 
-	evals := 0
-	eval := func(x []float64) (float64, error) {
-		evals++
-		return model(x)
+// TotalEffect estimates Sobol first-order and total-effect indices for
+// a model over k inputs, each an independent multiplier drawn uniformly
+// from [1−v, 1+v]. The model callback receives one multiplier per
+// input, in the order of the names slice; it must be safe for
+// concurrent calls, since the N·(k+2) evaluations run on a worker
+// pool. Results are deterministic for a fixed seed — the sample
+// matrices are precomputed and the estimator sums run in index order —
+// and identical to the serial reference implementation bit for bit.
+// Cancelling ctx stops the run within one evaluation per worker.
+func TotalEffect(ctx context.Context, names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, error) {
+	k := len(names)
+	if k == 0 {
+		return Result{}, errors.New("sens: no inputs")
 	}
+	n := cfg.n()
+	A, B := saltelliMatrices(cfg, k)
 
-	fA := make([]float64, n)
-	fB := make([]float64, n)
-	for j := 0; j < n; j++ {
-		var err error
-		if fA[j], err = eval(A[j]); err != nil {
-			return Result{}, fmt.Errorf("sens: model eval: %w", err)
-		}
-		if fB[j], err = eval(B[j]); err != nil {
-			return Result{}, fmt.Errorf("sens: model eval: %w", err)
-		}
+	// f(A) and f(B) over the pooled 2n rows, then f(AB_i) per input:
+	// every batch is an order-preserving parallel map.
+	pooledRows := append(append(make([][]float64, 0, 2*n), A...), B...)
+	pooled, err := sweep.Map(ctx, pooledRows, 0, model)
+	if err != nil {
+		return Result{}, fmt.Errorf("sens: model eval: %w", err)
 	}
+	fA, fB := pooled[:n], pooled[n:]
 
-	// Total variance over the pooled A and B evaluations.
-	pooled := append(append([]float64(nil), fA...), fB...)
 	varY := stats.Variance(pooled)
 	res := Result{
 		Inputs: append([]string(nil), names...),
@@ -129,34 +132,38 @@ func TotalEffect(names []string, cfg Config, model func(mult []float64) (float64
 		VarY:   varY,
 	}
 	if varY <= 0 || math.IsNaN(varY) {
-		res.Evaluations = evals
+		res.Evaluations = 2 * n
 		return res, ErrDegenerate
 	}
 
 	meanY := stats.Mean(pooled)
-	x := make([]float64, k)
 	for i := 0; i < k; i++ {
-		var sumT, sumS float64
+		// AB_i: matrix A with column i taken from B.
+		ABi := make([][]float64, n)
 		for j := 0; j < n; j++ {
-			// AB_i: matrix A with column i taken from B.
+			x := make([]float64, k)
 			copy(x, A[j])
 			x[i] = B[j][i]
-			fABi, err := eval(x)
-			if err != nil {
-				return Result{}, fmt.Errorf("sens: model eval: %w", err)
-			}
-			dT := fA[j] - fABi
+			ABi[j] = x
+		}
+		fABi, err := sweep.Map(ctx, ABi, 0, model)
+		if err != nil {
+			return Result{}, fmt.Errorf("sens: model eval: %w", err)
+		}
+		var sumT, sumS float64
+		for j := 0; j < n; j++ {
+			dT := fA[j] - fABi[j]
 			sumT += dT * dT
 			// Saltelli-2010 first-order estimator; centering fB
 			// around the pooled mean leaves the expectation intact
 			// (E[fABi − fA] = 0) but removes the huge mean-product
 			// noise term for models far from zero.
-			sumS += (fB[j] - meanY) * (fABi - fA[j])
+			sumS += (fB[j] - meanY) * (fABi[j] - fA[j])
 		}
 		res.Total[i] = clamp01(sumT / (2 * float64(n) * varY))
 		res.First[i] = clamp01(sumS / (float64(n) * varY))
 	}
-	res.Evaluations = evals
+	res.Evaluations = n * (k + 2)
 	return res, nil
 }
 
@@ -174,8 +181,9 @@ func clamp01(x float64) float64 {
 // NaiveTotalEffect estimates S_T with the brute-force double-loop
 // estimator (fix X~i, re-draw Xi) at a comparable evaluation budget. It
 // converges far more slowly than the Saltelli scheme and exists for the
-// estimator ablation benchmark.
-func NaiveTotalEffect(names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, error) {
+// estimator ablation benchmark. Evaluation is serial; ctx is checked
+// before every model call.
+func NaiveTotalEffect(ctx context.Context, names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, error) {
 	k := len(names)
 	if k == 0 {
 		return Result{}, errors.New("sens: no inputs")
@@ -205,6 +213,9 @@ func NaiveTotalEffect(names []string, cfg Config, model func(mult []float64) (fl
 			ys := make([]float64, inner)
 			for r := 0; r < inner; r++ {
 				base[i] = draw()
+				if err := ctx.Err(); err != nil {
+					return Result{}, err
+				}
 				y, err := model(base)
 				if err != nil {
 					return Result{}, err

@@ -1,8 +1,10 @@
 package sens
 
 import (
+	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 )
 
@@ -22,7 +24,7 @@ func additiveModel(coeffs []float64) func([]float64) (float64, error) {
 func TestAdditiveModelAnalytic(t *testing.T) {
 	coeffs := []float64{1, 2, 4}
 	names := []string{"a", "b", "c"}
-	res, err := TotalEffect(names, Config{N: 4096, Seed: 1}, additiveModel(coeffs))
+	res, err := TotalEffect(context.Background(), names, Config{N: 4096, Seed: 1}, additiveModel(coeffs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestAdditiveModelAnalytic(t *testing.T) {
 func TestInertInputScoresZero(t *testing.T) {
 	names := []string{"live", "inert"}
 	model := func(x []float64) (float64, error) { return 10 * x[0], nil }
-	res, err := TotalEffect(names, Config{N: 2048, Seed: 2}, model)
+	res, err := TotalEffect(context.Background(), names, Config{N: 2048, Seed: 2}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestInteractionShowsInTotalNotFirst(t *testing.T) {
 	// indices exceed first-order ones.
 	names := []string{"x1", "x2"}
 	model := func(x []float64) (float64, error) { return (x[0] - 1) * (x[1] - 1) * 1000, nil }
-	res, err := TotalEffect(names, Config{N: 4096, Seed: 3}, model)
+	res, err := TotalEffect(context.Background(), names, Config{N: 4096, Seed: 3}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestIndicesClamped(t *testing.T) {
 	model := func(x []float64) (float64, error) {
 		return math.Sin(20*x[0]) + math.Exp(3*x[1]), nil
 	}
-	res, err := TotalEffect(names, Config{N: 256, Seed: 4}, model)
+	res, err := TotalEffect(context.Background(), names, Config{N: 256, Seed: 4}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,17 +97,17 @@ func TestIndicesClamped(t *testing.T) {
 func TestDegenerateModel(t *testing.T) {
 	names := []string{"a"}
 	model := func([]float64) (float64, error) { return 42, nil }
-	_, err := TotalEffect(names, Config{N: 64, Seed: 5}, model)
+	_, err := TotalEffect(context.Background(), names, Config{N: 64, Seed: 5}, model)
 	if !errors.Is(err, ErrDegenerate) {
 		t.Errorf("constant model should report ErrDegenerate, got %v", err)
 	}
 }
 
 func TestNoInputs(t *testing.T) {
-	if _, err := TotalEffect(nil, Config{}, func([]float64) (float64, error) { return 0, nil }); err == nil {
+	if _, err := TotalEffect(context.Background(), nil, Config{}, func([]float64) (float64, error) { return 0, nil }); err == nil {
 		t.Error("zero inputs should error")
 	}
-	if _, err := NaiveTotalEffect(nil, Config{}, func([]float64) (float64, error) { return 0, nil }); err == nil {
+	if _, err := NaiveTotalEffect(context.Background(), nil, Config{}, func([]float64) (float64, error) { return 0, nil }); err == nil {
 		t.Error("zero inputs should error")
 	}
 }
@@ -113,11 +115,11 @@ func TestNoInputs(t *testing.T) {
 func TestModelErrorPropagates(t *testing.T) {
 	names := []string{"a"}
 	boom := errors.New("boom")
-	_, err := TotalEffect(names, Config{N: 16}, func([]float64) (float64, error) { return 0, boom })
+	_, err := TotalEffect(context.Background(), names, Config{N: 16}, func([]float64) (float64, error) { return 0, boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
 	}
-	_, err = NaiveTotalEffect(names, Config{N: 16}, func([]float64) (float64, error) { return 0, boom })
+	_, err = NaiveTotalEffect(context.Background(), names, Config{N: 16}, func([]float64) (float64, error) { return 0, boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("naive err = %v", err)
 	}
@@ -126,11 +128,11 @@ func TestModelErrorPropagates(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	names := []string{"a", "b"}
 	model := additiveModel([]float64{1, 3})
-	r1, err := TotalEffect(names, Config{N: 512, Seed: 9}, model)
+	r1, err := TotalEffect(context.Background(), names, Config{N: 512, Seed: 9}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := TotalEffect(names, Config{N: 512, Seed: 9}, model)
+	r2, err := TotalEffect(context.Background(), names, Config{N: 512, Seed: 9}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestNaiveAgreesOnAdditiveModel(t *testing.T) {
 	coeffs := []float64{1, 3}
 	names := []string{"a", "b"}
 	model := additiveModel(coeffs)
-	naive, err := NaiveTotalEffect(names, Config{N: 4096, Seed: 6}, model)
+	naive, err := NaiveTotalEffect(context.Background(), names, Config{N: 4096, Seed: 6}, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +170,11 @@ func TestSaltelliBeatsNaiveAtEqualBudget(t *testing.T) {
 	model := additiveModel(coeffs)
 	var errS, errN float64
 	for seed := int64(0); seed < 5; seed++ {
-		s, err := TotalEffect(names, Config{N: 256, Seed: seed}, model)
+		s, err := TotalEffect(context.Background(), names, Config{N: 256, Seed: seed}, model)
 		if err != nil {
 			t.Fatal(err)
 		}
-		n, err := NaiveTotalEffect(names, Config{N: 256, Seed: seed}, model)
+		n, err := NaiveTotalEffect(context.Background(), names, Config{N: 256, Seed: seed}, model)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,5 +185,64 @@ func TestSaltelliBeatsNaiveAtEqualBudget(t *testing.T) {
 	}
 	if errS > errN*1.5 {
 		t.Errorf("Saltelli error %v should not be far above naive %v", errS, errN)
+	}
+}
+
+func TestTotalEffectMatchesSerialBitForBit(t *testing.T) {
+	// The parallel estimator precomputes the same sample matrices and
+	// sums in the same index order as the serial reference, so the
+	// indices must agree exactly, not just statistically.
+	names := []string{"a", "b", "c"}
+	model := func(x []float64) (float64, error) {
+		return x[0] + 2*x[1]*x[1] + math.Sin(3*x[2]), nil
+	}
+	for _, seed := range []int64{0, 1, 42} {
+		cfg := Config{N: 256, Seed: seed}
+		par, err := TotalEffect(context.Background(), names, cfg, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ser, err := totalEffectSerial(names, cfg, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.VarY != ser.VarY || par.Evaluations != ser.Evaluations {
+			t.Errorf("seed %d: VarY/Evaluations mismatch: %+v vs %+v", seed, par, ser)
+		}
+		for i := range names {
+			if par.Total[i] != ser.Total[i] || par.First[i] != ser.First[i] {
+				t.Errorf("seed %d input %s: parallel (%v, %v) != serial (%v, %v)",
+					seed, names[i], par.Total[i], par.First[i], ser.Total[i], ser.First[i])
+			}
+		}
+	}
+}
+
+func TestTotalEffectCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	_, err := TotalEffect(ctx, []string{"a", "b"}, Config{N: 4096}, func(x []float64) (float64, error) {
+		if evals.Add(1) == 32 {
+			cancel()
+		}
+		return x[0] + x[1], nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if n := evals.Load(); n >= 4096 {
+		t.Errorf("%d evaluations ran despite cancellation", n)
+	}
+}
+
+func TestNaiveTotalEffectCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NaiveTotalEffect(ctx, []string{"a"}, Config{N: 64}, func(x []float64) (float64, error) {
+		t.Error("eval ran under a cancelled context")
+		return x[0], nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
 	}
 }

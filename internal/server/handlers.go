@@ -12,10 +12,6 @@ import (
 	"ttmcas"
 )
 
-// maxSensitivitySamples caps the Saltelli base sample count a request
-// may ask for (total model evaluations are N·(k+2)).
-const maxSensitivitySamples = 8192
-
 // ---- request types -------------------------------------------------
 
 // EvalRequest is the shared request body of the evaluation routes:
@@ -439,6 +435,14 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 		for node, der := range res.Derivatives {
 			out.Derivatives[node.String()] = der
 		}
+		if len(req.Curve) > s.cfg.MaxCurvePoints {
+			return nil, unprocessablef("curve has %d points, max %d", len(req.Curve), s.cfg.MaxCurvePoints)
+		}
+		for i, f := range req.Curve {
+			if f <= 0 || f > 1 {
+				return nil, badRequestf("curve[%d] = %v outside (0, 1]", i, f)
+			}
+		}
 		if len(req.Curve) > 0 {
 			pts, err := ttmcas.CASCurve(d, req.N, c, req.Curve)
 			if err != nil {
@@ -491,8 +495,11 @@ func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respondCached(w, r, "POST /v1/sensitivity", req, true, func(context.Context) (any, error) {
-		if req.Samples < 0 || req.Samples > maxSensitivitySamples {
-			return nil, badRequestf("samples %d outside [0, %d]", req.Samples, maxSensitivitySamples)
+		// The sample count multiplies into N·(k+2) model evaluations:
+		// a well-formed request can still ask for more work than the
+		// server accepts, hence 422 rather than 400.
+		if req.Samples < 0 || req.Samples > s.cfg.MaxSamples {
+			return nil, unprocessablef("samples %d outside [0, %d]", req.Samples, s.cfg.MaxSamples)
 		}
 		d, c, err := req.resolve()
 		if err != nil {

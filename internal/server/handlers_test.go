@@ -210,9 +210,26 @@ func TestSensitivityEndpoint(t *testing.T) {
 }
 
 func TestSensitivitySampleCap(t *testing.T) {
+	// A well-formed request asking for too much work is 422, not 400.
 	status, body := do(t, "POST", "/v1/sensitivity", `{"design":"a11","n":1e6,"samples":100000}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("status %d, body %s, want 422", status, body)
+	}
+}
+
+func TestCASCurveValidation(t *testing.T) {
+	pts := make([]string, 70)
+	for i := range pts {
+		pts[i] = "0.5"
+	}
+	status, body := do(t, "POST", "/v1/cas",
+		`{"design":"a11","node":"28nm","n":1e6,"curve":[`+strings.Join(pts, ",")+`]}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("oversized curve: status %d, body %s, want 422", status, body)
+	}
+	status, body = do(t, "POST", "/v1/cas", `{"design":"a11","node":"28nm","n":1e6,"curve":[1.5]}`)
 	if status != http.StatusBadRequest {
-		t.Errorf("status %d, body %s, want 400", status, body)
+		t.Errorf("out-of-range curve point: status %d, body %s, want 400", status, body)
 	}
 }
 

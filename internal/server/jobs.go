@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"ttmcas/internal/jobs"
+)
+
+// The batch-job routes: long-running evaluations (Monte-Carlo band
+// curves, Sobol sensitivity, sweeps, Pareto fronts, plan portfolios)
+// that do not fit the synchronous request/response deadline. Clients
+// submit a typed spec, poll progress, and fetch the result when done.
+//
+//	POST   /v1/jobs             submit a spec           → 202 + job view
+//	GET    /v1/jobs             list jobs, newest first → 200
+//	GET    /v1/jobs/{id}        job status + progress   → 200
+//	GET    /v1/jobs/{id}/result finished job's result   → 200 / 409
+//	DELETE /v1/jobs/{id}        cancel (and forget)     → 200
+
+// jobError maps the manager's sentinels onto HTTP statuses.
+func jobError(err error) error {
+	switch {
+	case errors.Is(err, jobs.ErrInvalidSpec):
+		return &apiError{http.StatusUnprocessableEntity, err.Error()}
+	case errors.Is(err, jobs.ErrTooManyJobs):
+		return &apiError{http.StatusTooManyRequests, err.Error()}
+	case errors.Is(err, jobs.ErrNotFound):
+		return &apiError{http.StatusNotFound, err.Error()}
+	case errors.Is(err, jobs.ErrNotFinished):
+		return &apiError{http.StatusConflict, err.Error()}
+	case errors.Is(err, jobs.ErrClosed):
+		return &apiError{http.StatusServiceUnavailable, err.Error()}
+	default:
+		return err
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	if err := decodeJSON(r, &spec); err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, err := s.jobs.Submit(spec)
+	if err != nil {
+		s.fail(w, jobError(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	views := s.jobs.List()
+	if views == nil {
+		views = []jobs.View{}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, jobError(jobs.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// JobResultResponse wraps a finished job's result document with its
+// identity and terminal status. Result is null for failed and
+// cancelled jobs; Error says why.
+type JobResultResponse struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Status jobs.Status     `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	raw, v, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, jobError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResultResponse{
+		ID: v.ID, Kind: v.Kind, Status: v.Status, Error: v.Error, Result: raw,
+	})
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	// Cancel running jobs but keep them listed so clients can observe
+	// the cancellation; remove finished jobs outright.
+	id := r.PathValue("id")
+	v, ok := s.jobs.Get(id)
+	if !ok {
+		s.fail(w, jobError(jobs.ErrNotFound))
+		return
+	}
+	var err error
+	if v.Status.Finished() {
+		v, err = s.jobs.Remove(id)
+	} else {
+		v, err = s.jobs.Cancel(id)
+	}
+	if err != nil {
+		s.fail(w, jobError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

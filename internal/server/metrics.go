@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ttmcas/internal/jobs"
 )
 
 // Metrics aggregates the server's operational counters and renders
@@ -24,6 +26,18 @@ type Metrics struct {
 	cacheMisses  uint64
 	flightShared uint64
 	evaluations  uint64
+
+	jobsSubmitted  map[string]uint64
+	jobsFinished   map[jobStatusKey]uint64
+	jobsRunning    int64
+	jobEvaluations uint64
+}
+
+// jobStatusKey keys the finished-jobs counter by kind and terminal
+// status.
+type jobStatusKey struct {
+	kind   string
+	status string
 }
 
 // routeCode keys the request counter by route pattern and status code.
@@ -43,8 +57,10 @@ type latencySummary struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[routeCode]uint64),
-		latency:  make(map[string]*latencySummary),
+		requests:      make(map[routeCode]uint64),
+		latency:       make(map[string]*latencySummary),
+		jobsSubmitted: make(map[string]uint64),
+		jobsFinished:  make(map[jobStatusKey]uint64),
 	}
 }
 
@@ -110,6 +126,66 @@ func (m *Metrics) CacheMisses() uint64 { m.mu.Lock(); defer m.mu.Unlock(); retur
 func (m *Metrics) Shared() uint64      { m.mu.Lock(); defer m.mu.Unlock(); return m.flightShared }
 func (m *Metrics) Evaluations() uint64 { m.mu.Lock(); defer m.mu.Unlock(); return m.evaluations }
 
+// Metrics implements jobs.Observer, folding the job manager's
+// lifecycle into the same registry.
+
+// JobSubmitted records one job submission by kind.
+func (m *Metrics) JobSubmitted(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsSubmitted[kind]++
+}
+
+// JobStarted marks a job as running.
+func (m *Metrics) JobStarted(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsRunning++
+}
+
+// JobFinished records a job's terminal status and its completed
+// evaluation units.
+func (m *Metrics) JobFinished(kind string, status jobs.Status, evals uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsRunning--
+	m.jobsFinished[jobStatusKey{kind, string(status)}]++
+	m.jobEvaluations += evals
+}
+
+// JobsSubmitted returns the total job submissions across kinds.
+func (m *Metrics) JobsSubmitted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.jobsSubmitted {
+		n += v
+	}
+	return n
+}
+
+// JobsFinished returns the finished-job count for one terminal status,
+// summed over kinds.
+func (m *Metrics) JobsFinished(status jobs.Status) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for k, v := range m.jobsFinished {
+		if k.status == string(status) {
+			n += v
+		}
+	}
+	return n
+}
+
+// JobEvaluations returns the evaluation units completed by finished
+// jobs.
+func (m *Metrics) JobEvaluations() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobEvaluations
+}
+
 // WriteTo renders the registry in the Prometheus text exposition
 // format, with series sorted for deterministic output.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
@@ -158,10 +234,45 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
+	if err := emit("# HELP ttmcas_jobs_submitted_total Batch jobs submitted by kind.\n# TYPE ttmcas_jobs_submitted_total counter\n"); err != nil {
+		return total, err
+	}
+	kinds := make([]string, 0, len(m.jobsSubmitted))
+	for k := range m.jobsSubmitted {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		if err := emit("ttmcas_jobs_submitted_total{kind=%q} %d\n", k, m.jobsSubmitted[k]); err != nil {
+			return total, err
+		}
+	}
+
+	if err := emit("# HELP ttmcas_jobs_finished_total Batch jobs finished by kind and terminal status.\n# TYPE ttmcas_jobs_finished_total counter\n"); err != nil {
+		return total, err
+	}
+	jkeys := make([]jobStatusKey, 0, len(m.jobsFinished))
+	for k := range m.jobsFinished {
+		jkeys = append(jkeys, k)
+	}
+	sort.Slice(jkeys, func(i, j int) bool {
+		if jkeys[i].kind != jkeys[j].kind {
+			return jkeys[i].kind < jkeys[j].kind
+		}
+		return jkeys[i].status < jkeys[j].status
+	})
+	for _, k := range jkeys {
+		if err := emit("ttmcas_jobs_finished_total{kind=%q,status=%q} %d\n", k.kind, k.status, m.jobsFinished[k]); err != nil {
+			return total, err
+		}
+	}
+
 	scalars := []struct {
 		name, help, typ string
 		value           any
 	}{
+		{"ttmcas_jobs_running", "Batch jobs currently running.", "gauge", m.jobsRunning},
+		{"ttmcas_job_evaluations_total", "Evaluation units completed by finished batch jobs.", "counter", m.jobEvaluations},
 		{"ttmcas_cache_hits_total", "Responses served from the LRU cache.", "counter", m.cacheHits},
 		{"ttmcas_cache_misses_total", "Cache lookups that found nothing.", "counter", m.cacheMisses},
 		{"ttmcas_singleflight_shared_total", "Requests that shared an identical in-flight computation.", "counter", m.flightShared},

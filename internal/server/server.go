@@ -8,7 +8,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"time"
+
+	"ttmcas/internal/jobs"
 )
 
 // Config parameterizes a Server. The zero value of every field selects
@@ -32,6 +35,33 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// Logger receives structured request logs (default log.Default()).
 	Logger *log.Logger
+
+	// MaxSamples caps the client-supplied sample counts: the Saltelli
+	// base N of /v1/sensitivity and the Monte-Carlo samples of batch
+	// jobs. Requests above it are rejected with 422 (default 8192).
+	MaxSamples int
+	// MaxCurvePoints caps the /v1/cas curve length and the point lists
+	// of batch jobs; above it is 422 (default 64).
+	MaxCurvePoints int
+
+	// JobWorkers bounds how many batch jobs run concurrently
+	// (default 2).
+	JobWorkers int
+	// MaxJobs bounds pending+running batch jobs; submissions beyond it
+	// get 429 (default 32).
+	MaxJobs int
+	// JobTTL evicts finished job results this long after completion
+	// (default 1h).
+	JobTTL time.Duration
+	// JobTimeout is the per-job deadline when the spec sets none
+	// (default 10m).
+	JobTimeout time.Duration
+	// JobSnapshotDir, when set, persists jobs as JSON so results
+	// survive a restart and interrupted jobs resume.
+	JobSnapshotDir string
+	// MaxJobEvaluations caps the estimated evaluation units of one job
+	// (default 2,000,000).
+	MaxJobEvaluations int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +86,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 8192
+	}
+	if c.MaxCurvePoints <= 0 {
+		c.MaxCurvePoints = 64
+	}
 	return c
 }
 
@@ -71,6 +107,8 @@ type Server struct {
 	flight  flightGroup
 	metrics *Metrics
 	heavy   chan struct{}
+	jobs    *jobs.Manager
+	closed  sync.Once
 
 	// slowEval, when set, runs at the start of every model
 	// computation; tests use it to hold requests in flight.
@@ -87,6 +125,20 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		heavy:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	s.jobs = jobs.New(jobs.Config{
+		Workers:        cfg.JobWorkers,
+		MaxActive:      cfg.MaxJobs,
+		ResultTTL:      cfg.JobTTL,
+		DefaultTimeout: cfg.JobTimeout,
+		SnapshotDir:    cfg.JobSnapshotDir,
+		Limits: jobs.Limits{
+			MaxSamples:     cfg.MaxSamples,
+			MaxPoints:      cfg.MaxCurvePoints,
+			MaxEvaluations: cfg.MaxJobEvaluations,
+		},
+		Logger:   cfg.Logger,
+		Observer: s.metrics,
+	})
 	s.handler = s.routes()
 	return s
 }
@@ -96,6 +148,16 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Jobs returns the batch-job manager, for the CLI and tests.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close stops the batch-job manager, cancelling running jobs and
+// waiting for the workers to drain. Serve calls it after the HTTP
+// shutdown; tests that only use Handler must call it themselves.
+func (s *Server) Close() {
+	s.closed.Do(func() { s.jobs.Close() })
+}
 
 // routes builds the route table. Every route is wrapped with the
 // middleware stack under its own metrics label.
@@ -109,6 +171,11 @@ func (s *Server) routes() http.Handler {
 	handle("POST /v1/cost", s.handleCost)
 	handle("POST /v1/sensitivity", s.handleSensitivity)
 	handle("POST /v1/plan", s.handlePlan)
+	handle("POST /v1/jobs", s.handleJobSubmit)
+	handle("GET /v1/jobs", s.handleJobList)
+	handle("GET /v1/jobs/{id}", s.handleJobGet)
+	handle("GET /v1/jobs/{id}/result", s.handleJobResult)
+	handle("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	handle("GET /v1/nodes", s.handleNodes)
 	handle("GET /v1/scenarios", s.handleScenarios)
 	handle("GET /v1/designs", s.handleDesigns)
@@ -131,8 +198,10 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // Serve accepts connections on ln until ctx is canceled. Cancellation
 // triggers a graceful shutdown: the listener closes immediately (new
 // connections are refused) while in-flight requests get up to
-// ShutdownGrace to complete.
+// ShutdownGrace to complete; running batch jobs are cancelled and
+// drained afterwards (snapshotted for resume when persistence is on).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer s.Close()
 	hs := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,

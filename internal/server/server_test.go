@@ -19,7 +19,9 @@ func testServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
-	return New(cfg)
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
 }
 
 func postJSON(t *testing.T, url, body string) (int, string) {

@@ -1,20 +1,32 @@
 // Package sweep is a small deterministic parallel map for parameter
 // sweeps: the figure generators evaluate hundreds to thousands of
 // model points (cache configs × nodes × quantities, node pairs ×
-// production splits) that are independent and CPU-bound.
+// production splits) that are independent and CPU-bound. Every map is
+// context-aware so long-running batches — Monte-Carlo bands, Sobol
+// matrices, design sweeps — can be cancelled mid-flight with at most
+// one in-flight evaluation per worker left to finish.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
 // Map applies f to every item using `workers` goroutines (zero means
-// GOMAXPROCS) and returns results in input order. The first error
-// cancels no in-flight work but is reported after all workers drain,
-// keeping results deterministic.
-func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+// GOMAXPROCS) and returns results in input order.
+//
+// Cancellation: when ctx is cancelled the dispatcher stops handing out
+// work and every worker skips items it has not started, so Map returns
+// promptly — within one evaluation per worker — with ctx.Err(). The
+// context error takes precedence over evaluation errors, since partial
+// results are discarded either way.
+//
+// Errors: the first error by input index is reported after all started
+// work drains, keeping results deterministic; later items still run
+// (an error does not cancel in-flight work).
+func Map[T, R any](ctx context.Context, items []T, workers int, f func(T) (R, error)) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -23,7 +35,7 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 	}
 	results := make([]R, len(items))
 	if len(items) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	var (
 		wg       sync.WaitGroup
@@ -37,6 +49,9 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without evaluating
+				}
 				r, err := f(items[i])
 				if err != nil {
 					mu.Lock()
@@ -50,11 +65,19 @@ func Map[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range items {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("sweep: item %d: %w", firstIdx, firstErr)
 	}

@@ -1,9 +1,12 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"strconv"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -11,7 +14,7 @@ func TestMapPreservesOrder(t *testing.T) {
 	for i := range items {
 		items[i] = i
 	}
-	got, err := Map(items, 8, func(x int) (string, error) {
+	got, err := Map(context.Background(), items, 8, func(x int) (string, error) {
 		return strconv.Itoa(x * 2), nil
 	})
 	if err != nil {
@@ -25,14 +28,14 @@ func TestMapPreservesOrder(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	got, err := Map(nil, 4, func(int) (int, error) { return 0, nil })
+	got, err := Map(context.Background(), nil, 4, func(int) (int, error) { return 0, nil })
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty map = %v, %v", got, err)
 	}
 }
 
 func TestMapDefaultWorkers(t *testing.T) {
-	got, err := Map([]int{1, 2, 3}, 0, func(x int) (int, error) { return x, nil })
+	got, err := Map(context.Background(), []int{1, 2, 3}, 0, func(x int) (int, error) { return x, nil })
 	if err != nil || len(got) != 3 {
 		t.Errorf("map = %v, %v", got, err)
 	}
@@ -40,7 +43,7 @@ func TestMapDefaultWorkers(t *testing.T) {
 
 func TestMapReportsFirstError(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := Map([]int{0, 1, 2, 3}, 2, func(x int) (int, error) {
+	_, err := Map(context.Background(), []int{0, 1, 2, 3}, 2, func(x int) (int, error) {
 		if x >= 2 {
 			return 0, boom
 		}
@@ -52,6 +55,74 @@ func TestMapReportsFirstError(t *testing.T) {
 	// The reported index is the smallest failing one.
 	if err == nil || err.Error() != "sweep: item 2: boom" {
 		t.Errorf("err = %v, want item 2", err)
+	}
+}
+
+func TestMapCancelledMidMapReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	items := make([]int, 1000)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, items, 2, func(int) (int, error) {
+			if started.Add(1) <= 2 {
+				<-release // hold the first batch in flight
+			}
+			return 0, nil
+		})
+		done <- err
+	}()
+	// Wait for both workers to be mid-evaluation, then cancel.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	// Workers drain the queue without evaluating once cancelled: far
+	// fewer than the full 1000 items may have started.
+	if n := started.Load(); n > 10 {
+		t.Errorf("%d evaluations started after cancel, want ~2", n)
+	}
+}
+
+func TestMapPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, []int{1, 2, 3}, 2, func(int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d evaluations ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestMapContextErrorWinsOverEvalError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	var once atomic.Bool
+	_, err := Map(ctx, make([]int, 100), 2, func(int) (int, error) {
+		if once.CompareAndSwap(false, true) {
+			cancel() // cancel from inside the first evaluation
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled to take precedence", err)
 	}
 }
 

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs the serial-vs-parallel throughput benchmarks behind the jobs
+# subsystem (Monte-Carlo band curve, Sobol sensitivity) and records
+# them as JSON — ns/op and the model-evaluations-per-second metric the
+# benchmarks report — so speedups can be tracked across commits.
+#
+#   scripts/bench.sh [out.json]       # default out: BENCH_jobs.json
+#   BENCHTIME=5s scripts/bench.sh     # longer runs for stabler numbers
+set -eu
+
+out="${1:-BENCH_jobs.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BandCurve|Sobol' -benchtime "${BENCHTIME:-2s}" \
+    ./internal/mc ./internal/sens | tee "$tmp"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/^Benchmark/, "", name)
+            sub(/-[0-9]+$/, "", name)
+            ns = "null"; evals = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op")   ns = $i
+                if ($(i+1) == "evals/s") evals = $i
+            }
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"evals_per_s\": %s}", name, ns, evals
+        }
+        END { printf "\n" }
+    ' "$tmp"
+    printf '  ]\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

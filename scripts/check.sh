@@ -6,3 +6,8 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Bench smoke: one iteration of each throughput benchmark, so a broken
+# benchmark (or a serial/parallel variant that stops compiling) fails
+# CI without CI paying for real measurement runs.
+go test -run '^$' -bench . -benchtime 1x ./internal/mc ./internal/sens
