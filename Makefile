@@ -22,11 +22,13 @@ race:
 serve: build
 	$(GO) run ./cmd/ttmcas-serve
 
-# One iteration of every throughput benchmark — catches benchmarks that
-# no longer compile or fail, without paying for measurement runs.
+# One iteration of every throughput benchmark — including the compiled
+# core kernel's — catches benchmarks that no longer compile or fail,
+# without paying for measurement runs.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/mc ./internal/sens
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep
 
-# Full serial-vs-parallel measurement runs; writes BENCH_jobs.json.
+# Full measurement runs (kernel, band curves, Sobol) with allocation
+# counts and a parallel-vs-serial guard; writes BENCH_jobs.json.
 bench:
 	scripts/bench.sh

@@ -221,17 +221,27 @@ func SensitivityWithModel(base Model, d Design, n float64, c Conditions, cfg Sen
 	return SensitivityWithModelCtx(context.Background(), base, d, n, c, cfg)
 }
 
-// SensitivityWithModelCtx is SensitivityWithModel under a context.
+// SensitivityWithModelCtx is SensitivityWithModel under a context. The
+// design is compiled once and every worker runs its own clone of the
+// zero-allocation evaluator, so the N·(k+2) Saltelli evaluations never
+// repeat the per-node database lookups.
 func SensitivityWithModelCtx(ctx context.Context, base Model, d Design, n float64, c Conditions, cfg SensitivityConfig) (SensitivityResult, error) {
-	return sens.TotalEffect(ctx, core.Inputs, cfg, func(mult []float64) (float64, error) {
-		m := base
-		for i, name := range core.Inputs {
-			if err := m.Perturb.SetInput(name, mult[i]); err != nil {
-				return 0, err
+	ev, err := base.Compile(d, n, c)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	return sens.TotalEffectFrom(ctx, core.Inputs, cfg, func() (func(mult []float64) (float64, error), error) {
+		w := ev.Clone()
+		return func(mult []float64) (float64, error) {
+			var p Perturbation
+			for i, name := range core.Inputs {
+				if err := p.SetInput(name, mult[i]); err != nil {
+					return 0, err
+				}
 			}
-		}
-		t, err := m.TTM(d, n, c)
-		return float64(t), err
+			t, err := w.Eval(p)
+			return float64(t), err
+		}, nil
 	})
 }
 

@@ -9,6 +9,7 @@
 //	ttmcas-serve [-addr :8080] [-cache-size 1024] [-max-concurrent 4] [-request-timeout 30s]
 //	             [-job-workers 2] [-max-jobs 32] [-job-ttl 1h] [-job-timeout 10m]
 //	             [-job-snapshots DIR] [-max-samples 8192] [-max-curve-points 64]
+//	             [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -29,6 +30,9 @@
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus text-format counters
 //
+// With -pprof-addr the standard net/http/pprof profiles are served on
+// a second, separate listener (off by default; bind it to localhost).
+//
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM; running batch jobs are cancelled, and with -job-snapshots
 // they are persisted and resumed on the next start.
@@ -39,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,12 +74,26 @@ func run(args []string) error {
 	jobSnapshots := fs.String("job-snapshots", "", "directory for job snapshots (persists results across restarts; empty disables)")
 	maxSamples := fs.Int("max-samples", 8192, "largest accepted sample count (sensitivity N, Monte-Carlo samples)")
 	maxCurvePoints := fs.Int("max-curve-points", 64, "largest accepted curve/grid point list")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	logger := log.New(os.Stderr, "ttmcas-serve ", log.LstdFlags|log.Lmicroseconds)
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		ps := &http.Server{Handler: server.PprofHandler(), ReadHeaderTimeout: 10 * time.Second, ErrorLog: logger}
+		defer ps.Close()
+		go ps.Serve(ln)
+		logger.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	}
 
 	srv := server.New(server.Config{
 		Addr:           *addr,
@@ -88,7 +108,7 @@ func run(args []string) error {
 		JobSnapshotDir: *jobSnapshots,
 		MaxSamples:     *maxSamples,
 		MaxCurvePoints: *maxCurvePoints,
-		Logger:         log.New(os.Stderr, "ttmcas-serve ", log.LstdFlags|log.Lmicroseconds),
+		Logger:         logger,
 	})
 	return srv.ListenAndServe(ctx)
 }

@@ -61,6 +61,20 @@
 // deterministic specs. The ttmcas CLI's `jobs` subcommand runs the
 // same specs locally without a server.
 //
+// # Performance
+//
+// The analysis layers do not evaluate the map-based model directly:
+// core.Model.Compile resolves a (design, volume, conditions) triple
+// once into a flat, allocation-free evaluation kernel, and the
+// Monte-Carlo, Sobol and split-study drivers fan out over it in
+// adaptive chunks with one kernel clone and one RNG per worker
+// (falling back to inline serial execution for small batches, so
+// parallel entry points never lose to serial ones). The compiled
+// kernel is tested bit-for-bit against the oracle Evaluate across all
+// built-in designs and market scenarios, and `make bench` records the
+// kernel and driver throughput — with allocation counts — in
+// BENCH_jobs.json.
+//
 // The model equations are implemented exactly as printed in the paper;
 // parameter values are calibrated to the paper's published anchors as
 // documented in DESIGN.md. Absolute weeks and dollars are

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+// The kernel benchmarks pin the tentpole claim: Evaluator.Eval runs the
+// full TTM model with zero allocations, roughly an order of magnitude
+// faster than the map-based Model.Evaluate it compiles away. bench.sh
+// records both so a regression in either shows up in BENCH_jobs.json.
+
+var benchPert = core.Perturbation{NTT: 1.05, NUT: 0.95, D0: 1.1, Rate: 0.9, FabLatency: 1.02, TAPLatency: 1.01}
+
+func BenchmarkModelEvaluate(b *testing.B) {
+	m := core.Model{Perturb: benchPert}
+	d := scenario.A11At(technode.N28)
+	c := market.Full().WithQueueAll(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TTM(d, 10e6, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluatorEval(b *testing.B) {
+	m := core.Model{}
+	ev, err := m.Compile(scenario.A11At(technode.N28), 10e6, market.Full().WithQueueAll(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(benchPert); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluatorCAS(b *testing.B) {
+	m := core.Model{}
+	ev, err := m.Compile(scenario.Zen2(), 10e6, market.Full().WithQueueAll(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.CAS(benchPert); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

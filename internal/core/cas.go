@@ -126,21 +126,27 @@ type CASPoint struct {
 // positive; points where production stalls report CAS 0 and infinite
 // TTM.
 func (m Model) CASCurve(d design.Design, n float64, base market.Conditions, fractions []float64) ([]CASPoint, error) {
+	// One compiled evaluator serves the whole sweep: each curve point is
+	// 1 + 2·|nodes| evaluations, so the curve rides the zero-allocation
+	// kernel instead of re-resolving the design per point.
+	ev, err := m.Compile(d, n, base)
+	if err != nil {
+		return nil, err
+	}
 	pts := make([]CASPoint, 0, len(fractions))
 	for _, f := range fractions {
 		if f <= 0 {
 			return nil, fmt.Errorf("core: capacity fraction %v must be positive", f)
 		}
-		c := base.AtCapacity(f)
-		ttm, err := m.TTM(d, n, c)
+		ttm, err := ev.EvalAtCapacity(m.Perturb, f)
 		if err != nil {
 			return nil, err
 		}
-		cas, err := m.CAS(d, n, c)
+		cas, err := ev.CASAtCapacity(m.Perturb, f)
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, CASPoint{Capacity: f, CAS: cas.CAS, TTM: ttm})
+		pts = append(pts, CASPoint{Capacity: f, CAS: cas, TTM: ttm})
 	}
 	return pts, nil
 }

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/design"
+	"ttmcas/internal/geometry"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+	"ttmcas/internal/yield"
+)
+
+// This file implements the compiled evaluation kernel: Model.Evaluate
+// resolves every per-node parameter through map lookups and builds
+// fresh result slices on each call, which is fine for a one-shot
+// evaluation but dominates the runtime of the Monte-Carlo, Sobol and
+// sweep drivers that call it 10³–10⁶ times with nothing changing but
+// the Perturbation. Compile performs all of that resolution once —
+// node parameters, effort curves, wafer geometry, queue depths,
+// capacity factors — into flat slices indexed by a dense node index,
+// so Evaluator.Eval runs the model with zero map operations and zero
+// heap allocations.
+//
+// The kernel mirrors Evaluate's floating-point operations in the exact
+// same order, so its results are bit-for-bit identical to the
+// map-based oracle; the property tests in compile_test.go hold the two
+// paths equal across every registered design × scenario.
+
+// Evaluator is a design × conditions pair compiled for repeated
+// evaluation under varying perturbations. An Evaluator owns a scratch
+// buffer and is therefore NOT safe for concurrent use; parallel
+// drivers give each worker its own Clone (cheap: the compiled tables
+// are shared and immutable, only the scratch is duplicated).
+type Evaluator struct {
+	// chips is the compiled final-chip count n.
+	chips float64
+	// global is the raw GlobalCapacity of the compiled conditions
+	// (zero meaning "default to 1", resolved at eval time exactly as
+	// market.Conditions.capacity does).
+	global float64
+
+	designTime units.Weeks
+	team       float64 // float64(d.Team())
+
+	alpha      float64
+	yieldModel yield.Model
+	noEdge     bool
+
+	nodes []evalNode
+	dies  []evalDie
+
+	// scratch accumulates per-node wafer demand during one Eval; it is
+	// the only mutable state.
+	scratch []units.Wafers
+}
+
+// evalNode is one distinct process node of the design with every
+// map-resolved parameter flattened.
+type evalNode struct {
+	node          technode.Node
+	nutBase       float64 // float64(d.UniqueTransistorsAt(node))
+	tapeoutEffort float64
+	waferRate     float64 // float64(p.WaferRate), full capacity
+	factor        float64 // node capacity multiplier (1 when unset)
+	queueWafers   float64 // float64(c.QueueWafers(p)), fixed at quote time
+	fabLatency    float64 // float64(p.FabLatency)
+}
+
+// evalDie is one die type with its node parameters resolved.
+type evalDie struct {
+	name          string
+	node          technode.Node
+	nodeIdx       int
+	tapLatency    float64 // float64(p.TAPLatency)
+	nttBase       float64 // float64(die.TotalTransistors())
+	areaOverride  units.MM2
+	minArea       units.MM2
+	density       units.MTrPerMM2
+	d0Base        float64 // float64(p.DefectDensity)
+	yieldOverride float64
+	salvage       *yield.Salvage
+	wafer         geometry.Wafer
+	countF        float64 // float64(die.Count())
+	testingEffort float64
+	packageEffort float64
+}
+
+// Compile resolves the design and market conditions against the
+// model's node database into an Evaluator. The model's own Perturb
+// field is ignored: the perturbation is an argument of every Eval so
+// one compiled kernel serves a whole Monte-Carlo or Sobol stream.
+// Structural errors (invalid design, negative chip count, unknown
+// node, invalid salvage scheme) surface here; data-dependent errors
+// (a die too large for the wafer under a perturbed transistor count)
+// surface from Eval.
+func (m Model) Compile(d design.Design, n float64, c market.Conditions) (*Evaluator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative chip count %v", n)
+	}
+	e := &Evaluator{
+		chips:      n,
+		global:     c.GlobalCapacity,
+		designTime: d.DesignTime,
+		team:       float64(d.Team()),
+		alpha:      m.Alpha,
+		yieldModel: m.YieldModel,
+		noEdge:     m.NoEdgeCorrection,
+	}
+	nodeIdx := make(map[technode.Node]int)
+	for _, node := range d.Nodes() {
+		p, err := m.Nodes.Lookup(node)
+		if err != nil {
+			return nil, err
+		}
+		nodeIdx[node] = len(e.nodes)
+		e.nodes = append(e.nodes, evalNode{
+			node:          node,
+			nutBase:       float64(d.UniqueTransistorsAt(node)),
+			tapeoutEffort: p.TapeoutEffort,
+			waferRate:     float64(p.WaferRate),
+			factor:        nodeFactor(c, node),
+			queueWafers:   float64(c.QueueWafers(p)),
+			fabLatency:    float64(p.FabLatency),
+		})
+	}
+	for _, die := range d.Dies {
+		p, err := m.Nodes.Lookup(die.Node)
+		if err != nil {
+			return nil, err
+		}
+		if die.Salvage != nil {
+			if err := die.Salvage.Validate(); err != nil {
+				return nil, fmt.Errorf("core: die %q: %w", die.Name, err)
+			}
+		}
+		e.dies = append(e.dies, evalDie{
+			name:          die.Name,
+			node:          die.Node,
+			nodeIdx:       nodeIdx[die.Node],
+			tapLatency:    float64(p.TAPLatency),
+			nttBase:       float64(die.TotalTransistors()),
+			areaOverride:  die.AreaOverride,
+			minArea:       die.MinArea,
+			density:       p.Density,
+			d0Base:        float64(p.DefectDensity),
+			yieldOverride: die.YieldOverride,
+			salvage:       die.Salvage,
+			wafer:         m.waferFor(p),
+			countF:        float64(die.Count()),
+			testingEffort: p.TestingEffort,
+			packageEffort: p.PackageEffort,
+		})
+	}
+	e.scratch = make([]units.Wafers, len(e.nodes))
+	return e, nil
+}
+
+// Clone returns an Evaluator sharing the compiled tables but owning a
+// fresh scratch buffer, for one worker of a parallel driver.
+func (e *Evaluator) Clone() *Evaluator {
+	out := *e
+	out.scratch = make([]units.Wafers, len(e.nodes))
+	return &out
+}
+
+// Chips returns the compiled final-chip count.
+func (e *Evaluator) Chips() float64 { return e.chips }
+
+// Eval computes the headline TTM under the perturbation at the
+// compiled conditions. The hot path performs no map operations and no
+// heap allocations (asserted by testing.AllocsPerRun in the tests);
+// only the error path allocates.
+func (e *Evaluator) Eval(p Perturbation) (units.Weeks, error) {
+	return e.eval(p, e.chips, e.global, -1, 0)
+}
+
+// EvalAtCapacity is Eval with the global capacity fraction overridden,
+// exactly as evaluating at c.AtCapacity(global) would; the x-axis of
+// every capacity-sweep figure.
+func (e *Evaluator) EvalAtCapacity(p Perturbation, global float64) (units.Weeks, error) {
+	return e.eval(p, e.chips, global, -1, 0)
+}
+
+// EvalChips is Eval with the final-chip count overridden, for volume
+// sweeps and production-split studies that re-divide a fixed order
+// across designs.
+func (e *Evaluator) EvalChips(p Perturbation, n float64) (units.Weeks, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative chip count %v", n)
+	}
+	return e.eval(p, n, e.global, -1, 0)
+}
+
+// EvalChipsNodeCapacity is EvalChips with one node's capacity factor
+// replaced (the WithNodeCapacity finite-difference probe). A node the
+// design does not use leaves the result unchanged.
+func (e *Evaluator) EvalChipsNodeCapacity(p Perturbation, n float64, node technode.Node, f float64) (units.Weeks, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative chip count %v", n)
+	}
+	idx := -1
+	for i := range e.nodes {
+		if e.nodes[i].node == node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return e.eval(p, n, e.global, -1, 0)
+	}
+	return e.eval(p, n, e.global, idx, f)
+}
+
+// CAS computes the Chip Agility Score (Eq. 8) under the perturbation
+// at the compiled conditions via the same central differences as
+// Model.CAS, without the per-node Derivatives map.
+func (e *Evaluator) CAS(p Perturbation) (float64, error) {
+	return e.cas(p, e.global)
+}
+
+// CASAtCapacity is CAS with the global capacity fraction overridden.
+func (e *Evaluator) CASAtCapacity(p Perturbation, global float64) (float64, error) {
+	return e.cas(p, global)
+}
+
+// eval is the kernel. overrideIdx < 0 means no node-capacity override.
+// The arithmetic mirrors Model.Evaluate operation for operation so the
+// result is bit-for-bit identical to the oracle.
+func (e *Evaluator) eval(p Perturbation, chips, global float64, overrideIdx int, overrideF float64) (units.Weeks, error) {
+	// Tapeout phase (Eq. 2).
+	var tapeoutHours units.Hours
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		nut := nd.nutBase * or1(p.NUT)
+		tapeoutHours += units.Hours(nut / 1e6 * nd.tapeoutEffort)
+	}
+	tapeout := units.Weeks(float64(tapeoutHours) / (units.HoursPerWeek * e.team))
+
+	// Per-die geometry, yield and wafer demand (Eqs. 5–7).
+	for i := range e.scratch {
+		e.scratch[i] = 0
+	}
+	var testWeeks, packWeeks float64
+	var tapLatency units.Weeks
+	for i := range e.dies {
+		die := &e.dies[i]
+		if units.Weeks(die.tapLatency*or1(p.TAPLatency)) > tapLatency {
+			tapLatency = units.Weeks(die.tapLatency * or1(p.TAPLatency))
+		}
+
+		ntt := units.Transistors(die.nttBase * or1(p.NTT))
+		area := die.areaOverride
+		if area <= 0 {
+			area = die.density.Area(ntt)
+		}
+		if area < die.minArea {
+			area = die.minArea
+		}
+
+		y := die.yieldOverride
+		if y == 0 {
+			yp := yield.Params{
+				Area:  area,
+				D0:    units.DefectsPerCM2(die.d0Base * or1(p.D0)),
+				Alpha: e.alpha,
+				Model: e.yieldModel,
+			}
+			if die.salvage != nil {
+				var err error
+				y, err = yield.SalvageYield(yp, *die.salvage)
+				if err != nil {
+					return 0, fmt.Errorf("core: die %q: %w", die.name, err)
+				}
+			} else {
+				y = yield.Yield(yp)
+			}
+		}
+
+		var gross float64
+		if e.noEdge {
+			gross = float64(die.wafer.NaiveDies(area))
+		} else {
+			gross = die.wafer.GrossDiesFrac(area)
+		}
+		if gross < 1 {
+			return 0, fmt.Errorf("core: die %q (%.0f mm² at %s): %w",
+				die.name, float64(area), die.node, geometry.ErrDieTooLarge)
+		}
+
+		diesNeeded := yield.DiesNeeded(chips*die.countF, y)
+		e.scratch[die.nodeIdx] += units.Wafers(diesNeeded / gross)
+
+		if y > 0 {
+			testWeeks += chips * die.countF / y * float64(ntt) * die.testingEffort
+		}
+		packWeeks += chips * die.countF * float64(area) * die.packageEffort
+	}
+
+	// Eqs. 3–5 per node, synchronized at the slowest node.
+	var fabrication units.Weeks
+	first := true
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		g := global
+		if g == 0 {
+			g = 1
+		}
+		if overrideIdx == i {
+			g *= overrideF
+		} else {
+			g *= nd.factor
+		}
+		if g < 0 {
+			g = 0
+		}
+		rate := nd.waferRate * g * or1(p.Rate)
+		lfab := units.Weeks(nd.fabLatency * or1(p.FabLatency))
+		wafers := e.scratch[i]
+		var fabTotal units.Weeks
+		switch {
+		case rate > 0:
+			queue := units.Weeks(nd.queueWafers / rate)            // Eq. 4
+			production := units.Weeks(float64(wafers)/rate) + lfab // Eq. 5
+			fabTotal = queue + production
+		case wafers > 0 || nd.queueWafers > 0:
+			fabTotal = units.Weeks(math.Inf(1))
+		default:
+			fabTotal = lfab
+		}
+		if first || fabTotal > fabrication {
+			fabrication = fabTotal
+			first = false
+		}
+	}
+
+	packaging := tapLatency + units.Weeks(testWeeks) + units.Weeks(packWeeks)
+	return e.designTime + tapeout + fabrication + packaging, nil
+}
+
+// cas mirrors Model.CASWithStep at the default step.
+func (e *Evaluator) cas(p Perturbation, global float64) (float64, error) {
+	g := global
+	if g == 0 {
+		g = 1
+	}
+	const step = DefaultDerivativeStep
+	sum := 0.0
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		f0 := nd.factor
+		fUp, fDown := f0+step, f0-step
+		if fDown <= 0 {
+			fDown = f0
+		}
+		up, err := e.eval(p, e.chips, global, i, fUp)
+		if err != nil {
+			return 0, err
+		}
+		down, err := e.eval(p, e.chips, global, i, fDown)
+		if err != nil {
+			return 0, err
+		}
+		if math.IsInf(float64(up), 0) || math.IsInf(float64(down), 0) {
+			sum = math.Inf(1)
+			continue
+		}
+		sum += math.Abs(float64(up-down)) / ((fUp - fDown) * g * nd.waferRate)
+	}
+	if sum <= 0 {
+		return math.Inf(1), nil
+	}
+	if math.IsInf(sum, 1) {
+		return 0, nil
+	}
+	return 1 / sum, nil
+}

@@ -605,7 +605,9 @@ func TestMCBandJobCancelMidRun(t *testing.T) {
 	m := New(quietConfig())
 	defer m.Close()
 
-	spec := Spec{Kind: KindMCBand, Design: "a11", Samples: 256, Seed: 1}
+	// A CAS curve at the sample cap keeps the compiled kernel busy for
+	// long enough (hundreds of ms) that the cancel below lands mid-run.
+	spec := Spec{Kind: KindMCBand, Design: "a11", Metric: "cas", Samples: 8192, Seed: 1}
 	v, err := m.Submit(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -444,18 +444,15 @@ func (s Spec) runMCBand(ctx context.Context, pr Tracker) (any, error) {
 	if metric == "" {
 		metric = "ttm"
 	}
-	evalAt := func(m core.Model, x float64) (float64, error) {
-		defer pr.Add(1)
-		cx := c.AtCapacity(x)
-		if metric == "cas" {
-			r, err := m.CAS(d, n, cx)
-			return r.CAS, err
-		}
-		t, err := m.TTM(d, n, cx)
-		return float64(t), err
+	sel := mc.MetricTTM
+	if metric == "cas" {
+		sel = mc.MetricCAS
 	}
 	cfg := mc.Config{Samples: samples, Seed: s.Seed}
-	bands, err := mc.BandCurve(ctx, core.Model{}, cfg, xs, evalAt)
+	// BandCurveEval compiles the design once and runs the whole curve on
+	// the zero-allocation kernel; results are bit-for-bit what the
+	// map-based BandCurve closure produced.
+	bands, err := mc.BandCurveEval(ctx, core.Model{}, cfg, d, n, c, xs, sel, func() { pr.Add(1) })
 	if err != nil {
 		return nil, err
 	}
@@ -491,16 +488,23 @@ func (s Spec) runSensitivity(ctx context.Context, pr Tracker) (any, error) {
 	n := s.n()
 	cfg := sens.Config{N: s.samples(512), Variation: s.Variation, Seed: s.Seed}
 	pr.SetTotal(uint64(cfg.N * (len(core.Inputs) + 2)))
-	res, err := sens.TotalEffect(ctx, core.Inputs, cfg, func(mult []float64) (float64, error) {
-		defer pr.Add(1)
-		var m core.Model
-		for i, name := range core.Inputs {
-			if err := m.Perturb.SetInput(name, mult[i]); err != nil {
-				return 0, err
+	ev, err := core.Model{}.Compile(d, n, c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sens.TotalEffectFrom(ctx, core.Inputs, cfg, func() (func([]float64) (float64, error), error) {
+		w := ev.Clone()
+		return func(mult []float64) (float64, error) {
+			defer pr.Add(1)
+			var p core.Perturbation
+			for i, name := range core.Inputs {
+				if err := p.SetInput(name, mult[i]); err != nil {
+					return 0, err
+				}
 			}
-		}
-		t, err := m.TTM(d, n, c)
-		return float64(t), err
+			t, err := w.Eval(p)
+			return float64(t), err
+		}, nil
 	})
 	if err != nil {
 		return nil, err

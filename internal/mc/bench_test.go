@@ -44,3 +44,28 @@ func benchBandCurve(b *testing.B, curve func(context.Context, core.Model, Config
 
 func BenchmarkBandCurveSerial(b *testing.B)   { benchBandCurve(b, BandCurveSerial) }
 func BenchmarkBandCurveParallel(b *testing.B) { benchBandCurve(b, BandCurve) }
+
+// BenchmarkBandCurveCompiled is the same curve on BandCurveEval: design
+// compiled once, chunked fan-out, zero allocations per sample.
+func BenchmarkBandCurveCompiled(b *testing.B) {
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = 0.25 + 0.05*float64(i)
+	}
+	cfg := Config{Samples: 32, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bands, err := BandCurveEval(context.Background(), m, cfg, d, 10e6, market.Full(), xs, MetricTTM, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bands) != len(xs) {
+			b.Fatalf("bands = %d", len(bands))
+		}
+	}
+	evalsPerOp := float64(len(xs) * 2 * cfg.samples())
+	b.ReportMetric(evalsPerOp*float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}

@@ -10,6 +10,7 @@ package mc
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 
 	"ttmcas/internal/core"
@@ -85,10 +86,42 @@ func (c Config) Perturbations() []core.Perturbation {
 // returns ctx.Err().
 func Run(ctx context.Context, base core.Model, cfg Config, eval func(core.Model) (float64, error)) (Estimate, error) {
 	perts := cfg.Perturbations()
-	xs, err := sweep.Map(ctx, perts, 0, func(p core.Perturbation) (float64, error) {
-		m := base
-		m.Perturb = p
-		return eval(m)
+	xs := make([]float64, len(perts))
+	err := sweep.ForChunks(ctx, len(perts), 0, sweep.DefaultGrain, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			m := base
+			m.Perturb = perts[i]
+			v, err := eval(m)
+			if err != nil {
+				return fmt.Errorf("mc: sample %d: %w", i, err)
+			}
+			xs[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Mean: stats.Mean(xs), CI: stats.CI95(xs), Samples: len(xs)}, nil
+}
+
+// RunEval is Run on a compiled evaluator: each chunk of samples runs on
+// its own Clone of ev, so the whole stream rides the zero-allocation
+// kernel. eval receives the worker-local evaluator and the sample's
+// perturbation.
+func RunEval(ctx context.Context, ev *core.Evaluator, cfg Config, eval func(*core.Evaluator, core.Perturbation) (float64, error)) (Estimate, error) {
+	perts := cfg.Perturbations()
+	xs := make([]float64, len(perts))
+	err := sweep.ForChunks(ctx, len(perts), 0, sweep.DefaultGrain, func(lo, hi int) error {
+		w := ev.Clone()
+		for i := lo; i < hi; i++ {
+			v, err := eval(w, perts[i])
+			if err != nil {
+				return fmt.Errorf("mc: sample %d: %w", i, err)
+			}
+			xs[i] = v
+		}
+		return nil
 	})
 	if err != nil {
 		return Estimate{}, err
@@ -98,17 +131,24 @@ func Run(ctx context.Context, base core.Model, cfg Config, eval func(core.Model)
 
 // TTM estimates the time-to-market distribution of a design.
 func TTM(ctx context.Context, base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
-	return Run(ctx, base, cfg, func(m core.Model) (float64, error) {
-		t, err := m.TTM(d, n, c)
+	ev, err := base.Compile(d, n, c)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return RunEval(ctx, ev, cfg, func(w *core.Evaluator, p core.Perturbation) (float64, error) {
+		t, err := w.Eval(p)
 		return float64(t), err
 	})
 }
 
 // CAS estimates the Chip Agility Score distribution of a design.
 func CAS(ctx context.Context, base core.Model, d design.Design, n float64, c market.Conditions, cfg Config) (Estimate, error) {
-	return Run(ctx, base, cfg, func(m core.Model) (float64, error) {
-		r, err := m.CAS(d, n, c)
-		return r.CAS, err
+	ev, err := base.Compile(d, n, c)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return RunEval(ctx, ev, cfg, func(w *core.Evaluator, p core.Perturbation) (float64, error) {
+		return w.CAS(p)
 	})
 }
 
@@ -154,6 +194,88 @@ func BandCurve(ctx context.Context, base core.Model, cfg Config, xs []float64, e
 	return sweep.Map(ctx, xs, 0, func(x float64) (Band, error) {
 		return bandAt(ctx, base, cfg, x, evalAt)
 	})
+}
+
+// Metric selects the model output BandCurveEval sweeps.
+type Metric int
+
+const (
+	// MetricTTM is time-to-market in weeks.
+	MetricTTM Metric = iota
+	// MetricCAS is the Chip Agility Score.
+	MetricCAS
+)
+
+// BandCurveEval is BandCurve on the compiled kernel: the design ×
+// conditions pair is compiled once, the two perturbation streams (±10%
+// and ±25%) are drawn once — they are identical at every x by
+// construction — and the x-positions are fanned out in chunks with a
+// per-chunk evaluator clone and sample buffers. The result is
+// bit-for-bit identical to BandCurve with the equivalent map-based
+// closure, at roughly an order of magnitude higher throughput.
+//
+// onEval, when non-nil, is called once per sample evaluation from
+// worker goroutines (it must be concurrency-safe); jobs use it for
+// progress counting. Cancelling ctx stops the curve within one chunk
+// per worker.
+func BandCurveEval(ctx context.Context, base core.Model, cfg Config, d design.Design, n float64, c market.Conditions, xs []float64, metric Metric, onEval func()) ([]Band, error) {
+	ev, err := base.Compile(d, n, c)
+	if err != nil {
+		return nil, err
+	}
+	cfg10, cfg25 := cfg, cfg
+	cfg10.Variation = 0.10
+	cfg25.Variation = 0.25
+	perts10 := cfg10.Perturbations()
+	perts25 := cfg25.Perturbations()
+
+	sample := func(w *core.Evaluator, p core.Perturbation, x float64) (float64, error) {
+		if onEval != nil {
+			onEval()
+		}
+		switch metric {
+		case MetricCAS:
+			return w.CASAtCapacity(p, x)
+		default:
+			t, err := w.EvalAtCapacity(p, x)
+			return float64(t), err
+		}
+	}
+
+	out := make([]Band, len(xs))
+	err = sweep.ForChunks(ctx, len(xs), 0, 1, func(lo, hi int) error {
+		w := ev.Clone()
+		buf10 := make([]float64, len(perts10))
+		buf25 := make([]float64, len(perts25))
+		for i := lo; i < hi; i++ {
+			x := xs[i]
+			for j, p := range perts10 {
+				v, err := sample(w, p, x)
+				if err != nil {
+					return fmt.Errorf("mc: x=%v sample %d: %w", x, j, err)
+				}
+				buf10[j] = v
+			}
+			for j, p := range perts25 {
+				v, err := sample(w, p, x)
+				if err != nil {
+					return fmt.Errorf("mc: x=%v sample %d: %w", x, j, err)
+				}
+				buf25[j] = v
+			}
+			out[i] = Band{
+				X:    x,
+				Mean: stats.Mean(buf10),
+				CI10: stats.CI95(buf10),
+				CI25: stats.CI95(buf25),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BandCurveSerial is the serial reference implementation of BandCurve:

@@ -181,6 +181,81 @@ func TestBandCurveMatchesSerialBitForBit(t *testing.T) {
 	}
 }
 
+func TestBandCurveEvalMatchesGenericBitForBit(t *testing.T) {
+	// BandCurveEval must be indistinguishable from BandCurve running the
+	// equivalent map-based closure: the kernel is bit-for-bit equal to
+	// the oracle and the perturbation streams and estimator order are
+	// shared, so every band must match exactly.
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	base := market.Full().WithQueueAll(2)
+	xs := make([]float64, 16)
+	for i := range xs {
+		xs[i] = 0.25 + 0.05*float64(i)
+	}
+	cfg := Config{Samples: 48, Seed: 7}
+	generic, err := BandCurve(context.Background(), m, cfg, xs, func(pm core.Model, x float64) (float64, error) {
+		v, err := pm.TTM(d, 10e6, base.AtCapacity(x))
+		return float64(v), err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals atomic.Int64
+	compiled, err := BandCurveEval(context.Background(), m, cfg, d, 10e6, base, xs, MetricTTM, func() { evals.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range generic {
+		if generic[i] != compiled[i] {
+			t.Errorf("x=%v: generic %+v != compiled %+v", xs[i], generic[i], compiled[i])
+		}
+	}
+	if want := int64(len(xs) * 2 * 48); evals.Load() != want {
+		t.Errorf("onEval called %d times, want %d", evals.Load(), want)
+	}
+
+	genericCAS, err := BandCurve(context.Background(), m, cfg, xs, func(pm core.Model, x float64) (float64, error) {
+		r, err := pm.CAS(d, 10e6, base.AtCapacity(x))
+		return r.CAS, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiledCAS, err := BandCurveEval(context.Background(), m, cfg, d, 10e6, base, xs, MetricCAS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range genericCAS {
+		if genericCAS[i] != compiledCAS[i] {
+			t.Errorf("CAS x=%v: generic %+v != compiled %+v", xs[i], genericCAS[i], compiledCAS[i])
+		}
+	}
+}
+
+func TestBandCurveEvalCancelledMidRun(t *testing.T) {
+	var m core.Model
+	d := scenario.A11At(technode.N28)
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = 0.2 + 0.025*float64(i)
+	}
+	total := int64(len(xs) * 2 * 512)
+	_, err := BandCurveEval(ctx, m, Config{Samples: 512}, d, 10e6, market.Full(), xs, MetricTTM, func() {
+		if evals.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if evals.Load() >= total {
+		t.Errorf("all %d evals ran despite cancellation", total)
+	}
+}
+
 func TestRunCancelled(t *testing.T) {
 	var m core.Model
 	ctx, cancel := context.WithCancel(context.Background())

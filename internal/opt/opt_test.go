@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ttmcas/internal/cachesim"
+	"ttmcas/internal/core"
 	designpkg "ttmcas/internal/design"
 	"ttmcas/internal/market"
 	"ttmcas/internal/scenario"
@@ -176,6 +177,47 @@ func TestBestSplitSkipsIdleNodes(t *testing.T) {
 	}
 	if pt.FracPrimary != 1 {
 		t.Errorf("only the single-process point is feasible, got frac=%v", pt.FracPrimary)
+	}
+}
+
+func TestCompiledPortfolioMatchesOracleBitForBit(t *testing.T) {
+	// compiledPair.ttm must reproduce the map-based portfolioTTM
+	// exactly — base TTM and both CAS finite-difference probes — for
+	// healthy pairs, degenerate pairs, and pairs with an idle node
+	// (infinite TTM).
+	study := ravenStudy(0.25)
+	pairs := [][2]technode.Node{
+		{technode.N250, technode.N180},
+		{technode.N28, technode.N40},
+		{technode.N28, technode.N28},
+		{technode.N28, technode.N20},
+	}
+	const n = 1e9
+	const h = core.DefaultDerivativeStep
+	for _, pr := range pairs {
+		cp, err := study.compilePair(pr[0], pr[1])
+		if err != nil {
+			t.Fatalf("compile %v/%v: %v", pr[0], pr[1], err)
+		}
+		for _, frac := range []float64{0.05, 0.25, 0.5, 0.75, 1} {
+			want, wantErr := study.portfolioTTM(pr[0], pr[1], frac, n, study.Conditions)
+			got, gotErr := cp.ttm(frac, n, 0, 0, false)
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("%v/%v@%v: err %v vs %v", pr[0], pr[1], frac, gotErr, wantErr)
+			}
+			if math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+				t.Errorf("%v/%v@%v: compiled %v != oracle %v", pr[0], pr[1], frac, got, want)
+			}
+			for _, node := range []technode.Node{pr[0], pr[1]} {
+				for _, f := range []float64{1 - h, 1 + h} {
+					want, _ := study.portfolioTTM(pr[0], pr[1], frac, n, study.Conditions.WithNodeCapacity(node, f))
+					got, _ := cp.ttm(frac, n, node, f, true)
+					if math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+						t.Errorf("%v/%v@%v node %v f=%v: compiled %v != oracle %v", pr[0], pr[1], frac, node, f, got, want)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"ttmcas/internal/cost"
 	"ttmcas/internal/design"
 	"ttmcas/internal/market"
+	"ttmcas/internal/sweep"
 	"ttmcas/internal/technode"
 	"ttmcas/internal/units"
 )
@@ -52,11 +54,58 @@ func (s SplitStudy) step() float64 {
 	return s.Step
 }
 
-// evalPortfolio computes TTM, cost and CAS for one split.
-func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64, n float64) (SplitPoint, error) {
-	pt := SplitPoint{Primary: primary, Secondary: secondary, FracPrimary: frac}
+// compiledPair holds the two variants of one ordered node pair with
+// their compiled evaluators, so a whole split sweep (100 fractions ×
+// 1 + 2·nodes portfolio TTMs each) reuses the resolved tables instead
+// of re-walking the node database per point.
+type compiledPair struct {
+	study              SplitStudy
+	primary, secondary technode.Node
+	pd, sd             design.Design
+	pe, se             *core.Evaluator
+}
 
-	ttm, err := s.portfolioTTM(primary, secondary, frac, n, s.Conditions)
+// compilePair builds and compiles both variants once. A degenerate
+// pair (primary == secondary) compiles a single variant and aliases it.
+func (s SplitStudy) compilePair(primary, secondary technode.Node) (*compiledPair, error) {
+	cp := &compiledPair{study: s, primary: primary, secondary: secondary}
+	cp.pd = s.Factory(primary)
+	pe, err := s.Model.Compile(cp.pd, 0, s.Conditions)
+	if err != nil {
+		return nil, err
+	}
+	cp.pe = pe
+	if secondary == primary {
+		cp.sd, cp.se = cp.pd, pe
+		return cp, nil
+	}
+	cp.sd = s.Factory(secondary)
+	se, err := s.Model.Compile(cp.sd, 0, s.Conditions)
+	if err != nil {
+		return nil, err
+	}
+	cp.se = se
+	return cp, nil
+}
+
+// evalPortfolio computes TTM, cost and CAS for one split. It compiles
+// the pair for this single point; sweeps compile once and call
+// compiledPair.eval directly.
+func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64, n float64) (SplitPoint, error) {
+	cp, err := s.compilePair(primary, secondary)
+	if err != nil {
+		return SplitPoint{Primary: primary, Secondary: secondary, FracPrimary: frac}, err
+	}
+	return cp.eval(frac, n)
+}
+
+// eval computes TTM, cost and CAS for one split fraction on the
+// compiled pair.
+func (cp *compiledPair) eval(frac, n float64) (SplitPoint, error) {
+	s := cp.study
+	pt := SplitPoint{Primary: cp.primary, Secondary: cp.secondary, FracPrimary: frac}
+
+	ttm, err := cp.ttm(frac, n, 0, 0, false)
 	if err != nil {
 		return pt, err
 	}
@@ -65,7 +114,7 @@ func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64
 	// Cost: both variants' full chip-creation cost (two tapeouts, two
 	// mask sets) on their share of the volume.
 	var total units.USD
-	for _, part := range s.parts(primary, secondary, frac, n) {
+	for _, part := range cp.parts(frac, n) {
 		c, err := s.CostModel.Total(part.d, part.n)
 		if err != nil {
 			return pt, err
@@ -76,9 +125,9 @@ func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64
 
 	// CAS over the portfolio: finite difference per node on the
 	// combined TTM, mirroring Eq. 8.
-	nodes := []technode.Node{primary}
-	if frac < 1 && secondary != primary {
-		nodes = append(nodes, secondary)
+	nodes := []technode.Node{cp.primary}
+	if frac < 1 && cp.secondary != cp.primary {
+		nodes = append(nodes, cp.secondary)
 	}
 	sum := 0.0
 	for _, node := range nodes {
@@ -87,11 +136,11 @@ func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64
 			return pt, err
 		}
 		const h = core.DefaultDerivativeStep
-		up, err := s.portfolioTTM(primary, secondary, frac, n, s.Conditions.WithNodeCapacity(node, 1+h))
+		up, err := cp.ttm(frac, n, node, 1+h, true)
 		if err != nil {
 			return pt, err
 		}
-		down, err := s.portfolioTTM(primary, secondary, frac, n, s.Conditions.WithNodeCapacity(node, 1-h))
+		down, err := cp.ttm(frac, n, node, 1-h, true)
 		if err != nil {
 			return pt, err
 		}
@@ -103,6 +152,61 @@ func (s SplitStudy) evalPortfolio(primary, secondary technode.Node, frac float64
 		pt.CAS = math.Inf(1)
 	}
 	return pt, nil
+}
+
+// parts mirrors SplitStudy.parts on the cached designs.
+func (cp *compiledPair) parts(frac, n float64) []part {
+	if cp.primary == cp.secondary {
+		return []part{{d: cp.pd, n: n}}
+	}
+	var out []part
+	if frac > 0 {
+		out = append(out, part{d: cp.pd, n: frac * n})
+	}
+	if frac < 1 {
+		out = append(out, part{d: cp.sd, n: (1 - frac) * n})
+	}
+	return out
+}
+
+// ttm is portfolioTTM on the compiled evaluators: the max of the two
+// variants' TTM at their share of the volume, optionally under a
+// single-node capacity override (the CAS finite-difference probes).
+func (cp *compiledPair) ttm(frac, n float64, node technode.Node, f float64, override bool) (units.Weeks, error) {
+	var worst units.Weeks
+	evalPart := func(ev *core.Evaluator, chips float64) error {
+		var t units.Weeks
+		var err error
+		if override {
+			t, err = ev.EvalChipsNodeCapacity(cp.study.Model.Perturb, chips, node, f)
+		} else {
+			t, err = ev.EvalChips(cp.study.Model.Perturb, chips)
+		}
+		if err != nil {
+			return err
+		}
+		if t > worst {
+			worst = t
+		}
+		return nil
+	}
+	if cp.primary == cp.secondary {
+		if err := evalPart(cp.pe, n); err != nil {
+			return 0, err
+		}
+		return worst, nil
+	}
+	if frac > 0 {
+		if err := evalPart(cp.pe, frac*n); err != nil {
+			return 0, err
+		}
+	}
+	if frac < 1 {
+		if err := evalPart(cp.se, (1-frac)*n); err != nil {
+			return 0, err
+		}
+	}
+	return worst, nil
 }
 
 type part struct {
@@ -127,7 +231,9 @@ func (s SplitStudy) parts(primary, secondary technode.Node, frac float64, n floa
 	return out
 }
 
-// portfolioTTM is the max of the two variants' full TTM.
+// portfolioTTM is the max of the two variants' full TTM, evaluated on
+// the map-based model. It is the oracle the compiled path is tested
+// against; production sweeps go through compiledPair.ttm.
 func (s SplitStudy) portfolioTTM(primary, secondary technode.Node, frac float64, n float64, c market.Conditions) (units.Weeks, error) {
 	var worst units.Weeks
 	for _, part := range s.parts(primary, secondary, frac, n) {
@@ -151,6 +257,10 @@ func (s SplitStudy) BestSplit(primary, secondary technode.Node, n float64) (Spli
 	if s.Factory == nil {
 		return SplitPoint{}, errors.New("opt: SplitStudy.Factory is nil")
 	}
+	cp, err := s.compilePair(primary, secondary)
+	if err != nil {
+		return SplitPoint{}, fmt.Errorf("opt: split %s/%s: %w", primary, secondary, err)
+	}
 	var best SplitPoint
 	found := false
 	steps := int(math.Round(1 / s.step()))
@@ -161,7 +271,7 @@ func (s SplitStudy) BestSplit(primary, secondary technode.Node, n float64) (Spli
 		// Integer stepping so the final iteration is exactly the
 		// single-process point frac = 1.
 		f := float64(k) / float64(steps)
-		pt, err := s.evalPortfolio(primary, secondary, f, n)
+		pt, err := cp.eval(f, n)
 		if err != nil {
 			return SplitPoint{}, fmt.Errorf("opt: split %s/%s@%.2f: %w", primary, secondary, f, err)
 		}
@@ -184,27 +294,28 @@ var ErrNoFeasibleSplit = errors.New("opt: no feasible split")
 
 // PairMatrix evaluates BestSplit for every ordered pair of producing
 // nodes (the Fig. 14 heatmaps); the diagonal holds the single-process
-// baselines.
+// baselines. The pairs are independent, so they fan out on a worker
+// pool; each pair compiles its two variants once and sweeps on the
+// compiled evaluators.
 func (s SplitStudy) PairMatrix(n float64) (map[technode.Node]map[technode.Node]SplitPoint, error) {
 	nodes := s.Model.Nodes.Producing()
+	cells := sweep.Grid(len(nodes), len(nodes))
+	pts, err := sweep.Map(context.Background(), cells, 0, func(c [2]int) (SplitPoint, error) {
+		p, q := nodes[c[0]], nodes[c[1]]
+		if p == q {
+			return s.evalPortfolio(p, q, 1, n)
+		}
+		return s.BestSplit(p, q, n)
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[technode.Node]map[technode.Node]SplitPoint, len(nodes))
 	for _, p := range nodes {
 		out[p] = make(map[technode.Node]SplitPoint, len(nodes))
-		for _, q := range nodes {
-			if p == q {
-				pt, err := s.evalPortfolio(p, q, 1, n)
-				if err != nil {
-					return nil, err
-				}
-				out[p][q] = pt
-				continue
-			}
-			pt, err := s.BestSplit(p, q, n)
-			if err != nil {
-				return nil, err
-			}
-			out[p][q] = pt
-		}
+	}
+	for i, c := range cells {
+		out[nodes[c[0]]][nodes[c[1]]] = pts[i]
 	}
 	return out, nil
 }

@@ -108,6 +108,24 @@ func saltelliMatrices(cfg Config, k int) (A, B [][]float64) {
 // and identical to the serial reference implementation bit for bit.
 // Cancelling ctx stops the run within one evaluation per worker.
 func TotalEffect(ctx context.Context, names []string, cfg Config, model func(mult []float64) (float64, error)) (Result, error) {
+	return TotalEffectFrom(ctx, names, cfg, func() (func(mult []float64) (float64, error), error) {
+		return model, nil
+	})
+}
+
+// TotalEffectFrom is TotalEffect with a per-worker model factory: each
+// chunk of evaluations calls factory once and uses the returned closure
+// exclusively, so the closure may own unsynchronized state (a cloned
+// compiled evaluator, scratch buffers). This is how the jobs and API
+// layers run sensitivity on the zero-allocation kernel.
+//
+// The N·(k+2) evaluations run in two chunked regions: the pooled
+// f(A)/f(B) rows, then all k AB_i batches fused into one region of n·k
+// index pairs — a single fan-out instead of k small ones, with one
+// k-float scratch row per chunk instead of one per sample. Estimator
+// sums run in index order, so results match totalEffectSerial bit for
+// bit.
+func TotalEffectFrom(ctx context.Context, names []string, cfg Config, factory func() (func(mult []float64) (float64, error), error)) (Result, error) {
 	k := len(names)
 	if k == 0 {
 		return Result{}, errors.New("sens: no inputs")
@@ -115,12 +133,30 @@ func TotalEffect(ctx context.Context, names []string, cfg Config, model func(mul
 	n := cfg.n()
 	A, B := saltelliMatrices(cfg, k)
 
-	// f(A) and f(B) over the pooled 2n rows, then f(AB_i) per input:
-	// every batch is an order-preserving parallel map.
-	pooledRows := append(append(make([][]float64, 0, 2*n), A...), B...)
-	pooled, err := sweep.Map(ctx, pooledRows, 0, model)
+	// f(A) and f(B) over the pooled 2n rows.
+	pooled := make([]float64, 2*n)
+	err := sweep.ForChunks(ctx, 2*n, 0, sweep.DefaultGrain, func(lo, hi int) error {
+		eval, err := factory()
+		if err != nil {
+			return err
+		}
+		for m := lo; m < hi; m++ {
+			var row []float64
+			if m < n {
+				row = A[m]
+			} else {
+				row = B[m-n]
+			}
+			y, err := eval(row)
+			if err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
+			}
+			pooled[m] = y
+		}
+		return nil
+	})
 	if err != nil {
-		return Result{}, fmt.Errorf("sens: model eval: %w", err)
+		return Result{}, err
 	}
 	fA, fB := pooled[:n], pooled[n:]
 
@@ -136,20 +172,35 @@ func TotalEffect(ctx context.Context, names []string, cfg Config, model func(mul
 		return res, ErrDegenerate
 	}
 
-	meanY := stats.Mean(pooled)
-	for i := 0; i < k; i++ {
-		// AB_i: matrix A with column i taken from B.
-		ABi := make([][]float64, n)
-		for j := 0; j < n; j++ {
-			x := make([]float64, k)
+	// f(AB_i) for every input, fused: index m encodes (input i = m/n,
+	// row j = m%n). Each chunk reuses one scratch row for the column
+	// substitution instead of allocating a fresh row per sample.
+	fAB := make([]float64, k*n)
+	err = sweep.ForChunks(ctx, k*n, 0, sweep.DefaultGrain, func(lo, hi int) error {
+		eval, err := factory()
+		if err != nil {
+			return err
+		}
+		x := make([]float64, k)
+		for m := lo; m < hi; m++ {
+			i, j := m/n, m%n
 			copy(x, A[j])
 			x[i] = B[j][i]
-			ABi[j] = x
+			y, err := eval(x)
+			if err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
+			}
+			fAB[m] = y
 		}
-		fABi, err := sweep.Map(ctx, ABi, 0, model)
-		if err != nil {
-			return Result{}, fmt.Errorf("sens: model eval: %w", err)
-		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	meanY := stats.Mean(pooled)
+	for i := 0; i < k; i++ {
+		fABi := fAB[i*n : (i+1)*n]
 		var sumT, sumS float64
 		for j := 0; j < n; j++ {
 			dT := fA[j] - fABi[j]

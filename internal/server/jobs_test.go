@@ -135,13 +135,18 @@ func TestJobsEndToEnd(t *testing.T) {
 func TestJobCancelViaDelete(t *testing.T) {
 	s := testServer(t, Config{})
 
-	v := submitJob(t, s, `{"kind":"mc-band","design":"a11","samples":512,"seed":1}`)
+	// A CAS curve at the sample cap keeps the compiled kernel busy long
+	// enough that the cancel lands while the job is still running.
+	v := submitJob(t, s, `{"kind":"mc-band","design":"a11","metric":"cas","samples":8192,"seed":1}`)
 	// Cancel as soon as it is running.
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
 		got, _ := s.Jobs().Get(v.ID)
 		if got.Status == jobs.StatusRunning {
 			break
+		}
+		if got.Status.Finished() {
+			t.Fatalf("job finished (%s) before it could be cancelled", got.Status)
 		}
 		time.Sleep(time.Millisecond)
 	}

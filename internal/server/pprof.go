@@ -1,0 +1,21 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns a handler exposing the standard net/http/pprof
+// endpoints under /debug/pprof/. It is deliberately not part of the
+// API route table: profiling is opted into on its own listener
+// (ttmcas-serve -pprof-addr), never on the public service address, so
+// the default deployment exposes nothing.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

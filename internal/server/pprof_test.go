@@ -1,0 +1,36 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPprofHandlerServesProfiles(t *testing.T) {
+	h := PprofHandler()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap?debug=1", "/debug/pprof/goroutine?debug=1"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index should list the goroutine profile")
+	}
+}
+
+func TestPprofNotOnAPIHandler(t *testing.T) {
+	// The API route table must not expose profiling; it only exists on
+	// the dedicated -pprof-addr listener.
+	s := New(Config{CacheSize: -1})
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatalf("API handler serves /debug/pprof/ (%d)", rec.Code)
+	}
+}

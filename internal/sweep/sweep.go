@@ -4,7 +4,19 @@
 // production splits) that are independent and CPU-bound. Every map is
 // context-aware so long-running batches — Monte-Carlo bands, Sobol
 // matrices, design sweeps — can be cancelled mid-flight with at most
-// one in-flight evaluation per worker left to finish.
+// one in-flight evaluation (or chunk) per worker left to finish.
+//
+// Two fan-out shapes are provided:
+//
+//   - Map hands out one item per dispatch. Use it when each item is
+//     expensive (a full TTM+CAS+cost evaluation, a whole curve point),
+//     so dispatch overhead is negligible and cancellation stops within
+//     one evaluation per worker.
+//   - ForChunks hands out contiguous index ranges and falls back to
+//     running serially when the batch is too small to amortize
+//     goroutine startup. Use it when each item is cheap (a single
+//     compiled-kernel evaluation, ~10²–10³ ns): per-item dispatch is
+//     what made the original Sobol fan-out slower than serial.
 package sweep
 
 import (
@@ -12,16 +24,18 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Map applies f to every item using `workers` goroutines (zero means
-// GOMAXPROCS) and returns results in input order.
+// GOMAXPROCS) and returns results in input order. Work is handed out
+// one item at a time from a shared atomic cursor, so there is no
+// channel traffic on the hot path.
 //
-// Cancellation: when ctx is cancelled the dispatcher stops handing out
-// work and every worker skips items it has not started, so Map returns
-// promptly — within one evaluation per worker — with ctx.Err(). The
-// context error takes precedence over evaluation errors, since partial
-// results are discarded either way.
+// Cancellation: when ctx is cancelled every worker stops claiming new
+// items, so Map returns promptly — within one evaluation per worker —
+// with ctx.Err(). The context error takes precedence over evaluation
+// errors, since partial results are discarded either way.
 //
 // Errors: the first error by input index is reported after all started
 // work drains, keeping results deterministic; later items still run
@@ -42,15 +56,19 @@ func Map[T, R any](ctx context.Context, items []T, workers int, f func(T) (R, er
 		mu       sync.Mutex
 		firstErr error
 		firstIdx = -1
+		next     atomic.Int64
 	)
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
 				if ctx.Err() != nil {
-					continue // drain without evaluating
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
 				}
 				r, err := f(items[i])
 				if err != nil {
@@ -65,15 +83,6 @@ func Map[T, R any](ctx context.Context, items []T, workers int, f func(T) (R, er
 			}
 		}()
 	}
-dispatch:
-	for i := range items {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(next)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -82,6 +91,135 @@ dispatch:
 		return nil, fmt.Errorf("sweep: item %d: %w", firstIdx, firstErr)
 	}
 	return results, nil
+}
+
+// DefaultGrain is the minimum number of items one dispatch of ForChunks
+// covers when the caller passes grain <= 0. It is sized for cheap
+// evaluations (a compiled model eval is ~0.1–2 µs): a chunk of 64 is
+// tens of microseconds of work, comfortably above the ~1–2 µs cost of
+// scheduling a goroutine, and small enough that cancellation still
+// lands within a fraction of a millisecond per worker.
+const DefaultGrain = 64
+
+// overdecompose is how many chunks each worker gets on average, so a
+// slow chunk does not leave the other workers idle at the tail.
+const overdecompose = 4
+
+// ChunkSize returns the adaptive chunk length ForChunks uses for n
+// items on the given worker count: n/(workers·4), floored at grain.
+// Exposed for tests and for callers that size per-chunk scratch.
+func ChunkSize(n, workers, grain int) int {
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := n / (workers * overdecompose)
+	if c < grain {
+		c = grain
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// ForChunks applies f to the index range [0, n) split into contiguous
+// chunks of adaptive size (see ChunkSize). grain is the work
+// granularity: the smallest range worth a dispatch, and also the
+// serial-fallback threshold — when the batch has at most one chunk of
+// work per worker-side economics (n <= grain) or only one worker is
+// available, ForChunks runs the chunks inline on the calling goroutine
+// with no goroutines spawned at all, so a parallel driver built on it
+// is never slower than its serial loop. grain <= 0 selects
+// DefaultGrain; pass grain 1 for expensive items that should always
+// fan out.
+//
+// Each invocation of f owns its range exclusively, so f can keep
+// per-chunk state (a cloned evaluator, an RNG, scratch buffers)
+// without synchronization.
+//
+// Cancellation: workers stop claiming chunks once ctx is cancelled and
+// ForChunks returns ctx.Err(); at most one chunk per worker is left to
+// finish. Errors: a chunk stops at its first error, other chunks still
+// run, and the error with the lowest chunk start index is reported;
+// the context error takes precedence.
+func ForChunks(ctx context.Context, n, workers, grain int, f func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxChunks := (n + grain - 1) / grain; workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		// Serial fallback: below the threshold (or on one CPU) the
+		// fan-out is pure overhead. Chunk boundaries still honor
+		// cancellation.
+		var firstErr error
+		for lo := 0; lo < n; lo += grain {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			if err := f(lo, hi); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return firstErr
+	}
+
+	chunk := ChunkSize(n, workers, grain)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstLo  = -1
+		cursor   atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := f(lo, hi); err != nil {
+					mu.Lock()
+					if firstLo < 0 || lo < firstLo {
+						firstErr, firstLo = err, lo
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
 }
 
 // Grid returns the cross-product of two slices as index pairs, row

@@ -126,6 +126,139 @@ func TestMapContextErrorWinsOverEvalError(t *testing.T) {
 	}
 }
 
+func TestChunkSize(t *testing.T) {
+	cases := []struct {
+		n, workers, grain, want int
+	}{
+		{1000, 4, 1, 62},      // n/(workers·4)
+		{1000, 4, 64, 64},     // floored at grain
+		{10, 4, 64, 10},       // capped at n
+		{4096, 8, 0, 128},     // grain 0 selects DefaultGrain; 4096/32 = 128
+		{100000, 2, 1, 12500}, // large batch, few workers
+	}
+	for _, c := range cases {
+		if got := ChunkSize(c.n, c.workers, c.grain); got != c.want {
+			t.Errorf("ChunkSize(%d, %d, %d) = %d, want %d", c.n, c.workers, c.grain, got, c.want)
+		}
+	}
+}
+
+func TestForChunksCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		for _, n := range []int{1, 63, 64, 65, 1000} {
+			seen := make([]atomic.Int32, n)
+			err := ForChunks(context.Background(), n, workers, 1, func(lo, hi int) error {
+				if lo < 0 || hi > n || lo >= hi {
+					return errors.New("bad range")
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, seen[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksEmptyAndSerialFallback(t *testing.T) {
+	if err := ForChunks(context.Background(), 0, 4, 1, func(lo, hi int) error {
+		t.Error("callback ran for n=0")
+		return nil
+	}); err != nil {
+		t.Error(err)
+	}
+	// n <= grain must run inline: the callback sees the calling
+	// goroutine's stack, which we verify via a plain (unsynchronized)
+	// variable — the race detector would flag any cross-goroutine write.
+	total := 0
+	if err := ForChunks(context.Background(), 50, 8, 64, func(lo, hi int) error {
+		total += hi - lo
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 50 {
+		t.Errorf("serial fallback covered %d of 50", total)
+	}
+}
+
+func TestForChunksReportsLowestErrorAndKeepsGoing(t *testing.T) {
+	boom2 := errors.New("boom-2")
+	var covered atomic.Int64
+	err := ForChunks(context.Background(), 100, 4, 10, func(lo, hi int) error {
+		covered.Add(int64(hi - lo))
+		if lo >= 20 {
+			return errors.New("late error")
+		}
+		if lo >= 10 {
+			return boom2
+		}
+		return nil
+	})
+	if !errors.Is(err, boom2) {
+		t.Errorf("err = %v, want the error with the lowest chunk start", err)
+	}
+	if covered.Load() != 100 {
+		t.Errorf("an error stopped other chunks: covered %d of 100", covered.Load())
+	}
+}
+
+func TestForChunksPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForChunks(ctx, 1000, workers, 1, func(lo, hi int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d chunks ran under a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForChunksCancelledMidRunStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks atomic.Int64
+	err := ForChunks(ctx, 100000, 2, 10, func(lo, hi int) error {
+		if chunks.Add(1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// At most one in-flight chunk per worker may still complete.
+	if n := chunks.Load(); n > 4 {
+		t.Errorf("%d chunks ran after cancellation", n)
+	}
+}
+
+func TestForChunksContextErrorWinsOverChunkError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForChunks(ctx, 1000, 2, 10, func(lo, hi int) error {
+		cancel()
+		return boom
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled to take precedence", err)
+	}
+}
+
 func TestGrid(t *testing.T) {
 	g := Grid(2, 3)
 	if len(g) != 6 {

@@ -1,19 +1,28 @@
 #!/bin/sh
-# Runs the serial-vs-parallel throughput benchmarks behind the jobs
-# subsystem (Monte-Carlo band curve, Sobol sensitivity) and records
-# them as JSON — ns/op and the model-evaluations-per-second metric the
-# benchmarks report — so speedups can be tracked across commits.
+# Runs the throughput benchmarks behind the evaluation stack — the
+# compiled core kernel, the Monte-Carlo band curve (serial, parallel,
+# compiled), and Sobol sensitivity — and records them as JSON: ns/op,
+# allocs/op, and the model-evaluations-per-second metric the benchmarks
+# report, so speedups (and allocation regressions) can be tracked
+# across commits.
 #
 #   scripts/bench.sh [out.json]       # default out: BENCH_jobs.json
 #   BENCHTIME=5s scripts/bench.sh     # longer runs for stabler numbers
+#   BENCH_STRICT=1 scripts/bench.sh   # exit non-zero when parallel < serial
+#
+# The script compares the parallel drivers against their serial
+# baselines: parallel slower than 0.9x serial prints a loud warning,
+# and fails the run when BENCH_STRICT=1 (the adaptive chunking is
+# supposed to make parallel never lose, even on one core).
 set -eu
 
 out="${1:-BENCH_jobs.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BandCurve|Sobol' -benchtime "${BENCHTIME:-2s}" \
-    ./internal/mc ./internal/sens | tee "$tmp"
+go test -run '^$' -bench 'BandCurve|Sobol|ModelEvaluate|Evaluator' -benchmem \
+    -benchtime "${BENCHTIME:-2s}" \
+    ./internal/core ./internal/mc ./internal/sens | tee "$tmp"
 
 {
     printf '{\n'
@@ -25,13 +34,14 @@ go test -run '^$' -bench 'BandCurve|Sobol' -benchtime "${BENCHTIME:-2s}" \
             name = $1
             sub(/^Benchmark/, "", name)
             sub(/-[0-9]+$/, "", name)
-            ns = "null"; evals = "null"
+            ns = "null"; evals = "null"; allocs = "null"
             for (i = 2; i < NF; i++) {
-                if ($(i+1) == "ns/op")   ns = $i
-                if ($(i+1) == "evals/s") evals = $i
+                if ($(i+1) == "ns/op")     ns = $i
+                if ($(i+1) == "evals/s")   evals = $i
+                if ($(i+1) == "allocs/op") allocs = $i
             }
             if (n++) printf ",\n"
-            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"evals_per_s\": %s}", name, ns, evals
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"evals_per_s\": %s}", name, ns, allocs, evals
         }
         END { printf "\n" }
     ' "$tmp"
@@ -40,3 +50,31 @@ go test -run '^$' -bench 'BandCurve|Sobol' -benchtime "${BENCHTIME:-2s}" \
 } > "$out"
 
 echo "wrote $out"
+
+# Parallel-vs-serial guard: the chunked drivers must not lose to their
+# serial baselines (10% tolerance for measurement noise).
+guard_status=0
+check_pair() {
+    par_name="$1"; ser_name="$2"
+    par=$(awk -v n="Benchmark$par_name" '$1 ~ "^"n"(-[0-9]+)?$" { print $3; exit }' "$tmp")
+    ser=$(awk -v n="Benchmark$ser_name" '$1 ~ "^"n"(-[0-9]+)?$" { print $3; exit }' "$tmp")
+    if [ -z "$par" ] || [ -z "$ser" ]; then
+        echo "WARNING: missing benchmark pair $par_name/$ser_name" >&2
+        guard_status=1
+        return
+    fi
+    if awk -v p="$par" -v s="$ser" 'BEGIN { exit !(p > s * 1.10) }'; then
+        echo "WARNING: $par_name (${par} ns/op) is slower than $ser_name (${ser} ns/op)" >&2
+        guard_status=1
+    else
+        echo "ok: $par_name (${par} ns/op) vs $ser_name (${ser} ns/op)"
+    fi
+}
+check_pair BandCurveParallel BandCurveSerial
+check_pair SobolParallel SobolSerial
+
+if [ "$guard_status" -ne 0 ] && [ "${BENCH_STRICT:-0}" = "1" ]; then
+    echo "FAIL: parallel drivers regressed below their serial baselines" >&2
+    exit 1
+fi
+exit 0

@@ -7,7 +7,8 @@ go vet ./...
 go build ./...
 go test -race ./...
 
-# Bench smoke: one iteration of each throughput benchmark, so a broken
-# benchmark (or a serial/parallel variant that stops compiling) fails
-# CI without CI paying for real measurement runs.
-go test -run '^$' -bench . -benchtime 1x ./internal/mc ./internal/sens
+# Bench smoke: one iteration of each throughput benchmark — including
+# the compiled core kernel's — so a broken benchmark (or a
+# serial/parallel variant that stops compiling) fails CI without CI
+# paying for real measurement runs.
+go test -run '^$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep
