@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve bench benchsmoke
+.PHONY: check vet build test race serve bench benchsmoke loadsmoke
 
-check: vet build race benchsmoke
+check: vet build race benchsmoke loadsmoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,11 @@ serve: build
 # without paying for measurement runs.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep
+
+# One short closed-loop run of the load generator against an in-process
+# server; -check fails on transport errors or 5xx responses.
+loadsmoke:
+	$(GO) run ./cmd/ttmcas-loadgen -scenario mixed -d 1s -c 4 -check
 
 # Full measurement runs (kernel, band curves, Sobol) with allocation
 # counts and a parallel-vs-serial guard; writes BENCH_jobs.json.

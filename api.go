@@ -41,6 +41,10 @@ type (
 	Scenario = market.Scenario
 	// Model is the time-to-market model (Eqs. 1–7) plus CAS (Eq. 8).
 	Model = core.Model
+	// Evaluator is a design × conditions pair compiled for repeated
+	// evaluation (see Compile). Not safe for concurrent use — parallel
+	// callers evaluate on their own Clone.
+	Evaluator = core.Evaluator
 	// Result is a full TTM evaluation with per-phase breakdown.
 	Result = core.Result
 	// CASResult is a Chip Agility Score with per-node derivatives.
@@ -156,6 +160,17 @@ func Evaluate(d Design, n float64, c Conditions) (Result, error) {
 func TTM(d Design, n float64, c Conditions) (Weeks, error) {
 	var m Model
 	return m.TTM(d, n, c)
+}
+
+// Compile resolves a design × conditions pair once — node parameters,
+// effort curves, wafer geometry, queue depths — into a reusable
+// Evaluator whose evaluations run with zero map operations and zero
+// heap allocations, with the default model. Servers and drivers that
+// evaluate the same pair repeatedly (across perturbations, chip counts
+// or capacity fractions) compile once and clone per worker.
+func Compile(d Design, n float64, c Conditions) (*Evaluator, error) {
+	var m Model
+	return m.Compile(d, n, c)
 }
 
 // CAS computes the Chip Agility Score (Eq. 8).

@@ -1,0 +1,213 @@
+// Command ttmcas-loadgen load-tests the ttmcas evaluation service and
+// reports RPS and latency quantiles (p50/p95/p99/max). It is the
+// measurement half of the serving-layer performance work: the same
+// binary drives CI smoke runs, the BENCH_serve.json emitter in
+// scripts/bench.sh, and ad-hoc runs against a live deployment.
+//
+// Usage:
+//
+//	ttmcas-loadgen [-target http://host:8080] [-scenario cached|uncached|mixed]
+//	               [-c 8] [-d 5s] [-design a11] [-node 28nm] [-n 10e6]
+//	               [-seed 1] [-json] [-check]
+//
+// With no -target the generator spins up the server in-process and
+// dispatches straight into its handler — no sockets in the path — so
+// the numbers measure the serving stack (routing, decoding, caches,
+// evaluation, encoding) rather than the loopback interface.
+//
+// Scenarios:
+//
+//   - cached: one fixed /v1/ttm request, warmed before the clock
+//     starts, so every measured request is a response-cache hit.
+//   - uncached: every request carries a distinct capacity fraction, so
+//     every request misses the response cache AND the compiled-
+//     evaluator cache — the full decode → resolve → compile → evaluate
+//     → encode path.
+//   - mixed: 9:1 cached:uncached, a bursty exploration workload.
+//
+// -json emits one machine-readable JSON object on stdout. -check exits
+// non-zero unless the run completed requests with zero transport
+// errors and zero 5xx responses — the CI smoke gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ttmcas/internal/loadtest"
+	"ttmcas/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttmcas-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttmcas-loadgen", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of a live server; empty runs the server in-process")
+	scenario := fs.String("scenario", "cached", "request mix: cached, uncached or mixed")
+	concurrency := fs.Int("c", 8, "closed-loop worker count")
+	duration := fs.Duration("d", 5*time.Second, "measured run duration")
+	design := fs.String("design", "a11", "design name the requests evaluate")
+	node := fs.String("node", "28nm", "process node the design is re-targeted to")
+	chips := fs.Float64("n", 10e6, "chip count the requests evaluate")
+	seed := fs.Int64("seed", 1, "target-selection RNG seed")
+	asJSON := fs.Bool("json", false, "emit the report as one JSON object on stdout")
+	check := fs.Bool("check", false, "exit non-zero unless requests completed with zero errors and zero 5xx")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cached := loadtest.Target{
+		Name: "ttm-cached",
+		Path: "/v1/ttm",
+		Body: []byte(fmt.Sprintf(`{"design":%q,"node":%q,"n":%g}`, *design, *node, *chips)),
+	}
+	uncached := loadtest.Target{
+		Name: "ttm-uncached",
+		Path: "/v1/ttm",
+		// A distinct capacity fraction per request defeats both the
+		// response cache and the compiled-evaluator cache: the golden
+		// ratio walks (0.05, 0.95] without repeating in any practical
+		// run length.
+		BodyFunc: func(seq uint64) []byte {
+			f := 0.05 + 0.9*math.Mod(float64(seq)*0.6180339887498949, 1)
+			return []byte(fmt.Sprintf(`{"design":%q,"node":%q,"n":%g,"capacity":%.17g}`, *design, *node, *chips, f))
+		},
+	}
+
+	cfg := loadtest.Config{
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Seed:        *seed,
+	}
+	switch *scenario {
+	case "cached":
+		cached.Weight = 1
+		cfg.Targets = []loadtest.Target{cached}
+		cfg.Warmup = true
+	case "uncached":
+		uncached.Weight = 1
+		cfg.Targets = []loadtest.Target{uncached}
+	case "mixed":
+		cached.Weight, uncached.Weight = 9, 1
+		cfg.Targets = []loadtest.Target{cached, uncached}
+		cfg.Warmup = true
+	default:
+		return fmt.Errorf("unknown scenario %q (want cached, uncached or mixed)", *scenario)
+	}
+
+	if *target != "" {
+		cfg.BaseURL = *target
+	} else {
+		srv := server.New(server.Config{
+			Logger:           log.New(io.Discard, "", 0),
+			DisableAccessLog: true,
+		})
+		defer srv.Close()
+		cfg.Handler = srv.Handler()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadtest.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		if err := writeJSON(os.Stdout, *scenario, rep); err != nil {
+			return err
+		}
+	} else {
+		writeText(os.Stdout, *scenario, rep)
+	}
+
+	if *check {
+		switch {
+		case rep.Requests == 0 || rep.RPS <= 0:
+			return fmt.Errorf("check failed: no completed requests")
+		case rep.Errors > 0:
+			return fmt.Errorf("check failed: %d transport errors", rep.Errors)
+		case rep.Status5xx > 0:
+			return fmt.Errorf("check failed: %d 5xx responses", rep.Status5xx)
+		}
+	}
+	return nil
+}
+
+// jsonStats is the flat machine-readable shape of one stats block,
+// durations in microseconds so bench scripts can compare them without
+// unit parsing.
+type jsonStats struct {
+	Name      string  `json:"name,omitempty"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	Status4xx uint64  `json:"status_4xx"`
+	Status5xx uint64  `json:"status_5xx"`
+	RPS       float64 `json:"rps"`
+	P50us     float64 `json:"p50_us"`
+	P95us     float64 `json:"p95_us"`
+	P99us     float64 `json:"p99_us"`
+	MaxUs     float64 `json:"max_us"`
+}
+
+func toJSONStats(name string, s loadtest.Stats) jsonStats {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return jsonStats{
+		Name: name, Requests: s.Requests, Errors: s.Errors,
+		Status4xx: s.Status4xx, Status5xx: s.Status5xx,
+		RPS: s.RPS, P50us: us(s.P50), P95us: us(s.P95), P99us: us(s.P99), MaxUs: us(s.Max),
+	}
+}
+
+func writeJSON(w io.Writer, scenario string, rep loadtest.Report) error {
+	out := struct {
+		Scenario    string  `json:"scenario"`
+		Concurrency int     `json:"concurrency"`
+		DurationS   float64 `json:"duration_s"`
+		jsonStats
+		Targets []jsonStats `json:"targets,omitempty"`
+	}{
+		Scenario:    scenario,
+		Concurrency: rep.Concurrency,
+		DurationS:   rep.Elapsed.Seconds(),
+		jsonStats:   toJSONStats("", rep.Stats),
+	}
+	if len(rep.Targets) > 1 {
+		for _, t := range rep.Targets {
+			out.Targets = append(out.Targets, toJSONStats(t.Name, t.Stats))
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func writeText(w io.Writer, scenario string, rep loadtest.Report) {
+	fmt.Fprintf(w, "scenario=%s concurrency=%d duration=%s\n", scenario, rep.Concurrency, rep.Elapsed.Round(time.Millisecond))
+	block := func(name string, s loadtest.Stats) {
+		fmt.Fprintf(w, "%-14s %10.1f req/s  %8d reqs  errors=%d  4xx=%d  5xx=%d\n",
+			name, s.RPS, s.Requests, s.Errors, s.Status4xx, s.Status5xx)
+		fmt.Fprintf(w, "%-14s p50=%s p95=%s p99=%s max=%s\n",
+			"", s.P50, s.P95, s.P99, s.Max)
+	}
+	block("total", rep.Stats)
+	if len(rep.Targets) > 1 {
+		for _, t := range rep.Targets {
+			block(t.Name, t.Stats)
+		}
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	ttmcas-serve [-addr :8080] [-cache-size 1024] [-max-concurrent 4] [-request-timeout 30s]
+//	ttmcas-serve [-addr :8080] [-cache-bytes 67108864] [-cache-shards 16] [-eval-cache 256]
+//	             [-max-concurrent 4] [-request-timeout 30s]
 //	             [-job-workers 2] [-max-jobs 32] [-job-ttl 1h] [-job-timeout 10m]
 //	             [-job-snapshots DIR] [-max-samples 8192] [-max-curve-points 64]
 //	             [-pprof-addr localhost:6060]
@@ -63,7 +64,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ttmcas-serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	cacheSize := fs.Int("cache-size", 1024, "response-cache capacity in entries (negative disables caching)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "response-cache byte budget across shards (negative disables caching)")
+	cacheShards := fs.Int("cache-shards", 16, "response-cache shard count, rounded up to a power of two")
+	evalCache := fs.Int("eval-cache", 256, "compiled-evaluator cache capacity in entries (negative disables)")
+	accessLog := fs.Bool("access-log", true, "log one line per request (disable for peak throughput)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "worker-pool bound for sensitivity/plan requests")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
@@ -96,19 +100,22 @@ func run(args []string) error {
 	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		CacheSize:      *cacheSize,
-		MaxConcurrent:  *maxConcurrent,
-		RequestTimeout: *requestTimeout,
-		MaxBodyBytes:   *maxBody,
-		JobWorkers:     *jobWorkers,
-		MaxJobs:        *maxJobs,
-		JobTTL:         *jobTTL,
-		JobTimeout:     *jobTimeout,
-		JobSnapshotDir: *jobSnapshots,
-		MaxSamples:     *maxSamples,
-		MaxCurvePoints: *maxCurvePoints,
-		Logger:         logger,
+		Addr:             *addr,
+		CacheBytes:       *cacheBytes,
+		CacheShards:      *cacheShards,
+		EvalCacheSize:    *evalCache,
+		DisableAccessLog: !*accessLog,
+		MaxConcurrent:    *maxConcurrent,
+		RequestTimeout:   *requestTimeout,
+		MaxBodyBytes:     *maxBody,
+		JobWorkers:       *jobWorkers,
+		MaxJobs:          *maxJobs,
+		JobTTL:           *jobTTL,
+		JobTimeout:       *jobTimeout,
+		JobSnapshotDir:   *jobSnapshots,
+		MaxSamples:       *maxSamples,
+		MaxCurvePoints:   *maxCurvePoints,
+		Logger:           logger,
 	})
 	return srv.ListenAndServe(ctx)
 }

@@ -176,14 +176,47 @@ func (e *Evaluator) Chips() float64 { return e.chips }
 // heap allocations (asserted by testing.AllocsPerRun in the tests);
 // only the error path allocates.
 func (e *Evaluator) Eval(p Perturbation) (units.Weeks, error) {
-	return e.eval(p, e.chips, e.global, -1, 0)
+	return e.eval(p, e.chips, e.global, -1, 0, nil)
+}
+
+// EvalResult is Eval returning the full per-phase, per-die and per-node
+// breakdown, bit-for-bit identical to Model.Evaluate on the compiled
+// design × conditions pair. Unlike Eval it allocates the result slices,
+// so it belongs on request paths that need the detail once, not in
+// Monte-Carlo inner loops.
+func (e *Evaluator) EvalResult(p Perturbation) (Result, error) {
+	return e.EvalResultChips(p, e.chips)
+}
+
+// EvalResultChips is EvalResult with the final-chip count overridden,
+// so one compiled evaluator serves detailed evaluations across request
+// volumes.
+func (e *Evaluator) EvalResultChips(p Perturbation, n float64) (Result, error) {
+	if n < 0 {
+		return Result{}, fmt.Errorf("core: negative chip count %v", n)
+	}
+	var res Result
+	if _, err := e.eval(p, n, e.global, -1, 0, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }
 
 // EvalAtCapacity is Eval with the global capacity fraction overridden,
 // exactly as evaluating at c.AtCapacity(global) would; the x-axis of
 // every capacity-sweep figure.
 func (e *Evaluator) EvalAtCapacity(p Perturbation, global float64) (units.Weeks, error) {
-	return e.eval(p, e.chips, global, -1, 0)
+	return e.eval(p, e.chips, global, -1, 0, nil)
+}
+
+// EvalChipsAtCapacity overrides both the final-chip count and the
+// global capacity fraction, for cached evaluators serving arbitrary
+// request volumes across capacity sweeps.
+func (e *Evaluator) EvalChipsAtCapacity(p Perturbation, n float64, global float64) (units.Weeks, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative chip count %v", n)
+	}
+	return e.eval(p, n, global, -1, 0, nil)
 }
 
 // EvalChips is Eval with the final-chip count overridden, for volume
@@ -193,7 +226,7 @@ func (e *Evaluator) EvalChips(p Perturbation, n float64) (units.Weeks, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("core: negative chip count %v", n)
 	}
-	return e.eval(p, n, e.global, -1, 0)
+	return e.eval(p, n, e.global, -1, 0, nil)
 }
 
 // EvalChipsNodeCapacity is EvalChips with one node's capacity factor
@@ -211,27 +244,56 @@ func (e *Evaluator) EvalChipsNodeCapacity(p Perturbation, n float64, node techno
 		}
 	}
 	if idx < 0 {
-		return e.eval(p, n, e.global, -1, 0)
+		return e.eval(p, n, e.global, -1, 0, nil)
 	}
-	return e.eval(p, n, e.global, idx, f)
+	return e.eval(p, n, e.global, idx, f, nil)
 }
 
 // CAS computes the Chip Agility Score (Eq. 8) under the perturbation
 // at the compiled conditions via the same central differences as
 // Model.CAS, without the per-node Derivatives map.
 func (e *Evaluator) CAS(p Perturbation) (float64, error) {
-	return e.cas(p, e.global)
+	return e.cas(p, e.chips, e.global, nil)
 }
 
 // CASAtCapacity is CAS with the global capacity fraction overridden.
 func (e *Evaluator) CASAtCapacity(p Perturbation, global float64) (float64, error) {
-	return e.cas(p, global)
+	return e.cas(p, e.chips, global, nil)
+}
+
+// CASChipsAtCapacity overrides both the final-chip count and the
+// global capacity fraction, the CAS counterpart of EvalChipsAtCapacity.
+func (e *Evaluator) CASChipsAtCapacity(p Perturbation, n float64, global float64) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative chip count %v", n)
+	}
+	return e.cas(p, n, global, nil)
+}
+
+// CASResultChips computes the agility score with its per-node
+// derivative composition, bit-for-bit identical to Model.CAS, with the
+// final-chip count overridden. It allocates the Derivatives map, so it
+// belongs on request paths, not inner loops.
+func (e *Evaluator) CASResultChips(p Perturbation, n float64) (CASResult, error) {
+	if n < 0 {
+		return CASResult{}, fmt.Errorf("core: negative chip count %v", n)
+	}
+	res := CASResult{Derivatives: make(map[technode.Node]float64, len(e.nodes))}
+	cas, err := e.cas(p, n, e.global, res.Derivatives)
+	if err != nil {
+		return CASResult{}, err
+	}
+	res.CAS = cas
+	return res, nil
 }
 
 // eval is the kernel. overrideIdx < 0 means no node-capacity override.
 // The arithmetic mirrors Model.Evaluate operation for operation so the
-// result is bit-for-bit identical to the oracle.
-func (e *Evaluator) eval(p Perturbation, chips, global float64, overrideIdx int, overrideF float64) (units.Weeks, error) {
+// result is bit-for-bit identical to the oracle. detail, when non-nil,
+// receives the full per-phase/per-die/per-node breakdown exactly as
+// Model.Evaluate would report it; the hot path passes nil and stays
+// allocation-free.
+func (e *Evaluator) eval(p Perturbation, chips, global float64, overrideIdx int, overrideF float64, detail *Result) (units.Weeks, error) {
 	// Tapeout phase (Eq. 2).
 	var tapeoutHours units.Hours
 	for i := range e.nodes {
@@ -240,6 +302,13 @@ func (e *Evaluator) eval(p Perturbation, chips, global float64, overrideIdx int,
 		tapeoutHours += units.Hours(nut / 1e6 * nd.tapeoutEffort)
 	}
 	tapeout := units.Weeks(float64(tapeoutHours) / (units.HoursPerWeek * e.team))
+	if detail != nil {
+		detail.DesignTime = e.designTime
+		detail.TapeoutHours = tapeoutHours
+		detail.Tapeout = tapeout
+		detail.Dies = make([]DieResult, 0, len(e.dies))
+		detail.Nodes = make([]NodeFabResult, 0, len(e.nodes))
+	}
 
 	// Per-die geometry, yield and wafer demand (Eqs. 5–7).
 	for i := range e.scratch {
@@ -294,6 +363,16 @@ func (e *Evaluator) eval(p Perturbation, chips, global float64, overrideIdx int,
 
 		diesNeeded := yield.DiesNeeded(chips*die.countF, y)
 		e.scratch[die.nodeIdx] += units.Wafers(diesNeeded / gross)
+		if detail != nil {
+			detail.Dies = append(detail.Dies, DieResult{
+				Name:          die.name,
+				Node:          die.node,
+				Area:          area,
+				Yield:         y,
+				GrossPerWafer: gross,
+				Wafers:        units.Wafers(diesNeeded / gross),
+			})
+		}
 
 		if y > 0 {
 			testWeeks += chips * die.countF / y * float64(ntt) * die.testingEffort
@@ -321,29 +400,52 @@ func (e *Evaluator) eval(p Perturbation, chips, global float64, overrideIdx int,
 		rate := nd.waferRate * g * or1(p.Rate)
 		lfab := units.Weeks(nd.fabLatency * or1(p.FabLatency))
 		wafers := e.scratch[i]
-		var fabTotal units.Weeks
+		var queue, production, fabTotal units.Weeks
 		switch {
 		case rate > 0:
-			queue := units.Weeks(nd.queueWafers / rate)            // Eq. 4
-			production := units.Weeks(float64(wafers)/rate) + lfab // Eq. 5
+			queue = units.Weeks(nd.queueWafers / rate)            // Eq. 4
+			production = units.Weeks(float64(wafers)/rate) + lfab // Eq. 5
 			fabTotal = queue + production
 		case wafers > 0 || nd.queueWafers > 0:
+			queue = units.Weeks(math.Inf(1))
+			production = units.Weeks(math.Inf(1))
 			fabTotal = units.Weeks(math.Inf(1))
 		default:
+			production = lfab
 			fabTotal = lfab
+		}
+		if detail != nil {
+			detail.Nodes = append(detail.Nodes, NodeFabResult{
+				Node:       nd.node,
+				Wafers:     wafers,
+				Queue:      queue,
+				Production: production,
+				FabTotal:   fabTotal,
+			})
 		}
 		if first || fabTotal > fabrication {
 			fabrication = fabTotal
+			if detail != nil {
+				detail.CriticalNode = nd.node
+			}
 			first = false
 		}
 	}
 
 	packaging := tapLatency + units.Weeks(testWeeks) + units.Weeks(packWeeks)
-	return e.designTime + tapeout + fabrication + packaging, nil
+	ttm := e.designTime + tapeout + fabrication + packaging
+	if detail != nil {
+		detail.Fabrication = fabrication
+		detail.Packaging = packaging
+		detail.TTM = ttm
+	}
+	return ttm, nil
 }
 
-// cas mirrors Model.CASWithStep at the default step.
-func (e *Evaluator) cas(p Perturbation, global float64) (float64, error) {
+// cas mirrors Model.CASWithStep at the default step. derivs, when
+// non-nil, receives |∂TTM/∂μ_W| per node exactly as Model.CAS reports
+// it; the hot path passes nil.
+func (e *Evaluator) cas(p Perturbation, chips, global float64, derivs map[technode.Node]float64) (float64, error) {
 	g := global
 	if g == 0 {
 		g = 1
@@ -357,19 +459,26 @@ func (e *Evaluator) cas(p Perturbation, global float64) (float64, error) {
 		if fDown <= 0 {
 			fDown = f0
 		}
-		up, err := e.eval(p, e.chips, global, i, fUp)
+		up, err := e.eval(p, chips, global, i, fUp, nil)
 		if err != nil {
 			return 0, err
 		}
-		down, err := e.eval(p, e.chips, global, i, fDown)
+		down, err := e.eval(p, chips, global, i, fDown, nil)
 		if err != nil {
 			return 0, err
 		}
 		if math.IsInf(float64(up), 0) || math.IsInf(float64(down), 0) {
+			if derivs != nil {
+				derivs[nd.node] = math.Inf(1)
+			}
 			sum = math.Inf(1)
 			continue
 		}
-		sum += math.Abs(float64(up-down)) / ((fUp - fDown) * g * nd.waferRate)
+		der := math.Abs(float64(up-down)) / ((fUp - fDown) * g * nd.waferRate)
+		if derivs != nil {
+			derivs[nd.node] = der
+		}
+		sum += der
 	}
 	if sum <= 0 {
 		return math.Inf(1), nil

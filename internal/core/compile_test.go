@@ -285,3 +285,165 @@ func designUses(d design.Design, n technode.Node) bool {
 	}
 	return false
 }
+
+// sameF64 compares two float64s bit-for-bit (so Inf==Inf, and -0 != 0
+// is surfaced rather than hidden).
+func sameF64(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestEvaluatorEvalResultMatchesOracle(t *testing.T) {
+	// EvalResultChips must reproduce Model.Evaluate's full breakdown —
+	// every phase, every die row, every node row, the critical node —
+	// bit-for-bit, across designs, scenarios and chip counts, so the
+	// server can serve detailed responses from a cached evaluator.
+	perts := perturbations(11, 6)
+	for mname, m := range modelVariants() {
+		for dname, d := range registeredDesigns() {
+			for _, sc := range market.Scenarios() {
+				ev, err := m.Compile(d, 1, sc.Conditions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, chips := range []float64{0, 1e4, 10e6} {
+					for i, p := range perts {
+						ctx := fmt.Sprintf("%s/%s/%s n=%v pert %d", mname, dname, sc.Name, chips, i)
+						om := m
+						om.Perturb = p
+						want, wantErr := om.Evaluate(d, chips, sc.Conditions)
+						got, gotErr := ev.EvalResultChips(p, chips)
+						if (gotErr == nil) != (wantErr == nil) {
+							t.Fatalf("%s: compiled err %v, oracle err %v", ctx, gotErr, wantErr)
+						}
+						if gotErr != nil {
+							if gotErr.Error() != wantErr.Error() {
+								t.Fatalf("%s: compiled err %q, oracle err %q", ctx, gotErr, wantErr)
+							}
+							continue
+						}
+						for _, ph := range []struct {
+							name      string
+							got, want float64
+						}{
+							{"DesignTime", float64(got.DesignTime), float64(want.DesignTime)},
+							{"Tapeout", float64(got.Tapeout), float64(want.Tapeout)},
+							{"TapeoutHours", float64(got.TapeoutHours), float64(want.TapeoutHours)},
+							{"Fabrication", float64(got.Fabrication), float64(want.Fabrication)},
+							{"Packaging", float64(got.Packaging), float64(want.Packaging)},
+							{"TTM", float64(got.TTM), float64(want.TTM)},
+						} {
+							if !sameF64(ph.got, ph.want) {
+								t.Fatalf("%s: %s compiled %v, oracle %v", ctx, ph.name, ph.got, ph.want)
+							}
+						}
+						if got.CriticalNode != want.CriticalNode {
+							t.Fatalf("%s: CriticalNode compiled %v, oracle %v", ctx, got.CriticalNode, want.CriticalNode)
+						}
+						if len(got.Dies) != len(want.Dies) || len(got.Nodes) != len(want.Nodes) {
+							t.Fatalf("%s: breakdown lengths %d/%d vs %d/%d",
+								ctx, len(got.Dies), len(got.Nodes), len(want.Dies), len(want.Nodes))
+						}
+						for j := range want.Dies {
+							g, w := got.Dies[j], want.Dies[j]
+							if g.Name != w.Name || g.Node != w.Node ||
+								!sameF64(float64(g.Area), float64(w.Area)) ||
+								!sameF64(g.Yield, w.Yield) ||
+								!sameF64(g.GrossPerWafer, w.GrossPerWafer) ||
+								!sameF64(float64(g.Wafers), float64(w.Wafers)) {
+								t.Fatalf("%s: die %d compiled %+v, oracle %+v", ctx, j, g, w)
+							}
+						}
+						for j := range want.Nodes {
+							g, w := got.Nodes[j], want.Nodes[j]
+							if g.Node != w.Node ||
+								!sameF64(float64(g.Wafers), float64(w.Wafers)) ||
+								!sameF64(float64(g.Queue), float64(w.Queue)) ||
+								!sameF64(float64(g.Production), float64(w.Production)) ||
+								!sameF64(float64(g.FabTotal), float64(w.FabTotal)) {
+								t.Fatalf("%s: node %d compiled %+v, oracle %+v", ctx, j, g, w)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorCASResultMatchesOracle(t *testing.T) {
+	perts := perturbations(12, 4)
+	m := core.Model{}
+	for dname, d := range registeredDesigns() {
+		for _, sc := range market.Scenarios() {
+			ev, err := m.Compile(d, 1, sc.Conditions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, chips := range []float64{1e4, 10e6} {
+				for i, p := range perts {
+					ctx := fmt.Sprintf("%s/%s n=%v pert %d", dname, sc.Name, chips, i)
+					om := m
+					om.Perturb = p
+					want, wantErr := om.CAS(d, chips, sc.Conditions)
+					got, gotErr := ev.CASResultChips(p, chips)
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("%s: compiled err %v, oracle err %v", ctx, gotErr, wantErr)
+					}
+					if gotErr != nil {
+						continue
+					}
+					if !sameF64(got.CAS, want.CAS) {
+						t.Fatalf("%s: CAS compiled %v, oracle %v", ctx, got.CAS, want.CAS)
+					}
+					if len(got.Derivatives) != len(want.Derivatives) {
+						t.Fatalf("%s: derivative count %d vs %d", ctx, len(got.Derivatives), len(want.Derivatives))
+					}
+					for node, w := range want.Derivatives {
+						if g, ok := got.Derivatives[node]; !ok || !sameF64(g, w) {
+							t.Fatalf("%s: derivative[%v] compiled %v, oracle %v", ctx, node, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorChipsAtCapacityMatchesOracle(t *testing.T) {
+	// The chips+capacity override pair is what lets one cached evaluator
+	// serve CAS/TTM curves for any request volume.
+	m := core.Model{}
+	d := scenario.Zen2()
+	base := market.Full().WithQueueAll(2)
+	ev, err := m.Compile(d, 1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chips := range []float64{1e4, 10e6} {
+		for _, f := range []float64{0.25, 0.5, 1.0} {
+			for i, p := range perturbations(13, 4) {
+				ctx := fmt.Sprintf("n=%v f=%v pert %d", chips, f, i)
+				om := m
+				om.Perturb = p
+				want, wantErr := om.TTM(d, chips, base.AtCapacity(f))
+				got, gotErr := ev.EvalChipsAtCapacity(p, chips, f)
+				sameWeeks(t, ctx, got, want, gotErr, wantErr)
+
+				wantCAS, wantErr := om.CAS(d, chips, base.AtCapacity(f))
+				gotCAS, gotErr := ev.CASChipsAtCapacity(p, chips, f)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s: CAS compiled err %v, oracle err %v", ctx, gotErr, wantErr)
+				}
+				if gotErr == nil && !sameF64(gotCAS, wantCAS.CAS) {
+					t.Fatalf("%s: CAS compiled %v, oracle %v", ctx, gotCAS, wantCAS.CAS)
+				}
+			}
+		}
+	}
+	if _, err := ev.EvalResultChips(core.Perturbation{}, -1); err == nil {
+		t.Error("EvalResultChips accepted a negative chip count")
+	}
+	if _, err := ev.CASResultChips(core.Perturbation{}, -1); err == nil {
+		t.Error("CASResultChips accepted a negative chip count")
+	}
+}

@@ -1,0 +1,121 @@
+// Package loadtest is a closed-loop HTTP load generator for the
+// ttmcas service: a fixed pool of workers issues requests back-to-back
+// against a weighted target mix and reports throughput (RPS) and
+// latency quantiles (p50/p95/p99/max) from fixed-bucket histograms.
+// It drives either a live base URL or an http.Handler in-process with
+// no network in the path, which is how the benchmark scripts measure
+// the serving stack itself rather than the loopback interface.
+package loadtest
+
+import (
+	"math/bits"
+	"time"
+)
+
+const (
+	// subBucketBits fixes the histogram resolution: 2^subBucketBits
+	// linear sub-buckets per power of two, bounding the relative
+	// quantile error at 1/2^subBucketBits (~3%).
+	subBucketBits = 5
+	subBuckets    = 1 << subBucketBits
+
+	// numBuckets covers the full non-negative int64 nanosecond range:
+	// the linear region [0, 2*subBuckets) plus subBuckets log-linear
+	// buckets per remaining power of two, ~15 KiB of counters.
+	numBuckets = (62-subBucketBits)*subBuckets + 2*subBuckets
+)
+
+// Histogram is a fixed-bucket latency histogram with log-linear
+// buckets — exact below 64 ns, ≤ ~3% relative error above. The zero
+// value is ready to use. It is not safe for concurrent use: each
+// worker records into its own and the results are Merged afterwards.
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	max    int64
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	shift := bits.Len64(u) - subBucketBits - 1
+	return shift*subBuckets + int(u>>uint(shift))
+}
+
+// bucketUpper is the largest value a bucket holds, the conservative
+// representative reported for quantiles that land in it.
+func bucketUpper(i int) int64 {
+	if i < 2*subBuckets {
+		return int64(i) // linear region: the bucket is one exact value
+	}
+	shift := i/subBuckets - 1
+	sub := i%subBuckets + subBuckets
+	return int64(sub+1)<<uint(shift) - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max reports the largest recorded observation exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile reports the latency at quantile q in [0, 1]: the upper
+// bound of the bucket holding the q-th observation, clamped to the
+// exact maximum. An empty histogram reports zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			up := bucketUpper(i)
+			if up > h.max {
+				up = h.max
+			}
+			return time.Duration(up)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,418 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Target is one entry of the request mix.
+type Target struct {
+	// Name labels the target in the per-target report.
+	Name string
+	// Method defaults to POST when a body is configured, GET otherwise.
+	Method string
+	// Path is appended to the base URL (in-process dispatch uses it as
+	// the request URI).
+	Path string
+	// Body is a static request body, sent verbatim on every request.
+	Body []byte
+	// BodyFunc, when set, builds the body per request from a globally
+	// unique sequence number — the cache-busting hook. It overrides
+	// Body and must be safe for concurrent use.
+	BodyFunc func(seq uint64) []byte
+	// Weight is the target's share of the mix (default 1).
+	Weight int
+}
+
+func (t *Target) method() string {
+	if t.Method != "" {
+		return t.Method
+	}
+	if t.Body != nil || t.BodyFunc != nil {
+		return http.MethodPost
+	}
+	return http.MethodGet
+}
+
+// Config describes one load-generation run.
+type Config struct {
+	// Targets is the weighted request mix; at least one is required.
+	Targets []Target
+	// Concurrency is the closed-loop worker count (default 8): each
+	// worker has at most one request in flight at all times.
+	Concurrency int
+	// Duration is how long the measured phase runs (default 5s).
+	Duration time.Duration
+	// BaseURL drives a live server ("http://host:port"). Exactly one
+	// of BaseURL and Handler must be set.
+	BaseURL string
+	// Handler dispatches requests in-process with no network in the
+	// path, measuring the serving stack itself.
+	Handler http.Handler
+	// Client overrides the live-mode HTTP client; the default pools
+	// one idle connection per worker.
+	Client *http.Client
+	// Seed fixes the workers' target-selection streams (default 1).
+	Seed int64
+	// Warmup, when set, issues every static-body target once before
+	// the clock starts, so a cached-hit scenario measures only hits.
+	Warmup bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats is the aggregate of one target (or the whole run): request
+// counts by outcome plus the latency distribution of the completed
+// requests.
+type Stats struct {
+	Requests  uint64
+	Errors    uint64 // transport failures (connect, timeout mid-run)
+	Status2xx uint64
+	Status4xx uint64
+	Status5xx uint64
+	RPS       float64
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+}
+
+// TargetStats pairs a target's name with its aggregate.
+type TargetStats struct {
+	Name string
+	Stats
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	Concurrency int
+	// Elapsed is the measured wall-clock span the RPS figures divide
+	// by — the configured duration plus scheduling slack.
+	Elapsed time.Duration
+	Stats
+	Targets []TargetStats
+}
+
+// workerStats accumulates one worker's view of one target; merged
+// single-threaded after the run.
+type workerStats struct {
+	requests, errors        uint64
+	s2xx, s4xx, s5xx, other uint64
+	hist                    Histogram
+}
+
+// Run drives the configured mix for the configured duration and
+// reports throughput and latency. It is closed-loop: each worker
+// issues its next request only after the previous one completes, so
+// measured latency feeds back into offered load. ctx cancellation
+// stops the run early; the report covers what completed.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Targets) == 0 {
+		return Report{}, errors.New("loadtest: no targets configured")
+	}
+	if (cfg.BaseURL == "") == (cfg.Handler == nil) {
+		return Report{}, errors.New("loadtest: exactly one of BaseURL and Handler must be set")
+	}
+	totalWeight := 0
+	for i := range cfg.Targets {
+		w := cfg.Targets[i].Weight
+		if w < 0 {
+			return Report{}, fmt.Errorf("loadtest: target %q has negative weight", cfg.Targets[i].Name)
+		}
+		if w == 0 {
+			w = 1
+		}
+		totalWeight += w
+	}
+
+	newSender, err := cfg.senderFactory()
+	if err != nil {
+		return Report{}, err
+	}
+
+	if cfg.Warmup {
+		send := newSender()
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		for i := range cfg.Targets {
+			t := &cfg.Targets[i]
+			if t.BodyFunc != nil {
+				continue
+			}
+			if _, err := send(wctx, i, t, t.Body); err != nil {
+				cancel()
+				return Report{}, fmt.Errorf("loadtest: warming %q: %w", t.Name, err)
+			}
+		}
+		cancel()
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var seq atomic.Uint64
+	perWorker := make([][]workerStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		perWorker[w] = make([]workerStats, len(cfg.Targets))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(w+1)*0x9e3779b97f4a7c15)))
+			stats := perWorker[w]
+			send := newSender()
+			for runCtx.Err() == nil {
+				ti := pickTarget(cfg.Targets, totalWeight, rng)
+				t := &cfg.Targets[ti]
+				body := t.Body
+				if t.BodyFunc != nil {
+					body = t.BodyFunc(seq.Add(1))
+				}
+				began := time.Now()
+				status, err := send(runCtx, ti, t, body)
+				if err != nil {
+					// The deadline tearing down an in-flight request is
+					// the run ending, not a server failure.
+					if runCtx.Err() != nil {
+						break
+					}
+					stats[ti].requests++
+					stats[ti].errors++
+					continue
+				}
+				st := &stats[ti]
+				st.requests++
+				st.hist.Record(time.Since(began))
+				switch status / 100 {
+				case 2:
+					st.s2xx++
+				case 4:
+					st.s4xx++
+				case 5:
+					st.s5xx++
+				default:
+					st.other++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return buildReport(cfg, perWorker, elapsed), nil
+}
+
+// pickTarget draws a target index proportional to the weights.
+func pickTarget(targets []Target, totalWeight int, rng *rand.Rand) int {
+	if len(targets) == 1 {
+		return 0
+	}
+	r := rng.Intn(totalWeight)
+	for i := range targets {
+		w := targets[i].Weight
+		if w == 0 {
+			w = 1
+		}
+		if r -= w; r < 0 {
+			return i
+		}
+	}
+	return len(targets) - 1
+}
+
+func buildReport(cfg Config, perWorker [][]workerStats, elapsed time.Duration) Report {
+	rep := Report{Concurrency: cfg.Concurrency, Elapsed: elapsed}
+	secs := elapsed.Seconds()
+	var total workerStats
+	for ti := range cfg.Targets {
+		var agg workerStats
+		for w := range perWorker {
+			s := &perWorker[w][ti]
+			agg.requests += s.requests
+			agg.errors += s.errors
+			agg.s2xx += s.s2xx
+			agg.s4xx += s.s4xx
+			agg.s5xx += s.s5xx
+			agg.hist.Merge(&s.hist)
+		}
+		rep.Targets = append(rep.Targets, TargetStats{
+			Name:  cfg.Targets[ti].Name,
+			Stats: agg.stats(secs),
+		})
+		total.requests += agg.requests
+		total.errors += agg.errors
+		total.s2xx += agg.s2xx
+		total.s4xx += agg.s4xx
+		total.s5xx += agg.s5xx
+		total.hist.Merge(&agg.hist)
+	}
+	rep.Stats = total.stats(secs)
+	return rep
+}
+
+func (s *workerStats) stats(secs float64) Stats {
+	out := Stats{
+		Requests:  s.requests,
+		Errors:    s.errors,
+		Status2xx: s.s2xx,
+		Status4xx: s.s4xx,
+		Status5xx: s.s5xx,
+		P50:       s.hist.Quantile(0.50),
+		P95:       s.hist.Quantile(0.95),
+		P99:       s.hist.Quantile(0.99),
+		Max:       s.hist.Max(),
+	}
+	if secs > 0 {
+		out.RPS = float64(s.requests) / secs
+	}
+	return out
+}
+
+// sendFunc issues one request to target index ti and reports the HTTP
+// status. A sendFunc is owned by one worker and must not be shared.
+type sendFunc func(ctx context.Context, ti int, t *Target, body []byte) (int, error)
+
+// senderFactory validates the targets once and returns a constructor
+// for per-worker senders.
+func (c Config) senderFactory() (func() sendFunc, error) {
+	if c.Handler != nil {
+		return c.handlerSenderFactory()
+	}
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        c.Concurrency,
+			MaxIdleConnsPerHost: c.Concurrency,
+		}}
+	}
+	base := c.BaseURL
+	send := func(ctx context.Context, _ int, t *Target, body []byte) (int, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, t.method(), base+t.Path, rd)
+		if err != nil {
+			return 0, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		return resp.StatusCode, nil
+	}
+	return func() sendFunc { return send }, nil
+}
+
+// handlerSenderFactory dispatches straight into the handler on the
+// worker's goroutine — no sockets, no response serialization beyond
+// what the handler itself does. Each worker reuses pre-parsed request
+// templates and a response sink, so the generator's own overhead stays
+// a small, constant fraction of the measured request.
+func (c Config) handlerSenderFactory() (func() sendFunc, error) {
+	h := c.Handler
+	urls := make([]*url.URL, len(c.Targets))
+	for i := range c.Targets {
+		u, err := url.Parse("http://loadtest.invalid" + c.Targets[i].Path)
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: target %q: %w", c.Targets[i].Name, err)
+		}
+		urls[i] = u
+	}
+	return func() sendFunc {
+		w := &discardResponseWriter{header: make(http.Header, 8)}
+		reqs := make([]*http.Request, len(c.Targets))
+		readers := make([]*bytes.Reader, len(c.Targets))
+		for i := range c.Targets {
+			reqs[i] = &http.Request{
+				Method:     c.Targets[i].method(),
+				URL:        urls[i],
+				Proto:      "HTTP/1.1",
+				ProtoMajor: 1,
+				ProtoMinor: 1,
+				Header:     http.Header{"Content-Type": {"application/json"}},
+				Host:       urls[i].Host,
+			}
+			readers[i] = &bytes.Reader{}
+		}
+		return func(ctx context.Context, ti int, t *Target, body []byte) (int, error) {
+			req := reqs[ti]
+			if body != nil {
+				readers[ti].Reset(body)
+				req.Body = io.NopCloser(readers[ti])
+				req.ContentLength = int64(len(body))
+			} else {
+				req.Body = nil
+				req.ContentLength = 0
+			}
+			w.reset()
+			h.ServeHTTP(w, req.WithContext(ctx))
+			return w.status(), nil
+		}
+	}, nil
+}
+
+// discardResponseWriter counts the response away: headers are kept (a
+// handler may legitimately read them back) but body bytes are dropped.
+type discardResponseWriter struct {
+	header http.Header
+	code   int
+}
+
+func (w *discardResponseWriter) Header() http.Header { return w.header }
+
+func (w *discardResponseWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *discardResponseWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(b), nil
+}
+
+func (w *discardResponseWriter) reset() {
+	w.code = 0
+	for k := range w.header {
+		delete(w.header, k)
+	}
+}
+
+func (w *discardResponseWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}

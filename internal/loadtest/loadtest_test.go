@@ -1,0 +1,290 @@
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactBelowLinearRegion(t *testing.T) {
+	var h Histogram
+	for v := 0; v < 2*subBuckets; v++ {
+		if got := bucketUpper(bucketIndex(int64(v))); got != int64(v) {
+			t.Fatalf("value %d maps to bucket upper %d, want exact", v, got)
+		}
+	}
+	h.Record(3)
+	if h.Quantile(0.5) != 3 || h.Max() != 3 {
+		t.Errorf("p50 = %v, max = %v, want 3ns both", h.Quantile(0.5), h.Max())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Every representable value must land in a bucket whose upper
+	// bound is within 1/subBuckets of the value itself.
+	for _, v := range []int64{1, 63, 64, 65, 1000, 12345, 1e6, 987654321, 1e12, math.MaxInt64 / 2} {
+		i := bucketIndex(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d below value %d", i, up, v)
+		}
+		if rel := float64(up-v) / float64(v); rel > 1.0/subBuckets {
+			t.Errorf("value %d: upper %d relative error %v too large", v, up, rel)
+		}
+		if i > 0 && bucketUpper(i-1) >= v {
+			t.Errorf("value %d not in the first bucket that can hold it (index %d)", v, i)
+		}
+	}
+}
+
+func TestHistogramQuantilesAndMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 900; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+	}
+	for i := 901; i <= 1000; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 1000 {
+		t.Fatalf("merged count = %d, want 1000", a.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := a.Quantile(tc.q)
+		if got < tc.want || float64(got) > float64(tc.want)*(1+1.0/subBuckets) {
+			t.Errorf("p%v = %v, want within ~3%% above %v", tc.q*100, got, tc.want)
+		}
+	}
+	if a.Quantile(1) != time.Millisecond {
+		t.Errorf("p100 = %v, want exact max 1ms", a.Quantile(1))
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report zero")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Handler: http.NewServeMux()}); err == nil {
+		t.Error("no targets must be rejected")
+	}
+	if _, err := Run(ctx, Config{Targets: []Target{{Path: "/"}}}); err == nil {
+		t.Error("neither BaseURL nor Handler must be rejected")
+	}
+	if _, err := Run(ctx, Config{
+		Targets: []Target{{Path: "/"}},
+		BaseURL: "http://x", Handler: http.NewServeMux(),
+	}); err == nil {
+		t.Error("both BaseURL and Handler must be rejected")
+	}
+	if _, err := Run(ctx, Config{
+		Targets: []Target{{Path: "/", Weight: -1}},
+		Handler: http.NewServeMux(),
+	}); err == nil {
+		t.Error("negative weight must be rejected")
+	}
+}
+
+func TestRunAgainstHandlerMix(t *testing.T) {
+	var fast, slow int64
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fast", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		fast++
+		mu.Unlock()
+		io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		slow++
+		mu.Unlock()
+		io.WriteString(w, "ok")
+	})
+
+	rep, err := Run(context.Background(), Config{
+		Targets: []Target{
+			{Name: "fast", Path: "/fast", Weight: 9},
+			{Name: "slow", Path: "/slow", Weight: 1},
+		},
+		Handler:     mux,
+		Concurrency: 4,
+		Duration:    150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.RPS <= 0 {
+		t.Fatalf("no throughput: %+v", rep.Stats)
+	}
+	if rep.Status2xx != rep.Requests || rep.Errors != 0 || rep.Status5xx != 0 {
+		t.Errorf("outcomes %+v, want all 2xx", rep.Stats)
+	}
+	if rep.Requests != uint64(fast+slow) {
+		t.Errorf("report counts %d requests, handler saw %d", rep.Requests, fast+slow)
+	}
+	if len(rep.Targets) != 2 || rep.Targets[0].Requests == 0 || rep.Targets[1].Requests == 0 {
+		t.Fatalf("both targets must be exercised: %+v", rep.Targets)
+	}
+	// 9:1 weights: the fast target must dominate (loose 2:1 bar so
+	// scheduling noise cannot flake the test).
+	if rep.Targets[0].Requests < 2*rep.Targets[1].Requests {
+		t.Errorf("mix ignored weights: fast %d vs slow %d", rep.Targets[0].Requests, rep.Targets[1].Requests)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Errorf("quantiles not ordered: p50 %v p99 %v max %v", rep.P50, rep.P99, rep.Max)
+	}
+}
+
+func TestRunAgainstLiveServerCounts5xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "no", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Targets: []Target{
+			{Name: "ok", Path: "/ok"},
+			{Name: "boom", Path: "/boom"},
+		},
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Status5xx == 0 {
+		t.Error("5xx responses must be counted")
+	}
+	if rep.Status5xx+rep.Status2xx != rep.Requests {
+		t.Errorf("outcome classes must partition requests: %+v", rep.Stats)
+	}
+}
+
+func TestRunBodyFuncSequencesUnique(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		seen[string(b)] = true
+		mu.Unlock()
+		io.WriteString(w, "ok")
+	})
+
+	rep, err := Run(context.Background(), Config{
+		Targets: []Target{{
+			Name: "uniq",
+			Path: "/v1",
+			BodyFunc: func(seq uint64) []byte {
+				return []byte(fmt.Sprintf(`{"seq":%d}`, seq))
+			},
+		}},
+		Handler:     mux,
+		Concurrency: 4,
+		Duration:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	distinct := len(seen)
+	mu.Unlock()
+	if uint64(distinct) != rep.Requests {
+		t.Errorf("saw %d distinct bodies for %d requests, want every body unique", distinct, rep.Requests)
+	}
+}
+
+func TestRunWarmupPrimesStaticTargets(t *testing.T) {
+	var mu sync.Mutex
+	hits := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		io.WriteString(w, "ok")
+	})
+	rep, err := Run(context.Background(), Config{
+		Targets:     []Target{{Name: "t", Path: "/", Body: []byte(`{}`)}},
+		Handler:     mux,
+		Concurrency: 1,
+		Duration:    50 * time.Millisecond,
+		Warmup:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	total := hits
+	mu.Unlock()
+	// The warmup request reaches the handler but is not in the report.
+	if uint64(total) != rep.Requests+1 {
+		t.Errorf("handler saw %d hits, report has %d requests; warmup must add exactly one", total, rep.Requests)
+	}
+}
+
+func TestRunTransportErrorsCounted(t *testing.T) {
+	// A base URL nothing listens on: every request fails in transit.
+	rep, err := Run(context.Background(), Config{
+		Targets:     []Target{{Name: "down", Path: "/"}},
+		BaseURL:     "http://127.0.0.1:1",
+		Concurrency: 1,
+		Duration:    30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 || rep.Errors != rep.Requests {
+		t.Errorf("errors = %d of %d requests, want all errored", rep.Errors, rep.Requests)
+	}
+}
+
+func TestRunCancelledContextStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "ok") })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(ctx, Config{
+			Targets:     []Target{{Path: "/"}},
+			Handler:     mux,
+			Concurrency: 2,
+			Duration:    time.Hour,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after context cancellation")
+	}
+}

@@ -64,17 +64,45 @@ type Estimate struct {
 // generates: each of the six inputs drawn independently and uniformly
 // from [1−v, 1+v].
 func (c Config) Perturbations() []core.Perturbation {
-	rng := rand.New(rand.NewSource(c.Seed))
-	v := c.variation()
-	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
 	out := make([]core.Perturbation, c.samples())
-	for i := range out {
-		out[i] = core.Perturbation{
+	fillPerturbations(out, c.Seed, c.variation())
+	return out
+}
+
+// fillPerturbations draws len(dst) perturbations from the stream the
+// seed selects; every path that materializes a stream (Perturbations,
+// the band-curve walkers) goes through it so the draws stay bit-for-bit
+// identical across drivers.
+func fillPerturbations(dst []core.Perturbation, seed int64, v float64) {
+	rng := rand.New(rand.NewSource(seed))
+	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
+	for i := range dst {
+		dst[i] = core.Perturbation{
 			NTT: draw(), NUT: draw(), D0: draw(),
 			Rate: draw(), FabLatency: draw(), TAPLatency: draw(),
 		}
 	}
-	return out
+}
+
+// splitmix64 is the SplitMix64 output mix: a strong 64-bit bijection
+// whose increments of the golden-gamma constant produce statistically
+// independent outputs even for adjacent inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// seedAt derives the RNG seed of x-position pos as the pos-th output of
+// a SplitMix64 stream keyed by the config seed. Naive arithmetic
+// offsets (seed+pos) would hand adjacent positions correlated
+// math/rand sequences; the mix makes each position's six-input stream
+// independent of its neighbours while staying a pure function of
+// (Seed, pos), which keeps serial and parallel curve walks bit-for-bit
+// identical.
+func (c Config) seedAt(pos int) int64 {
+	return int64(splitmix64(splitmix64(uint64(c.Seed)) + uint64(pos)))
 }
 
 // Run evaluates an arbitrary scalar model output under the config's
@@ -161,14 +189,19 @@ type Band struct {
 	CI25 stats.Interval
 }
 
-// bandAt evaluates one x-position's ±10% and ±25% bands. Each call
-// derives its own two perturbation streams from cfg.Seed — the streams
-// are per-point and independent of evaluation order, which is what
-// makes the parallel and serial curve walks bit-for-bit identical.
-func bandAt(ctx context.Context, base core.Model, cfg Config, x float64, evalAt func(core.Model, float64) (float64, error)) (Band, error) {
+// bandAt evaluates one x-position's ±10% and ±25% bands. Each position
+// derives its own two perturbation streams from (cfg.Seed, pos) via
+// seedAt — the streams are per-point, independent across positions, and
+// independent of evaluation order, which is what makes the parallel and
+// serial curve walks bit-for-bit identical. The ±10% and ±25% streams
+// of one position share the underlying uniforms (common random
+// numbers), so the wider band nests around the narrower one.
+func bandAt(ctx context.Context, base core.Model, cfg Config, pos int, x float64, evalAt func(core.Model, float64) (float64, error)) (Band, error) {
 	cfg10, cfg25 := cfg, cfg
 	cfg10.Variation = 0.10
 	cfg25.Variation = 0.25
+	cfg10.Seed = cfg.seedAt(pos)
+	cfg25.Seed = cfg10.Seed
 	e10, err := Run(ctx, base, cfg10, func(m core.Model) (float64, error) { return evalAt(m, x) })
 	if err != nil {
 		return Band{}, err
@@ -187,13 +220,26 @@ func bandAt(ctx context.Context, base core.Model, cfg Config, x float64, evalAt 
 // position are evaluated concurrently.
 //
 // The curve is deterministic: every x-position derives its
-// perturbation streams from cfg.Seed alone, so the output matches
-// BandCurveSerial bit-for-bit regardless of scheduling. Cancelling ctx
-// stops the whole curve within one evaluation per worker.
+// perturbation streams from (cfg.Seed, position index) alone, so the
+// output matches BandCurveSerial bit-for-bit regardless of scheduling.
+// Cancelling ctx stops the whole curve within one evaluation per
+// worker.
 func BandCurve(ctx context.Context, base core.Model, cfg Config, xs []float64, evalAt func(core.Model, float64) (float64, error)) ([]Band, error) {
-	return sweep.Map(ctx, xs, 0, func(x float64) (Band, error) {
-		return bandAt(ctx, base, cfg, x, evalAt)
+	out := make([]Band, len(xs))
+	err := sweep.ForChunks(ctx, len(xs), 0, 1, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			b, err := bandAt(ctx, base, cfg, i, xs[i], evalAt)
+			if err != nil {
+				return err
+			}
+			out[i] = b
+		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Metric selects the model output BandCurveEval sweeps.
@@ -207,10 +253,10 @@ const (
 )
 
 // BandCurveEval is BandCurve on the compiled kernel: the design ×
-// conditions pair is compiled once, the two perturbation streams (±10%
-// and ±25%) are drawn once — they are identical at every x by
-// construction — and the x-positions are fanned out in chunks with a
-// per-chunk evaluator clone and sample buffers. The result is
+// conditions pair is compiled once, each x-position's two perturbation
+// streams (±10% and ±25%) are drawn from its splitmix64-derived seed,
+// and the x-positions are fanned out in chunks with a per-chunk
+// evaluator clone and reusable stream/sample buffers. The result is
 // bit-for-bit identical to BandCurve with the equivalent map-based
 // closure, at roughly an order of magnitude higher throughput.
 //
@@ -223,12 +269,6 @@ func BandCurveEval(ctx context.Context, base core.Model, cfg Config, d design.De
 	if err != nil {
 		return nil, err
 	}
-	cfg10, cfg25 := cfg, cfg
-	cfg10.Variation = 0.10
-	cfg25.Variation = 0.25
-	perts10 := cfg10.Perturbations()
-	perts25 := cfg25.Perturbations()
-
 	sample := func(w *core.Evaluator, p core.Perturbation, x float64) (float64, error) {
 		if onEval != nil {
 			onEval()
@@ -245,10 +285,15 @@ func BandCurveEval(ctx context.Context, base core.Model, cfg Config, d design.De
 	out := make([]Band, len(xs))
 	err = sweep.ForChunks(ctx, len(xs), 0, 1, func(lo, hi int) error {
 		w := ev.Clone()
+		perts10 := make([]core.Perturbation, cfg.samples())
+		perts25 := make([]core.Perturbation, cfg.samples())
 		buf10 := make([]float64, len(perts10))
 		buf25 := make([]float64, len(perts25))
 		for i := lo; i < hi; i++ {
 			x := xs[i]
+			seed := cfg.seedAt(i)
+			fillPerturbations(perts10, seed, 0.10)
+			fillPerturbations(perts25, seed, 0.25)
 			for j, p := range perts10 {
 				v, err := sample(w, p, x)
 				if err != nil {
@@ -284,8 +329,8 @@ func BandCurveEval(ctx context.Context, base core.Model, cfg Config, d design.De
 // serial-vs-parallel benchmark.
 func BandCurveSerial(ctx context.Context, base core.Model, cfg Config, xs []float64, evalAt func(core.Model, float64) (float64, error)) ([]Band, error) {
 	out := make([]Band, 0, len(xs))
-	for _, x := range xs {
-		b, err := bandAt(ctx, base, cfg, x, evalAt)
+	for i, x := range xs {
+		b, err := bandAt(ctx, base, cfg, i, x, evalAt)
 		if err != nil {
 			return nil, err
 		}

@@ -2,83 +2,193 @@
 // REST API over the public ttmcas package, built only on the standard
 // library. The supply-chain models are read-mostly and cheap to key —
 // a request is fully described by its canonical JSON — so the server
-// is built around a keyed LRU response cache with single-flight
+// is built around a keyed response cache with single-flight
 // deduplication: concurrent identical evaluations compute once, and
-// repeated ones are served from memory. Expensive analyses
-// (sensitivity, planning) additionally pass through a bounded worker
-// pool so a burst of heavy requests cannot starve the cheap hot path.
+// repeated ones are served from memory. The cache is sharded (per-shard
+// locks keyed by an FNV-1a hash, so concurrent hits on different keys
+// never contend) and byte-budgeted (eviction is by total cached body
+// bytes, not entry count, so one curve response cannot silently crowd
+// out a thousand scalar ones). Expensive analyses (sensitivity,
+// planning) additionally pass through a bounded worker pool so a burst
+// of heavy requests cannot starve the cheap hot path.
 package server
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
-// lruCache is a fixed-capacity least-recently-used cache mapping a
-// canonical request key to a marshaled response body. It is safe for
-// concurrent use.
-type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List
-	items map[string]*list.Element
+// shardedCache is a byte-budgeted least-recently-used response cache
+// split into power-of-two shards. Each shard owns an independent mutex,
+// LRU list and byte budget, so Get/Put on different keys proceed in
+// parallel; a key always maps to the same shard via FNV-1a, so
+// per-entry operations stay linearizable.
+type shardedCache struct {
+	shards   []cacheShard
+	mask     uint32
+	disabled bool
+
+	evictions atomic.Uint64
 }
 
-type lruEntry struct {
+// cacheShard is one lock domain of the cache: an LRU list over the
+// shard's entries plus the running total of their body bytes.
+type cacheShard struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List
+	items  map[string]*list.Element
+	_      [24]byte // pad to its own cache line(s); shards sit in one slice
+}
+
+type cacheEntry struct {
 	key  string
 	body []byte
+	// cl is the precomputed Content-Length header value, built once at
+	// insert so serving a hit allocates nothing for headers.
+	cl []string
 }
 
-// newLRUCache returns a cache holding up to capacity entries;
-// capacity <= 0 disables caching (every Get misses, Put is a no-op).
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-	}
+// cacheStats is a point-in-time aggregate across shards, surfaced in
+// /metrics.
+type cacheStats struct {
+	Entries     int
+	Bytes       int64
+	BudgetBytes int64
+	Shards      int
+	Evictions   uint64
 }
 
-// Get returns the cached body for key and marks it most recently used.
-func (c *lruCache) Get(key string) ([]byte, bool) {
-	if c.cap <= 0 {
-		return nil, false
+// newShardedCache returns a cache bounded to roughly totalBytes of
+// cached response bodies across `shards` shards (rounded up to a power
+// of two). totalBytes <= 0 disables caching: every Get misses and Put
+// is a no-op.
+func newShardedCache(totalBytes int64, shards int) *shardedCache {
+	if totalBytes <= 0 {
+		return &shardedCache{disabled: true}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
+	n := 1
+	for n < shards {
+		n <<= 1
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).body, true
+	per := totalBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	c := &shardedCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			budget: per,
+			ll:     list.New(),
+			items:  make(map[string]*list.Element),
+		}
+	}
+	return c
 }
 
-// Put inserts or refreshes key, evicting the least recently used entry
-// when the cache is full.
-func (c *lruCache) Put(key string, body []byte) {
-	if c.cap <= 0 {
+// fnv1a is the 32-bit FNV-1a hash — cheap, inlineable, and plenty
+// uniform for shard selection over canonical-JSON keys. Generic over
+// string and []byte so the hot path can hash a pooled key buffer
+// without converting it to a string first.
+func fnv1a[T ~string | ~[]byte](key T) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (c *shardedCache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the cached body for key, with its precomputed
+// Content-Length header value, and marks it most recently used. The
+// key is a byte slice so a hit — the hot path — performs zero
+// allocations: the map lookup through string(key) is resolved by the
+// compiler without materializing the string.
+func (c *shardedCache) Get(key []byte) (body []byte, cl []string, ok bool) {
+	if c.disabled {
+		return nil, nil, false
+	}
+	s := &c.shards[fnv1a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.items[string(key)]
+	if !found {
+		return nil, nil, false
+	}
+	s.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.cl, true
+}
+
+// Put inserts or refreshes key, then evicts least-recently-used entries
+// until the shard's cached body bytes fit its budget. A body larger
+// than the whole shard budget is not cached at all (it would evict
+// everything and then exceed the budget alone).
+func (c *shardedCache) Put(key string, body []byte) {
+	if c.disabled {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).body = body
+	s := c.shard(key)
+	if int64(len(body)) > s.budget {
 		return
 	}
-	el := c.ll.PushFront(&lruEntry{key: key, body: body})
-	c.items[key] = el
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+	cl := []string{strconv.Itoa(len(body))}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		s.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		e.cl = cl
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body, cl: cl})
+		s.bytes += int64(len(body))
+	}
+	for s.bytes > s.budget {
+		oldest := s.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		s.ll.Remove(oldest)
+		delete(s.items, e.key)
+		s.bytes -= int64(len(e.body))
+		c.evictions.Add(1)
 	}
 }
 
-// Len reports the number of cached entries.
-func (c *lruCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+// Len reports the number of cached entries across shards.
+func (c *shardedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates entry/byte counts and the eviction counter across
+// shards.
+func (c *shardedCache) Stats() cacheStats {
+	st := cacheStats{Shards: len(c.shards), Evictions: c.evictions.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.ll.Len()
+		st.Bytes += s.bytes
+		st.BudgetBytes += s.budget
+		s.mu.Unlock()
+	}
+	return st
 }

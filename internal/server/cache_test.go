@@ -2,77 +2,164 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
 
-func TestLRUBasics(t *testing.T) {
-	c := newLRUCache(2)
-	if _, ok := c.Get("a"); ok {
+// singleShard returns a cache with one shard so LRU ordering is
+// globally observable in tests.
+func singleShard(budget int64) *shardedCache { return newShardedCache(budget, 1) }
+
+func TestCacheBasics(t *testing.T) {
+	c := singleShard(2) // two one-byte bodies fit, a third evicts
+	if _, _, ok := c.Get([]byte("a")); ok {
 		t.Fatal("empty cache should miss")
 	}
 	c.Put("a", []byte("1"))
 	c.Put("b", []byte("2"))
-	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+	if v, _, ok := c.Get([]byte("a")); !ok || string(v) != "1" {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
 	// "a" is now most recent; inserting "c" must evict "b".
 	c.Put("c", []byte("3"))
-	if _, ok := c.Get("b"); ok {
+	if _, _, ok := c.Get([]byte("b")); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, _, ok := c.Get([]byte("a")); !ok {
 		t.Error("a should have survived")
 	}
-	if _, ok := c.Get("c"); !ok {
+	if _, _, ok := c.Get([]byte("c")); !ok {
 		t.Error("c should be present")
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes != 2 {
+		t.Errorf("Stats = %+v, want 1 eviction and 2 bytes", st)
+	}
 }
 
-func TestLRUUpdateExisting(t *testing.T) {
-	c := newLRUCache(2)
+func TestCacheUpdateExisting(t *testing.T) {
+	c := singleShard(16)
 	c.Put("a", []byte("old"))
-	c.Put("a", []byte("new"))
-	if v, _ := c.Get("a"); string(v) != "new" {
-		t.Errorf("Get(a) = %q, want new", v)
+	c.Put("a", []byte("new!"))
+	if v, _, _ := c.Get([]byte("a")); string(v) != "new!" {
+		t.Errorf("Get(a) = %q, want new!", v)
 	}
 	if c.Len() != 1 {
 		t.Errorf("Len = %d, want 1", c.Len())
 	}
+	if st := c.Stats(); st.Bytes != 4 {
+		t.Errorf("Bytes = %d, want 4 (replacement must not double-count)", st.Bytes)
+	}
 }
 
-func TestLRUDisabled(t *testing.T) {
-	c := newLRUCache(0)
+func TestCacheEvictsByBytesNotEntries(t *testing.T) {
+	c := singleShard(10)
+	c.Put("big", []byte(strings.Repeat("x", 8)))
 	c.Put("a", []byte("1"))
-	if _, ok := c.Get("a"); ok {
-		t.Error("disabled cache must never hit")
+	c.Put("b", []byte("2")) // 8+1+1 = 10 bytes: everything fits
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
 	}
-	if c.Len() != 0 {
-		t.Errorf("Len = %d, want 0", c.Len())
+	// One more byte must push out the least-recently-used entry —
+	// which is "big", freeing eight bytes at once.
+	c.Put("c", []byte("3"))
+	if _, _, ok := c.Get([]byte("big")); ok {
+		t.Error("big should have been evicted to fit the budget")
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (a, b, c)", c.Len())
 	}
 }
 
-func TestLRUConcurrent(t *testing.T) {
-	c := newLRUCache(16)
+func TestCacheRejectsOversizedBody(t *testing.T) {
+	c := singleShard(4)
+	c.Put("a", []byte("1"))
+	c.Put("huge", []byte("xxxxxxxx"))
+	if _, _, ok := c.Get([]byte("huge")); ok {
+		t.Error("a body larger than the shard budget must not be cached")
+	}
+	if _, _, ok := c.Get([]byte("a")); !ok {
+		t.Error("an oversized Put must not evict existing entries")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		c := newShardedCache(budget, 4)
+		c.Put("a", []byte("1"))
+		if _, _, ok := c.Get([]byte("a")); ok {
+			t.Errorf("budget %d: disabled cache must never hit", budget)
+		}
+		if c.Len() != 0 {
+			t.Errorf("budget %d: Len = %d, want 0", budget, c.Len())
+		}
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		c := newShardedCache(1<<20, tc.ask)
+		if got := len(c.shards); got != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestCacheKeyStableShard(t *testing.T) {
+	c := newShardedCache(1<<20, 8)
+	for _, key := range []string{"", "a", "POST /v1/ttm|{...}", strings.Repeat("k", 100)} {
+		if c.shard(key) != c.shard(key) {
+			t.Fatalf("shard(%q) not stable", key)
+		}
+	}
+}
+
+// TestCacheConcurrent hammers parallel Get/Put/evict across shards
+// under -race, then checks the byte-budget invariant: the sum of
+// cached body lengths never exceeds the configured budget.
+func TestCacheConcurrent(t *testing.T) {
+	const budget = 1 << 10
+	c := newShardedCache(budget, 4)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				key := fmt.Sprintf("k%d", (g*7+i)%32)
-				c.Put(key, []byte(key))
-				if v, ok := c.Get(key); ok && string(v) != key {
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%64)
+				body := []byte(strings.Repeat("v", 1+(g*13+i)%40))
+				c.Put(key, body)
+				if v, _, ok := c.Get([]byte(key)); ok && v[0] != 'v' {
 					t.Errorf("Get(%s) = %q", key, v)
 				}
 			}
 		}(g)
 	}
 	wg.Wait()
-	if c.Len() > 16 {
-		t.Errorf("Len = %d exceeds capacity", c.Len())
+
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Errorf("cached bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	// The tracked byte total must equal the actual stored body bytes.
+	var actual int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			actual += int64(len(el.Value.(*cacheEntry).body))
+		}
+		if s.bytes > s.budget {
+			t.Errorf("shard %d: bytes %d exceed shard budget %d", i, s.bytes, s.budget)
+		}
+		s.mu.Unlock()
+	}
+	if actual != st.Bytes {
+		t.Errorf("tracked bytes %d != actual stored bytes %d", st.Bytes, actual)
 	}
 }

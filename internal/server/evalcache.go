@@ -1,0 +1,170 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+
+	"ttmcas"
+)
+
+// modelVariant labels which analytical model compiled the cached
+// evaluators. There is only one today; the label keeps the cache key
+// forward-compatible with alternative model variants.
+const modelVariant = "default"
+
+// compiledEval is one cached compile result: the base evaluator plus a
+// pool of per-worker clones. An Evaluator is not safe for concurrent
+// use (it carries per-node scratch), so each request borrows a clone
+// and returns it — steady-state requests touch no compile work and no
+// fresh scratch allocations.
+type compiledEval struct {
+	base   *ttmcas.Evaluator
+	clones sync.Pool
+}
+
+func newCompiledEval(base *ttmcas.Evaluator) *compiledEval {
+	ce := &compiledEval{base: base}
+	ce.clones.New = func() any { return base.Clone() }
+	return ce
+}
+
+// acquire borrows a worker-private evaluator; pair with release.
+func (ce *compiledEval) acquire() *ttmcas.Evaluator {
+	return ce.clones.Get().(*ttmcas.Evaluator)
+}
+
+func (ce *compiledEval) release(ev *ttmcas.Evaluator) { ce.clones.Put(ev) }
+
+// evalCache is a small LRU over compiled evaluators keyed by
+// (model variant, design, market conditions). The cheap evaluation
+// routes consult it so a response-cache miss re-runs only the ~50 ns
+// kernel, not design resolution and Compile.
+type evalCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type evalCacheEntry struct {
+	key string
+	ce  *compiledEval
+}
+
+// evalStats is a point-in-time snapshot surfaced in /metrics.
+type evalStats struct {
+	Entries      int
+	Hits, Misses uint64
+}
+
+// newEvalCache returns an evaluator cache holding up to capacity
+// compiled designs; capacity < 0 disables it (every lookup compiles).
+func newEvalCache(capacity int) *evalCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &evalCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// getOrCompile returns the cached compiled evaluator for key,
+// compiling and inserting on miss. Compilation runs outside the lock:
+// concurrent misses on the same key may compile twice, but identical
+// requests are already collapsed upstream by single-flight, and the
+// last insert wins harmlessly.
+func (c *evalCache) getOrCompile(key string, compile func() (*ttmcas.Evaluator, error)) (*compiledEval, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		ce := el.Value.(*evalCacheEntry).ce
+		c.mu.Unlock()
+		return ce, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	base, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	ce := newCompiledEval(base)
+	if c.capacity == 0 {
+		return ce, nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent miss beat us to the insert; adopt its entry so
+		// every caller shares one clone pool.
+		c.ll.MoveToFront(el)
+		return el.Value.(*evalCacheEntry).ce, nil
+	}
+	c.items[key] = c.ll.PushFront(&evalCacheEntry{key: key, ce: ce})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*evalCacheEntry).key)
+	}
+	return ce, nil
+}
+
+// Stats snapshots the cache counters.
+func (c *evalCache) Stats() evalStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return evalStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses}
+}
+
+// evalKeyParts is the subset of an EvalRequest that determines the
+// compiled evaluator: the design and the market conditions, but not
+// the chip count (evaluators compile at n=1 and thread the requested
+// volume through the chips override) nor route-specific fields like
+// curve points or sample counts. json.Marshal is canonical here —
+// struct field order is fixed and Go marshals maps with sorted keys.
+type evalKeyParts struct {
+	Design         string             `json:"d,omitempty"`
+	Spec           *DesignSpec        `json:"s,omitempty"`
+	Node           string             `json:"rn,omitempty"`
+	Scenario       string             `json:"sc,omitempty"`
+	Capacity       float64            `json:"c,omitempty"`
+	QueueWeeks     float64            `json:"q,omitempty"`
+	NodeCapacity   map[string]float64 `json:"nc,omitempty"`
+	NodeQueueWeeks map[string]float64 `json:"nq,omitempty"`
+}
+
+// evaluatorFor resolves the request's compiled evaluator through the
+// cache. The caller must have resolved (d, c) from the same request;
+// they are only used on a cache miss to compile.
+func (s *Server) evaluatorFor(req EvalRequest, d ttmcas.Design, c ttmcas.Conditions) (*compiledEval, error) {
+	kb, err := json.Marshal(evalKeyParts{
+		Design:         req.Design,
+		Spec:           req.Spec,
+		Node:           req.Node,
+		Scenario:       req.Scenario,
+		Capacity:       req.Capacity,
+		QueueWeeks:     req.QueueWeeks,
+		NodeCapacity:   req.NodeCapacity,
+		NodeQueueWeeks: req.NodeQueueWeeks,
+	})
+	if err != nil {
+		return nil, badRequestf("encoding evaluator key: %v", err)
+	}
+	key := modelVariant + "|" + string(kb)
+	return s.evals.getOrCompile(key, func() (*ttmcas.Evaluator, error) {
+		// Compile at one chip: the kernel's chips override serves any
+		// requested volume from the same compiled evaluator.
+		ev, err := ttmcas.Compile(d, 1, c)
+		if err != nil {
+			return nil, unprocessablef("%v", err)
+		}
+		return ev, nil
+	})
+}

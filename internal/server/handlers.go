@@ -379,7 +379,13 @@ func (s *Server) handleTTM(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := ttmcas.Evaluate(d, req.N, c)
+		ce, err := s.evaluatorFor(req, d, c)
+		if err != nil {
+			return nil, err
+		}
+		ev := ce.acquire()
+		res, err := ev.EvalResultChips(ttmcas.Perturbation{}, req.N)
+		ce.release(ev)
 		if err != nil {
 			return nil, unprocessablef("%v", err)
 		}
@@ -426,7 +432,13 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		out := CASResponse{Design: d.Name, Chips: req.N, Conditions: c.String()}
-		res, err := ttmcas.CAS(d, req.N, c)
+		ce, err := s.evaluatorFor(req, d, c)
+		if err != nil {
+			return nil, err
+		}
+		ev := ce.acquire()
+		defer ce.release(ev)
+		res, err := ev.CASResultChips(ttmcas.Perturbation{}, req.N)
 		if err != nil {
 			return nil, unprocessablef("%v", err)
 		}
@@ -443,17 +455,21 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 				return nil, badRequestf("curve[%d] = %v outside (0, 1]", i, f)
 			}
 		}
-		if len(req.Curve) > 0 {
-			pts, err := ttmcas.CASCurve(d, req.N, c, req.Curve)
+		// The curve rides the same cached evaluator: each point is one
+		// TTM pass plus the CAS stencil, all on the compiled kernel.
+		for _, f := range req.Curve {
+			ttm, err := ev.EvalChipsAtCapacity(ttmcas.Perturbation{}, req.N, f)
 			if err != nil {
 				return nil, unprocessablef("%v", err)
 			}
-			for _, p := range pts {
-				ttm := finiteWeeks(p.TTM)
-				out.Curve = append(out.Curve, CASPointResponse{
-					Capacity: p.Capacity, CAS: p.CAS, TTMWeeks: ttm, Stalled: ttm == nil,
-				})
+			cas, err := ev.CASChipsAtCapacity(ttmcas.Perturbation{}, req.N, f)
+			if err != nil {
+				return nil, unprocessablef("%v", err)
 			}
+			fw := finiteWeeks(ttm)
+			out.Curve = append(out.Curve, CASPointResponse{
+				Capacity: f, CAS: cas, TTMWeeks: fw, Stalled: fw == nil,
+			})
 		}
 		return out, nil
 	})

@@ -31,6 +31,13 @@ type Metrics struct {
 	jobsFinished   map[jobStatusKey]uint64
 	jobsRunning    int64
 	jobEvaluations uint64
+
+	// cacheStats and evalStats, when set (once, at Server
+	// construction), snapshot the response cache and the compiled-
+	// evaluator cache for the exposition; their counters live in the
+	// caches themselves, not under this mutex.
+	cacheStats func() cacheStats
+	evalStats  func() evalStats
 }
 
 // jobStatusKey keys the finished-jobs counter by kind and terminal
@@ -186,6 +193,12 @@ func (m *Metrics) JobEvaluations() uint64 {
 	return m.jobEvaluations
 }
 
+// scalar is one single-valued series of the exposition.
+type scalar struct {
+	name, help, typ string
+	value           any
+}
+
 // WriteTo renders the registry in the Prometheus text exposition
 // format, with series sorted for deterministic output.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
@@ -267,10 +280,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
-	scalars := []struct {
-		name, help, typ string
-		value           any
-	}{
+	scalars := []scalar{
 		{"ttmcas_jobs_running", "Batch jobs currently running.", "gauge", m.jobsRunning},
 		{"ttmcas_job_evaluations_total", "Evaluation units completed by finished batch jobs.", "counter", m.jobEvaluations},
 		{"ttmcas_cache_hits_total", "Responses served from the LRU cache.", "counter", m.cacheHits},
@@ -278,6 +288,24 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"ttmcas_singleflight_shared_total", "Requests that shared an identical in-flight computation.", "counter", m.flightShared},
 		{"ttmcas_model_evaluations_total", "Actual model computations performed.", "counter", m.evaluations},
 		{"ttmcas_inflight_requests", "Requests currently being served.", "gauge", m.inflight.Load()},
+	}
+	if m.cacheStats != nil {
+		cs := m.cacheStats()
+		scalars = append(scalars,
+			scalar{"ttmcas_response_cache_entries", "Entries held by the sharded response cache.", "gauge", cs.Entries},
+			scalar{"ttmcas_response_cache_bytes", "Body bytes held by the sharded response cache.", "gauge", cs.Bytes},
+			scalar{"ttmcas_response_cache_budget_bytes", "Byte budget of the sharded response cache.", "gauge", cs.BudgetBytes},
+			scalar{"ttmcas_response_cache_shards", "Shard count of the response cache.", "gauge", cs.Shards},
+			scalar{"ttmcas_response_cache_evictions_total", "Entries evicted from the response cache to respect the byte budget.", "counter", cs.Evictions},
+		)
+	}
+	if m.evalStats != nil {
+		es := m.evalStats()
+		scalars = append(scalars,
+			scalar{"ttmcas_evalcache_entries", "Compiled evaluators held by the evaluator cache.", "gauge", es.Entries},
+			scalar{"ttmcas_evalcache_hits_total", "Evaluator-cache lookups that reused a compiled evaluator.", "counter", es.Hits},
+			scalar{"ttmcas_evalcache_misses_total", "Evaluator-cache lookups that had to compile.", "counter", es.Misses},
+		)
 	}
 	for _, s := range scalars {
 		if err := emit("# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.value); err != nil {

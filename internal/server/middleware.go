@@ -1,9 +1,9 @@
 package server
 
 import (
-	"context"
 	"net/http"
 	"runtime/debug"
+	"sync"
 	"time"
 )
 
@@ -31,6 +31,10 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// swPool recycles statusWriters: the wrapper is born and dies inside
+// wrap, so the hot path pays no per-request allocation for it.
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // wrap applies the server's per-request machinery around a handler:
 // panic recovery, the in-flight gauge, a request deadline, the
 // max-body-size guard, structured logging, and per-route metrics.
@@ -39,7 +43,8 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.IncInflight()
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		*sw = statusWriter{ResponseWriter: w}
 
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -51,12 +56,17 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 			s.metrics.DecInflight()
 			d := time.Since(start)
 			s.metrics.ObserveRequest(route, sw.status, d)
-			s.log.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), sw.status, sw.written, d)
+			if !s.cfg.DisableAccessLog {
+				s.log.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), sw.status, sw.written, d)
+			}
+			swPool.Put(sw)
 		}()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		r = r.WithContext(ctx)
+		// The per-request deadline is NOT armed here: a timer context
+		// costs allocations every request, and the cheap routes (cache
+		// hits, reads) never block. respondCached arms it around the
+		// compute closure, the only place work can stall; slow request
+		// bodies are bounded by the http.Server's ReadTimeout.
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}

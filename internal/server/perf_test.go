@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ttmcas"
+)
+
+// TestCacheKeyCanonicalization pins down that the response cache keys
+// on the decoded request, not the raw bytes: two bodies with the same
+// fields in different key order, whitespace and numeric spelling must
+// hit the same cache entry.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first := `{"design":"a11","node":"28nm","n":10e6}`
+	second := "{\n\t\"n\":   1.0e7,\n\t\"node\": \"28nm\",\n\t\"design\": \"a11\"\n}"
+
+	st1, b1 := postJSON(t, ts.URL+"/v1/ttm", first)
+	st2, b2 := postJSON(t, ts.URL+"/v1/ttm", second)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("statuses %d, %d; bodies %s %s", st1, st2, b1, b2)
+	}
+	if b1 != b2 {
+		t.Errorf("equivalent requests returned different bodies:\n%s\nvs\n%s", b1, b2)
+	}
+	m := s.Metrics()
+	if m.Evaluations() != 1 {
+		t.Errorf("evaluations = %d, want 1 (second request must be a cache hit)", m.Evaluations())
+	}
+	if m.CacheHits() != 1 || m.CacheMisses() != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", m.CacheHits(), m.CacheMisses())
+	}
+}
+
+// TestXCacheHeaderAndContentLength checks the hot-path response
+// headers: a computed response is marked MISS, a repeat is served
+// verbatim from cache as HIT, and both carry an exact Content-Length.
+func TestXCacheHeaderAndContentLength(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() (*http.Response, string) {
+		resp, err := http.Post(ts.URL+"/v1/ttm", "application/json",
+			strings.NewReader(`{"design":"a11","node":"28nm","n":10e6}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+
+	resp1, body1 := post()
+	resp2, body2 := post()
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("first X-Cache = %q, want MISS", got)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("second X-Cache = %q, want HIT", got)
+	}
+	if body1 != body2 {
+		t.Errorf("cached body differs from computed body")
+	}
+	if !strings.HasSuffix(body1, "\n") {
+		t.Errorf("body should be newline-terminated")
+	}
+	for i, resp := range []*http.Response{resp1, resp2} {
+		if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body1)) {
+			t.Errorf("response %d: Content-Length = %q, want %d", i+1, cl, len(body1))
+		}
+	}
+}
+
+// TestSingleflightCollapsesConcurrentMisses disables the response
+// cache so deduplication can only come from single-flight, gates the
+// one in-flight computation until every request has joined it, and
+// then requires exactly one model evaluation for N requests.
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	s := testServer(t, Config{CacheBytes: -1})
+	gate := make(chan struct{})
+	s.slowEval = func() { <-gate }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, body := postJSON(t, ts.URL+"/v1/ttm", `{"design":"a11","node":"28nm","n":10e6}`)
+			if st != http.StatusOK {
+				t.Errorf("status %d: %s", st, body)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().Inflight() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests in flight", s.Metrics().Inflight(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Evaluations() != 1 {
+		t.Errorf("evaluations = %d, want 1", m.Evaluations())
+	}
+	if m.Shared() != n-1 {
+		t.Errorf("shared = %d, want %d", m.Shared(), n-1)
+	}
+	if m.CacheHits() != 0 {
+		t.Errorf("cache hits = %d, want 0 (cache disabled)", m.CacheHits())
+	}
+}
+
+// TestEvaluatorCacheReusesCompile checks that requests differing only
+// in chip count (distinct response-cache keys) share one compiled
+// evaluator, and that /v1/cas reuses the evaluator /v1/ttm compiled.
+func TestEvaluatorCacheReusesCompile(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"design":"a11","node":"28nm","n":10e6}`,
+		`{"design":"a11","node":"28nm","n":20e6}`,
+	} {
+		if st, b := postJSON(t, ts.URL+"/v1/ttm", body); st != http.StatusOK {
+			t.Fatalf("status %d: %s", st, b)
+		}
+	}
+	if st := s.evals.Stats(); st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("evalcache after two ttm = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+	if st, b := postJSON(t, ts.URL+"/v1/cas", `{"design":"a11","node":"28nm","n":10e6}`); st != http.StatusOK {
+		t.Fatalf("cas status %d: %s", st, b)
+	}
+	if st := s.evals.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("evalcache after cas = %+v, want the same compiled evaluator reused", st)
+	}
+}
+
+func TestEvalCacheLRUEviction(t *testing.T) {
+	c := newEvalCache(2)
+	keys := []string{"a", "b", "a", "c", "b"}
+	for _, k := range keys {
+		if _, err := c.getOrCompile(k, func() (*ttmcas.Evaluator, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After a,b,a,c: inserting c evicted b (a was refreshed), so the
+	// final b is a miss again.
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 1/4", st.Hits, st.Misses)
+	}
+}
+
+// ---- writeJSON allocation benchmarks -------------------------------
+
+// benchPayload mirrors a realistic /v1/ttm response: one die, one
+// node, the shape the hot path serializes most often.
+func benchPayload() TTMResponse {
+	return TTMResponse{
+		Design: "a11", Chips: 10e6, Conditions: "full capacity",
+		DesignWeeks: 52.1, TapeoutWeeks: 18.4, FabricationWeeks: 11.9,
+		PackagingWeeks: 2, TTMWeeks: 84.4, CriticalNode: "28nm",
+		Dies: []DieResponse{{
+			Name: "a11", Node: "28nm", AreaMM2: 98.3, Yield: 0.82,
+			GrossPerWafer: 612, Wafers: 23871,
+		}},
+		Nodes: []NodeResponse{{
+			Node: "28nm", Wafers: 23871, QueueWeeks: 0,
+			ProductionWeeks: 11.9, TotalWeeks: 11.9,
+		}},
+	}
+}
+
+// nopResponseWriter isolates encoding cost from httptest bookkeeping.
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+// BenchmarkWriteJSON measures the pooled hot-path encoder.
+func BenchmarkWriteJSON(b *testing.B) {
+	out := benchPayload()
+	w := &nopResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// BenchmarkWriteJSONNaive is the pre-PR implementation — Marshal into
+// a fresh slice, append the newline — kept as the in-tree baseline the
+// pooled path is judged against.
+func BenchmarkWriteJSONNaive(b *testing.B) {
+	out := benchPayload()
+	w := &nopResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, err := json.Marshal(out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(append(body, '\n'))
+	}
+}
+
+// BenchmarkServerTTMCachedHit measures the full serving stack on a
+// response-cache hit — routing, middleware, decode, canonical key,
+// shard lookup, verbatim write — via direct handler dispatch.
+func BenchmarkServerTTMCachedHit(b *testing.B) {
+	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	defer s.Close()
+	h := s.Handler()
+	body := []byte(`{"design":"a11","node":"28nm","n":10e6}`)
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ttm", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		w.Body = nil
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := do(); code != http.StatusOK {
+		b.Fatalf("prime status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}

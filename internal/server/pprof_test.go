@@ -26,7 +26,7 @@ func TestPprofHandlerServesProfiles(t *testing.T) {
 func TestPprofNotOnAPIHandler(t *testing.T) {
 	// The API route table must not expose profiling; it only exists on
 	// the dedicated -pprof-addr listener.
-	s := New(Config{CacheSize: -1})
+	s := New(Config{CacheBytes: -1})
 	defer s.Close()
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -19,9 +21,17 @@ import (
 type Config struct {
 	// Addr is the listen address for ListenAndServe (default ":8080").
 	Addr string
-	// CacheSize is the LRU response-cache capacity in entries
-	// (default 1024); negative disables caching.
-	CacheSize int
+	// CacheBytes budgets the sharded response cache by total cached
+	// body bytes (default 64 MiB); negative disables caching.
+	CacheBytes int64
+	// CacheShards is the response-cache shard count, rounded up to a
+	// power of two (default 16). More shards means less lock
+	// contention between concurrent hits on different keys.
+	CacheShards int
+	// EvalCacheSize is the compiled-evaluator cache capacity in
+	// entries — one per distinct (design, conditions) pair
+	// (default 256); negative disables it.
+	EvalCacheSize int
 	// MaxConcurrent bounds the worker pool used by the expensive
 	// routes — sensitivity analysis and planning (default 4).
 	MaxConcurrent int
@@ -35,6 +45,11 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// Logger receives structured request logs (default log.Default()).
 	Logger *log.Logger
+	// DisableAccessLog turns off the per-request log line (panics and
+	// lifecycle events still log). High-throughput deployments pay
+	// measurable per-request formatting cost for access logs even when
+	// the destination discards them.
+	DisableAccessLog bool
 
 	// MaxSamples caps the client-supplied sample counts: the Saltelli
 	// base N of /v1/sensitivity and the Monte-Carlo samples of batch
@@ -68,8 +83,14 @@ func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = ":8080"
 	}
-	if c.CacheSize == 0 {
-		c.CacheSize = 1024
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.EvalCacheSize == 0 {
+		c.EvalCacheSize = 256
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
@@ -103,7 +124,8 @@ type Server struct {
 	cfg     Config
 	log     *log.Logger
 	handler http.Handler
-	cache   *lruCache
+	cache   *shardedCache
+	evals   *evalCache
 	flight  flightGroup
 	metrics *Metrics
 	heavy   chan struct{}
@@ -121,10 +143,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
-		cache:   newLRUCache(cfg.CacheSize),
+		cache:   newShardedCache(cfg.CacheBytes, cfg.CacheShards),
+		evals:   newEvalCache(cfg.EvalCacheSize),
 		metrics: NewMetrics(),
 		heavy:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	s.metrics.cacheStats = s.cache.Stats
+	s.metrics.evalStats = s.evals.Stats
 	s.jobs = jobs.New(jobs.Config{
 		Workers:        cfg.JobWorkers,
 		MaxActive:      cfg.MaxJobs,
@@ -205,7 +230,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
-		ErrorLog:          s.log,
+		// Bodies must arrive within the request deadline: with the
+		// handler-side timer now armed only around compute work, this
+		// is what bounds slow-body clients.
+		ReadTimeout: s.cfg.RequestTimeout,
+		ErrorLog:    s.log,
 	}
 	shutdownErr := make(chan error, 1)
 	go func() {
@@ -246,24 +275,69 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// encodeBuffer pairs a reusable buffer with a JSON encoder bound to
+// it, so the hot path never reallocates either. Encoder.Encode appends
+// the trailing newline every response body carries.
+type encodeBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	eb := &encodeBuffer{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	return eb
+}}
+
+// encodeJSON marshals v into a pooled buffer (newline-terminated).
+// The returned release func recycles the buffer; the byte slice is
+// only valid until then.
+func encodeJSON(v any) (body []byte, release func(), err error) {
+	eb := encPool.Get().(*encodeBuffer)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(v); err != nil {
+		encPool.Put(eb)
+		return nil, nil, err
+	}
+	return eb.buf.Bytes(), func() { encPool.Put(eb) }, nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.Marshal(v)
+	body, release, err := encodeJSON(v)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
 		return
 	}
-	writeRaw(w, status, body)
+	// No explicit Content-Length here: net/http computes it for
+	// buffered responses, and the cached paths — where the header is
+	// guaranteed — precompute it at insert (writeBody / cache hits).
+	w.Header()["Content-Type"] = headerJSON
+	w.WriteHeader(status)
+	w.Write(body)
+	release()
 }
 
-func writeRaw(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+// Shared, immutable header values: assigning a pre-built []string
+// under the already-canonical key skips textproto's canonicalization
+// pass and the per-request slice allocation Header.Set would pay.
+var (
+	headerJSON = []string{"application/json"}
+	headerHit  = []string{"HIT"}
+	headerMiss = []string{"MISS"}
+)
+
+// writeBody writes a complete, newline-terminated JSON body verbatim
+// with a precomputed Content-Length.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h["Content-Length"] = []string{strconv.Itoa(len(body))}
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	body, _ := json.Marshal(errorResponse{Error: msg})
-	writeRaw(w, status, body)
+	writeJSON(w, status, errorResponse{Error: msg})
 }
 
 // fail maps an error to its HTTP status and writes the error body.
@@ -304,23 +378,41 @@ func (s *Server) releaseHeavy() { <-s.heavy }
 // successful responses are cached; errors pass through single-flight
 // (concurrent identical failures fail once) but are never remembered.
 func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route string, req any, heavy bool, compute func(ctx context.Context) (any, error)) {
-	keyBytes, err := json.Marshal(req)
-	if err != nil {
+	// The canonical key is built in a pooled buffer: a cache hit never
+	// materializes the key as a string (Get looks the bytes up
+	// directly), so the hot path performs no key allocations at all.
+	eb := encPool.Get().(*encodeBuffer)
+	eb.buf.Reset()
+	eb.buf.WriteString(route)
+	eb.buf.WriteByte('|')
+	if err := eb.enc.Encode(req); err != nil {
+		encPool.Put(eb)
 		s.fail(w, badRequestf("encoding request key: %v", err))
 		return
 	}
-	key := route + "|" + string(keyBytes)
 
-	if body, ok := s.cache.Get(key); ok {
+	if body, cl, ok := s.cache.Get(eb.buf.Bytes()); ok {
+		encPool.Put(eb)
 		s.metrics.CacheHit()
-		writeRaw(w, http.StatusOK, body)
+		h := w.Header()
+		h["X-Cache"] = headerHit
+		h["Content-Type"] = headerJSON
+		h["Content-Length"] = cl
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
 		return
 	}
+	key := eb.buf.String()
+	encPool.Put(eb)
 	s.metrics.CacheMiss()
 
 	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		// The request deadline is armed here, around the only work
+		// that can stall, so cache hits never pay for a timer context.
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
 		if heavy {
-			if err := s.acquireHeavy(r.Context()); err != nil {
+			if err := s.acquireHeavy(ctx); err != nil {
 				return nil, err
 			}
 			defer s.releaseHeavy()
@@ -329,14 +421,21 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route str
 			s.slowEval()
 		}
 		s.metrics.Evaluation()
-		v, err := compute(r.Context())
+		v, err := compute(ctx)
 		if err != nil {
 			return nil, err
 		}
-		b, err := json.Marshal(v)
+		// The pooled buffer cannot outlive this closure (the body is
+		// cached and shared across piggybacked requests), so copy it
+		// into an owned slice — still one precisely-sized allocation
+		// instead of Marshal's grow-and-copy churn.
+		pooled, release, err := encodeJSON(v)
 		if err != nil {
 			return nil, &apiError{http.StatusInternalServerError, "encoding response: " + err.Error()}
 		}
+		b := make([]byte, len(pooled))
+		copy(b, pooled)
+		release()
 		s.cache.Put(key, b)
 		return b, nil
 	})
@@ -347,5 +446,6 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route str
 		s.fail(w, err)
 		return
 	}
-	writeRaw(w, http.StatusOK, body)
+	w.Header()["X-Cache"] = headerMiss
+	writeBody(w, http.StatusOK, body)
 }

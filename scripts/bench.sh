@@ -6,19 +6,27 @@
 # report, so speedups (and allocation regressions) can be tracked
 # across commits.
 #
-#   scripts/bench.sh [out.json]       # default out: BENCH_jobs.json
-#   BENCHTIME=5s scripts/bench.sh     # longer runs for stabler numbers
-#   BENCH_STRICT=1 scripts/bench.sh   # exit non-zero when parallel < serial
+# It then load-tests the serving layer with ttmcas-loadgen (cached-hit,
+# uncached and mixed /v1/ttm scenarios against an in-process server)
+# and records RPS and p50/p95/p99/max latency as BENCH_serve.json.
 #
-# The script compares the parallel drivers against their serial
-# baselines: parallel slower than 0.9x serial prints a loud warning,
-# and fails the run when BENCH_STRICT=1 (the adaptive chunking is
-# supposed to make parallel never lose, even on one core).
+#   scripts/bench.sh [out.json] [serve_out.json]
+#                                     # defaults: BENCH_jobs.json BENCH_serve.json
+#   BENCHTIME=5s scripts/bench.sh     # longer kernel runs for stabler numbers
+#   SERVE_DURATION=10s scripts/bench.sh   # longer load-test scenarios
+#   BENCH_STRICT=1 scripts/bench.sh   # exit non-zero when a guard fails
+#
+# Guards (loud warning, failing the run when BENCH_STRICT=1):
+#   - parallel drivers slower than their serial baselines
+#   - cached-hit p99 latency not below uncached p99
+#   - cached-hit RPS below 5x uncached RPS
 set -eu
 
 out="${1:-BENCH_jobs.json}"
+serveout="${2:-BENCH_serve.json}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+tmpbin="$(mktemp -d)"
+trap 'rm -f "$tmp"; rm -rf "$tmpbin"' EXIT
 
 go test -run '^$' -bench 'BandCurve|Sobol|ModelEvaluate|Evaluator' -benchmem \
     -benchtime "${BENCHTIME:-2s}" \
@@ -73,8 +81,54 @@ check_pair() {
 check_pair BandCurveParallel BandCurveSerial
 check_pair SobolParallel SobolSerial
 
+# ---- serving-layer load test ---------------------------------------
+# Three in-process scenarios: every request a response-cache hit, every
+# request a full miss (unique capacity -> decode, resolve, compile,
+# evaluate, encode), and a 9:1 mix.
+go build -o "$tmpbin/ttmcas-loadgen" ./cmd/ttmcas-loadgen
+
+servedur="${SERVE_DURATION:-3s}"
+servec="${SERVE_CONCURRENCY:-8}"
+cached_json="$("$tmpbin/ttmcas-loadgen" -scenario cached -d "$servedur" -c "$servec" -json)"
+uncached_json="$("$tmpbin/ttmcas-loadgen" -scenario uncached -d "$servedur" -c "$servec" -json)"
+mixed_json="$("$tmpbin/ttmcas-loadgen" -scenario mixed -d "$servedur" -c "$servec" -json)"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "scenarios": [\n'
+    printf '    %s,\n' "$cached_json"
+    printf '    %s,\n' "$uncached_json"
+    printf '    %s\n' "$mixed_json"
+    printf '  ]\n'
+    printf '}\n'
+} > "$serveout"
+echo "wrote $serveout"
+
+# The first "rps"/"p99_us" in a scenario line is the aggregate (the
+# per-target breakdown comes later in the object).
+field() { printf '%s' "$1" | sed -n "s/.*\"$2\":\([0-9.eE+-]*\).*/\1/p" | head -n 1; }
+cached_rps="$(field "$cached_json" rps)"
+uncached_rps="$(field "$uncached_json" rps)"
+cached_p99="$(field "$cached_json" p99_us)"
+uncached_p99="$(field "$uncached_json" p99_us)"
+
+if awk -v c="$cached_p99" -v u="$uncached_p99" 'BEGIN { exit !(c >= u) }'; then
+    echo "WARNING: cached-hit p99 (${cached_p99}us) is not below uncached p99 (${uncached_p99}us)" >&2
+    guard_status=1
+else
+    echo "ok: cached-hit p99 ${cached_p99}us < uncached p99 ${uncached_p99}us"
+fi
+if awk -v c="$cached_rps" -v u="$uncached_rps" 'BEGIN { exit !(c < 5 * u) }'; then
+    echo "WARNING: cached-hit RPS (${cached_rps}) is below 5x uncached RPS (${uncached_rps})" >&2
+    guard_status=1
+else
+    echo "ok: cached-hit RPS ${cached_rps} >= 5x uncached RPS ${uncached_rps}"
+fi
+
 if [ "$guard_status" -ne 0 ] && [ "${BENCH_STRICT:-0}" = "1" ]; then
-    echo "FAIL: parallel drivers regressed below their serial baselines" >&2
+    echo "FAIL: benchmark guards failed (see warnings above)" >&2
     exit 1
 fi
 exit 0

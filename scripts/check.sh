@@ -12,3 +12,9 @@ go test -race ./...
 # serial/parallel variant that stops compiling) fails CI without CI
 # paying for real measurement runs.
 go test -run '^$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep
+
+# Load-generator smoke: one short mixed run against an in-process
+# server. -check fails the run on zero completed requests, any
+# transport error, or any 5xx — a one-second end-to-end exercise of the
+# whole serving stack (routing, caches, worker pool, encoding).
+go run ./cmd/ttmcas-loadgen -scenario mixed -d 1s -c 4 -check
