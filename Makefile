@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve bench benchsmoke loadsmoke
+.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke
 
-check: vet build race benchsmoke loadsmoke
+check: vet build race benchsmoke loadsmoke chaossmoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,13 @@ benchsmoke:
 # server; -check fails on transport errors or 5xx responses.
 loadsmoke:
 	$(GO) run ./cmd/ttmcas-loadgen -scenario mixed -d 1s -c 4 -check
+
+# One short fault-injected run against a deliberately small in-process
+# server; -check asserts the availability contract: every 5xx a
+# deliberate Retry-After-bearing shed, goodput >= 90% of admitted,
+# bounded p99, stale serves observed, goroutines drained.
+chaossmoke:
+	$(GO) run ./cmd/ttmcas-loadgen -scenario chaos -d 2s -c 8 -check
 
 # Full measurement runs (kernel, band curves, Sobol) with allocation
 # counts and a parallel-vs-serial guard; writes BENCH_jobs.json.

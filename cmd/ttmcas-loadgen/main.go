@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	ttmcas-loadgen [-target http://host:8080] [-scenario cached|uncached|mixed]
+//	ttmcas-loadgen [-target http://host:8080] [-scenario cached|uncached|mixed|chaos]
 //	               [-c 8] [-d 5s] [-design a11] [-node 28nm] [-n 10e6]
-//	               [-seed 1] [-json] [-check]
+//	               [-seed 1] [-fault-spec "..."] [-json] [-check]
 //
 // With no -target the generator spins up the server in-process and
 // dispatches straight into its handler — no sockets in the path — so
@@ -24,13 +24,27 @@
 //     evaluator cache — the full decode → resolve → compile → evaluate
 //     → encode path.
 //   - mixed: 9:1 cached:uncached, a bursty exploration workload.
+//   - chaos: the availability-under-failure harness. An in-process
+//     server runs with tight admission limits, short cache freshness,
+//     a long stale window, and the -fault-spec fault injector enabled
+//     (default: 5% errors, 2% 50ms latency spikes and one panic on
+//     /v1/ttm). The mix rotates over a warmed key set plus a share of
+//     heavy /v1/sensitivity traffic, so requests continuously go
+//     stale, get shed, and get rescued. Requires in-process mode.
 //
-// -json emits one machine-readable JSON object on stdout. -check exits
-// non-zero unless the run completed requests with zero transport
-// errors and zero 5xx responses — the CI smoke gate.
+// -json emits one machine-readable JSON object on stdout, including
+// per-status-class counts (2xx/4xx/5xx), shed and stale counts, and
+// the shed rate. -check exits non-zero unless the run completed
+// requests with zero transport errors and zero 5xx responses — the CI
+// smoke gate. Under the chaos scenario, -check instead asserts the
+// resilience contract: every 5xx is a deliberate shed (503 with
+// Retry-After), goodput of admitted requests is at least 90%, p99
+// stays bounded, at least one stale body was served, and the goroutine
+// count returns to its pre-run baseline after the drain.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -38,14 +52,22 @@ import (
 	"io"
 	"log"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"ttmcas/internal/loadtest"
+	"ttmcas/internal/resilience/faultinject"
 	"ttmcas/internal/server"
 )
+
+// defaultChaosSpec is the fault mix of the chaos scenario: occasional
+// latency spikes, a steady error rate, and exactly one panic per run.
+const defaultChaosSpec = "route=/v1/ttm latency=50ms latency-rate=0.02 error-rate=0.05 panics=1"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -64,10 +86,20 @@ func run(args []string) error {
 	node := fs.String("node", "28nm", "process node the design is re-targeted to")
 	chips := fs.Float64("n", 10e6, "chip count the requests evaluate")
 	seed := fs.Int64("seed", 1, "target-selection RNG seed")
+	faultSpec := fs.String("fault-spec", defaultChaosSpec, "fault-injection spec of the chaos scenario")
 	asJSON := fs.Bool("json", false, "emit the report as one JSON object on stdout")
-	check := fs.Bool("check", false, "exit non-zero unless requests completed with zero errors and zero 5xx")
+	check := fs.Bool("check", false, "exit non-zero unless requests completed with zero errors and zero 5xx (chaos: the resilience contract)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	chaos := *scenario == "chaos"
+	if chaos {
+		if *target != "" {
+			return fmt.Errorf("scenario chaos drives an in-process server; -target is not supported")
+		}
+		if _, err := faultinject.Parse(*faultSpec, *seed); err != nil {
+			return err
+		}
 	}
 
 	cached := loadtest.Target{
@@ -93,6 +125,16 @@ func run(args []string) error {
 		Duration:    *duration,
 		Seed:        *seed,
 	}
+	// The chaos key set: a fixed rotation of capacity fractions, warmed
+	// before the clock starts so every key has a body to go stale.
+	const chaosKeys = 32
+	chaosBodies := make([][]byte, chaosKeys)
+	for i := range chaosBodies {
+		f := 0.05 + 0.9*float64(i)/chaosKeys
+		chaosBodies[i] = []byte(fmt.Sprintf(`{"design":%q,"node":%q,"n":%g,"capacity":%.17g}`, *design, *node, *chips, f))
+	}
+	sensBody := []byte(fmt.Sprintf(`{"design":%q,"node":%q,"n":%g,"samples":8}`, *design, *node, *chips))
+
 	switch *scenario {
 	case "cached":
 		cached.Weight = 1
@@ -105,19 +147,60 @@ func run(args []string) error {
 		cached.Weight, uncached.Weight = 9, 1
 		cfg.Targets = []loadtest.Target{cached, uncached}
 		cfg.Warmup = true
+	case "chaos":
+		cfg.Targets = []loadtest.Target{
+			{
+				Name:     "ttm-chaos",
+				Path:     "/v1/ttm",
+				BodyFunc: func(seq uint64) []byte { return chaosBodies[seq%chaosKeys] },
+				Weight:   9,
+			},
+			{Name: "sensitivity-chaos", Path: "/v1/sensitivity", Body: sensBody, Weight: 1},
+		}
 	default:
-		return fmt.Errorf("unknown scenario %q (want cached, uncached or mixed)", *scenario)
+		return fmt.Errorf("unknown scenario %q (want cached, uncached, mixed or chaos)", *scenario)
 	}
 
+	var srv *server.Server
 	if *target != "" {
 		cfg.BaseURL = *target
 	} else {
-		srv := server.New(server.Config{
+		scfg := server.Config{
 			Logger:           log.New(io.Discard, "", 0),
 			DisableAccessLog: true,
-		})
+		}
+		if chaos {
+			// Tight admission limits make overload reachable at modest
+			// concurrency; short freshness plus a long stale window keeps
+			// every warmed key continuously eligible for degradation.
+			scfg.CheapConcurrent = 2
+			scfg.MaxConcurrent = 2
+			scfg.FreshTTL = 150 * time.Millisecond
+			scfg.StaleTTL = time.Minute
+			scfg.FaultSpec = *faultSpec
+			scfg.FaultSeed = *seed
+		}
+		srv = server.New(scfg)
 		defer srv.Close()
 		cfg.Handler = srv.Handler()
+	}
+
+	// The chaos warmup runs with the injector paused: every key gets a
+	// clean cached body first, then the faults are unleashed on a
+	// goroutine baseline we can check the drain against.
+	var baseline int
+	if chaos {
+		srv.FaultInjector().Pause()
+		for _, b := range chaosBodies {
+			if err := warmInProcess(srv, "/v1/ttm", b); err != nil {
+				return err
+			}
+		}
+		if err := warmInProcess(srv, "/v1/sensitivity", sensBody); err != nil {
+			return err
+		}
+		baseline = runtime.NumGoroutine()
+		srv.FaultInjector().Resume()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -128,15 +211,30 @@ func run(args []string) error {
 		return err
 	}
 
+	// After the drain, background refreshes and shed waiters must be
+	// gone: the goroutine count returning to its pre-chaos baseline is
+	// the no-leak half of the availability contract.
+	var drained *bool
+	if chaos {
+		now, ok := waitDrain(baseline+2, 10*time.Second)
+		drained = &ok
+		if !ok && !*asJSON {
+			fmt.Fprintf(os.Stderr, "ttmcas-loadgen: goroutines did not drain: baseline %d, now %d\n", baseline, now)
+		}
+	}
+
 	if *asJSON {
-		if err := writeJSON(os.Stdout, *scenario, rep); err != nil {
+		if err := writeJSON(os.Stdout, *scenario, rep, drained); err != nil {
 			return err
 		}
 	} else {
-		writeText(os.Stdout, *scenario, rep)
+		writeText(os.Stdout, *scenario, rep, drained)
 	}
 
 	if *check {
+		if chaos {
+			return checkChaos(rep, drained)
+		}
 		switch {
 		case rep.Requests == 0 || rep.RPS <= 0:
 			return fmt.Errorf("check failed: no completed requests")
@@ -149,6 +247,63 @@ func run(args []string) error {
 	return nil
 }
 
+// warmInProcess issues one request straight into the server's handler
+// and demands a 200, so the chaos run starts from a fully cached state.
+func warmInProcess(srv *server.Server, path string, body []byte) error {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("warming %s: status %d: %s", path, rec.Code, bytes.TrimSpace(rec.Body.Bytes()))
+	}
+	return nil
+}
+
+// waitDrain polls until the goroutine count falls to the limit or the
+// timeout passes, reporting the final count either way.
+func waitDrain(limit int, timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= limit {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkChaos asserts the availability contract of a chaos run: chaos
+// may slow requests down or answer them degraded, but it must not make
+// the service wrong, unavailable, or leaky.
+func checkChaos(rep loadtest.Report, drained *bool) error {
+	admitted := rep.Requests - rep.Shed
+	switch {
+	case rep.Requests == 0:
+		return fmt.Errorf("chaos check failed: no completed requests")
+	case rep.Errors > 0:
+		return fmt.Errorf("chaos check failed: %d transport errors", rep.Errors)
+	case rep.Status5xx != rep.Shed:
+		return fmt.Errorf("chaos check failed: %d 5xx but only %d deliberate sheds (503+Retry-After)",
+			rep.Status5xx, rep.Shed)
+	case admitted == 0:
+		return fmt.Errorf("chaos check failed: every request was shed")
+	case float64(rep.Status2xx) < 0.9*float64(admitted):
+		return fmt.Errorf("chaos check failed: goodput %d/%d admitted requests < 90%%",
+			rep.Status2xx, admitted)
+	case rep.P99 > 500*time.Millisecond:
+		return fmt.Errorf("chaos check failed: p99 %s exceeds 500ms", rep.P99)
+	case rep.Stale == 0:
+		return fmt.Errorf("chaos check failed: no stale serves — degradation never engaged")
+	case drained != nil && !*drained:
+		return fmt.Errorf("chaos check failed: goroutines did not return to baseline after drain")
+	}
+	return nil
+}
+
 // jsonStats is the flat machine-readable shape of one stats block,
 // durations in microseconds so bench scripts can compare them without
 // unit parsing.
@@ -156,8 +311,12 @@ type jsonStats struct {
 	Name      string  `json:"name,omitempty"`
 	Requests  uint64  `json:"requests"`
 	Errors    uint64  `json:"errors"`
+	Status2xx uint64  `json:"status_2xx"`
 	Status4xx uint64  `json:"status_4xx"`
 	Status5xx uint64  `json:"status_5xx"`
+	Shed      uint64  `json:"shed"`
+	ShedRate  float64 `json:"shed_rate"`
+	Stale     uint64  `json:"stale"`
 	RPS       float64 `json:"rps"`
 	P50us     float64 `json:"p50_us"`
 	P95us     float64 `json:"p95_us"`
@@ -167,24 +326,31 @@ type jsonStats struct {
 
 func toJSONStats(name string, s loadtest.Stats) jsonStats {
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
-	return jsonStats{
+	out := jsonStats{
 		Name: name, Requests: s.Requests, Errors: s.Errors,
-		Status4xx: s.Status4xx, Status5xx: s.Status5xx,
+		Status2xx: s.Status2xx, Status4xx: s.Status4xx, Status5xx: s.Status5xx,
+		Shed: s.Shed, Stale: s.Stale,
 		RPS: s.RPS, P50us: us(s.P50), P95us: us(s.P95), P99us: us(s.P99), MaxUs: us(s.Max),
 	}
+	if s.Requests > 0 {
+		out.ShedRate = float64(s.Shed) / float64(s.Requests)
+	}
+	return out
 }
 
-func writeJSON(w io.Writer, scenario string, rep loadtest.Report) error {
+func writeJSON(w io.Writer, scenario string, rep loadtest.Report, drained *bool) error {
 	out := struct {
 		Scenario    string  `json:"scenario"`
 		Concurrency int     `json:"concurrency"`
 		DurationS   float64 `json:"duration_s"`
+		Drained     *bool   `json:"drained,omitempty"`
 		jsonStats
 		Targets []jsonStats `json:"targets,omitempty"`
 	}{
 		Scenario:    scenario,
 		Concurrency: rep.Concurrency,
 		DurationS:   rep.Elapsed.Seconds(),
+		Drained:     drained,
 		jsonStats:   toJSONStats("", rep.Stats),
 	}
 	if len(rep.Targets) > 1 {
@@ -196,11 +362,15 @@ func writeJSON(w io.Writer, scenario string, rep loadtest.Report) error {
 	return enc.Encode(out)
 }
 
-func writeText(w io.Writer, scenario string, rep loadtest.Report) {
-	fmt.Fprintf(w, "scenario=%s concurrency=%d duration=%s\n", scenario, rep.Concurrency, rep.Elapsed.Round(time.Millisecond))
+func writeText(w io.Writer, scenario string, rep loadtest.Report, drained *bool) {
+	fmt.Fprintf(w, "scenario=%s concurrency=%d duration=%s", scenario, rep.Concurrency, rep.Elapsed.Round(time.Millisecond))
+	if drained != nil {
+		fmt.Fprintf(w, " drained=%t", *drained)
+	}
+	fmt.Fprintln(w)
 	block := func(name string, s loadtest.Stats) {
-		fmt.Fprintf(w, "%-14s %10.1f req/s  %8d reqs  errors=%d  4xx=%d  5xx=%d\n",
-			name, s.RPS, s.Requests, s.Errors, s.Status4xx, s.Status5xx)
+		fmt.Fprintf(w, "%-14s %10.1f req/s  %8d reqs  errors=%d  2xx=%d  4xx=%d  5xx=%d  shed=%d  stale=%d\n",
+			name, s.RPS, s.Requests, s.Errors, s.Status2xx, s.Status4xx, s.Status5xx, s.Shed, s.Stale)
 		fmt.Fprintf(w, "%-14s p50=%s p95=%s p99=%s max=%s\n",
 			"", s.P50, s.P95, s.P99, s.Max)
 	}

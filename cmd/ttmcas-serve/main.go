@@ -7,10 +7,11 @@
 // Usage:
 //
 //	ttmcas-serve [-addr :8080] [-cache-bytes 67108864] [-cache-shards 16] [-eval-cache 256]
-//	             [-max-concurrent 4] [-request-timeout 30s]
+//	             [-max-concurrent 4] [-cheap-concurrent 2*GOMAXPROCS] [-request-timeout 30s]
+//	             [-shed-target-ms 25] [-fresh-ttl 0] [-stale-ttl 0]
 //	             [-job-workers 2] [-max-jobs 32] [-job-ttl 1h] [-job-timeout 10m]
 //	             [-job-snapshots DIR] [-max-samples 8192] [-max-curve-points 64]
-//	             [-pprof-addr localhost:6060]
+//	             [-fault-spec ""] [-fault-seed 1] [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -37,6 +38,33 @@
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM; running batch jobs are cancelled, and with -job-snapshots
 // they are persisted and resumed on the next start.
+//
+// # Operating under overload
+//
+// Every evaluation route passes through a CoDel-style admission
+// limiter (one per route class: "cheap" for closed-form evaluations,
+// "heavy" for the sensitivity/plan worker pool). When the minimum
+// queueing delay over a rolling interval stays above -shed-target-ms
+// the limiter sheds: excess requests are answered 503 with a
+// Retry-After header instead of being queued behind work that cannot
+// finish in time. Admission counters are exported on /metrics as
+// ttmcas_admission_{admitted,shed}_total{class}.
+//
+// With -fresh-ttl and -stale-ttl set, cached responses age through
+// two windows: within -fresh-ttl they are served as ordinary hits;
+// between -fresh-ttl and -fresh-ttl + -stale-ttl they are recomputed
+// on access, but if the recompute is shed or fails the retained body
+// is served with X-Cache: STALE and a background refresh is kicked
+// off. Both TTLs default to zero, which disables aging entirely.
+//
+// -fault-spec enables the fault-injection middleware (off by
+// default) for chaos testing, e.g.:
+//
+//	-fault-spec "route=/v1/ttm latency=50ms latency-rate=0.02 error-rate=0.05 panics=1"
+//
+// Injected faults surface as 503s (or one-shot contained panics) and
+// are counted in ttmcas_faults_injected_total{kind}. See
+// ttmcas-loadgen -scenario chaos for the matching availability check.
 package main
 
 import (
@@ -51,6 +79,7 @@ import (
 	"syscall"
 	"time"
 
+	"ttmcas/internal/resilience/faultinject"
 	"ttmcas/internal/server"
 )
 
@@ -69,6 +98,10 @@ func run(args []string) error {
 	evalCache := fs.Int("eval-cache", 256, "compiled-evaluator cache capacity in entries (negative disables)")
 	accessLog := fs.Bool("access-log", true, "log one line per request (disable for peak throughput)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "worker-pool bound for sensitivity/plan requests")
+	cheapConcurrent := fs.Int("cheap-concurrent", 0, "admission bound for cheap evaluation requests (0 = 2*GOMAXPROCS)")
+	shedTargetMS := fs.Int("shed-target-ms", 25, "admission queue-delay target in milliseconds before shedding")
+	freshTTL := fs.Duration("fresh-ttl", 0, "how long cached responses are served as fresh hits (0 disables aging)")
+	staleTTL := fs.Duration("stale-ttl", 0, "how long past fresh-ttl stale responses may be served on shed or failure")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
 	jobWorkers := fs.Int("job-workers", 2, "concurrent batch jobs")
@@ -78,9 +111,14 @@ func run(args []string) error {
 	jobSnapshots := fs.String("job-snapshots", "", "directory for job snapshots (persists results across restarts; empty disables)")
 	maxSamples := fs.Int("max-samples", 8192, "largest accepted sample count (sensitivity N, Monte-Carlo samples)")
 	maxCurvePoints := fs.Int("max-curve-points", 64, "largest accepted curve/grid point list")
+	faultSpec := fs.String("fault-spec", "", "fault-injection spec for chaos testing (empty disables), e.g. \"route=/v1/ttm error-rate=0.05\"")
+	faultSeed := fs.Int64("fault-seed", 1, "deterministic seed for the fault-injection draw stream")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if _, err := faultinject.Parse(*faultSpec, *faultSeed); err != nil {
+		return fmt.Errorf("-fault-spec: %w", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,6 +144,10 @@ func run(args []string) error {
 		EvalCacheSize:    *evalCache,
 		DisableAccessLog: !*accessLog,
 		MaxConcurrent:    *maxConcurrent,
+		CheapConcurrent:  *cheapConcurrent,
+		ShedTarget:       time.Duration(*shedTargetMS) * time.Millisecond,
+		FreshTTL:         *freshTTL,
+		StaleTTL:         *staleTTL,
 		RequestTimeout:   *requestTimeout,
 		MaxBodyBytes:     *maxBody,
 		JobWorkers:       *jobWorkers,
@@ -115,6 +157,8 @@ func run(args []string) error {
 		JobSnapshotDir:   *jobSnapshots,
 		MaxSamples:       *maxSamples,
 		MaxCurvePoints:   *maxCurvePoints,
+		FaultSpec:        *faultSpec,
+		FaultSeed:        *faultSeed,
 		Logger:           logger,
 	})
 	return srv.ListenAndServe(ctx)

@@ -46,6 +46,27 @@
 // name through DesignByName, the same registry the CLI's -design flag
 // uses.
 //
+// # Operating under overload
+//
+// The server degrades predictably instead of collapsing when offered
+// more work than it can finish (internal/resilience). Every
+// evaluation route passes through a CoDel-style admission limiter —
+// one per route class, cheap (closed-form evaluations) and heavy (the
+// sensitivity/plan worker pool): while the minimum queueing delay
+// over a rolling interval exceeds the -shed-target-ms target,
+// arrivals are shed with 503 and a Retry-After header rather than
+// queued behind work that cannot finish in time. Cache hits bypass
+// admission, so a shedding server still serves its hot set at full
+// speed. With -fresh-ttl/-stale-ttl configured, cached bodies that
+// have gone stale are recomputed on access, but a shed or failed
+// recompute falls back to the retained body, marked X-Cache: STALE,
+// while a bounded background refresh repopulates the entry; client
+// errors are never stale-masked. An off-by-default fault-injection
+// middleware (-fault-spec; internal/resilience/faultinject) drives
+// chaos tests: cmd/ttmcas-loadgen's chaos scenario runs fault-injected
+// load and asserts availability — every 5xx a deliberate shed, goodput
+// at least 90% of admitted requests, no goroutine leaks after drain.
+//
 // # Batch jobs
 //
 // The analyses behind the paper's figures — Monte-Carlo uncertainty

@@ -429,9 +429,11 @@ func TestDrainedRunningJobResumesAfterRestart(t *testing.T) {
 	}
 }
 
-func TestCorruptSnapshotSkipped(t *testing.T) {
+func TestCorruptSnapshotQuarantined(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "job-000001.json"), []byte("{not json"), 0o644); err != nil {
+	// A snapshot truncated mid-write (no atomic rename — e.g. a copy
+	// restored from a partial backup) must not poison startup.
+	if err := os.WriteFile(filepath.Join(dir, "job-000001.json"), []byte(`{"view":{"id":"job-0`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "job-000002.json"), []byte(`{"view":{"id":"job-000009"}}`), 0o644); err != nil {
@@ -443,6 +445,24 @@ func TestCorruptSnapshotSkipped(t *testing.T) {
 	defer m.Close()
 	if got := len(m.List()); got != 0 {
 		t.Fatalf("restored %d jobs from corrupt snapshots", got)
+	}
+	// The undecodable file is renamed aside — preserved for inspection,
+	// never re-read — while the id-mismatched (but valid) one stays.
+	if _, err := os.Stat(filepath.Join(dir, "job-000001.json.corrupt")); err != nil {
+		t.Errorf("quarantined copy missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job-000001.json")); !os.IsNotExist(err) {
+		t.Errorf("corrupt snapshot still in place (err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job-000002.json")); err != nil {
+		t.Errorf("id-mismatched snapshot should stay: %v", err)
+	}
+
+	// A manager restarted over the same directory starts clean too.
+	m2 := New(cfg)
+	defer m2.Close()
+	if got := len(m2.List()); got != 0 {
+		t.Fatalf("second restart restored %d jobs", got)
 	}
 }
 

@@ -94,7 +94,9 @@ func (m *Manager) deleteSnapshot(id string) {
 // loadSnapshots restores jobs from the snapshot directory into the
 // store: terminal jobs keep their results and are marked Restored;
 // pending (or interrupted-running) jobs are returned for re-queueing.
-// Corrupt or mismatched files are skipped with a log line.
+// Undecodable files are quarantined (renamed to <name>.corrupt) with a
+// log line; mismatched ones are skipped. Startup always continues with
+// whatever state is readable.
 func (m *Manager) loadSnapshots() []*Job {
 	if m.cfg.SnapshotDir == "" {
 		return nil
@@ -119,7 +121,16 @@ func (m *Manager) loadSnapshots() []*Job {
 		}
 		var sf snapshotFile
 		if err := json.Unmarshal(data, &sf); err != nil {
-			m.log.Printf("jobs: skipping corrupt snapshot %s: %v", name, err)
+			// Quarantine rather than skip: renaming the file preserves it
+			// for inspection while guaranteeing the next restart does not
+			// trip over the same corruption, and startup always proceeds
+			// with whatever state is readable.
+			path := filepath.Join(m.cfg.SnapshotDir, name)
+			if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+				m.log.Printf("jobs: corrupt snapshot %s: %v (quarantine failed: %v)", name, err, rerr)
+			} else {
+				m.log.Printf("jobs: corrupt snapshot %s: %v (moved to %s.corrupt)", name, err, name)
+			}
 			continue
 		}
 		v := sf.View

@@ -90,11 +90,19 @@ type Stats struct {
 	Status2xx uint64
 	Status4xx uint64
 	Status5xx uint64
-	RPS       float64
-	P50       time.Duration
-	P95       time.Duration
-	P99       time.Duration
-	Max       time.Duration
+	// Shed counts deliberate load sheds: 503 responses carrying a
+	// Retry-After header, as the server's admission control and fault
+	// injection emit. A 5xx without Retry-After is NOT counted here —
+	// the chaos gate uses that distinction to separate controlled
+	// degradation from genuine failures.
+	Shed uint64
+	// Stale counts degraded serves: 200 responses with X-Cache: STALE.
+	Stale uint64
+	RPS   float64
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
 }
 
 // TargetStats pairs a target's name with its aggregate.
@@ -118,6 +126,7 @@ type Report struct {
 type workerStats struct {
 	requests, errors        uint64
 	s2xx, s4xx, s5xx, other uint64
+	shed, stale             uint64
 	hist                    Histogram
 }
 
@@ -190,7 +199,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					body = t.BodyFunc(seq.Add(1))
 				}
 				began := time.Now()
-				status, err := send(runCtx, ti, t, body)
+				res, err := send(runCtx, ti, t, body)
 				if err != nil {
 					// The deadline tearing down an in-flight request is
 					// the run ending, not a server failure.
@@ -204,7 +213,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 				st := &stats[ti]
 				st.requests++
 				st.hist.Record(time.Since(began))
-				switch status / 100 {
+				switch res.status / 100 {
 				case 2:
 					st.s2xx++
 				case 4:
@@ -213,6 +222,12 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					st.s5xx++
 				default:
 					st.other++
+				}
+				if res.shed {
+					st.shed++
+				}
+				if res.stale {
+					st.stale++
 				}
 			}
 		}(w)
@@ -254,6 +269,8 @@ func buildReport(cfg Config, perWorker [][]workerStats, elapsed time.Duration) R
 			agg.s2xx += s.s2xx
 			agg.s4xx += s.s4xx
 			agg.s5xx += s.s5xx
+			agg.shed += s.shed
+			agg.stale += s.stale
 			agg.hist.Merge(&s.hist)
 		}
 		rep.Targets = append(rep.Targets, TargetStats{
@@ -265,6 +282,8 @@ func buildReport(cfg Config, perWorker [][]workerStats, elapsed time.Duration) R
 		total.s2xx += agg.s2xx
 		total.s4xx += agg.s4xx
 		total.s5xx += agg.s5xx
+		total.shed += agg.shed
+		total.stale += agg.stale
 		total.hist.Merge(&agg.hist)
 	}
 	rep.Stats = total.stats(secs)
@@ -278,6 +297,8 @@ func (s *workerStats) stats(secs float64) Stats {
 		Status2xx: s.s2xx,
 		Status4xx: s.s4xx,
 		Status5xx: s.s5xx,
+		Shed:      s.shed,
+		Stale:     s.stale,
 		P50:       s.hist.Quantile(0.50),
 		P95:       s.hist.Quantile(0.95),
 		P99:       s.hist.Quantile(0.99),
@@ -289,9 +310,27 @@ func (s *workerStats) stats(secs float64) Stats {
 	return out
 }
 
-// sendFunc issues one request to target index ti and reports the HTTP
-// status. A sendFunc is owned by one worker and must not be shared.
-type sendFunc func(ctx context.Context, ti int, t *Target, body []byte) (int, error)
+// sendResult is the per-request outcome a sender observes: the HTTP
+// status plus the degradation markers the serving stack advertises in
+// headers.
+type sendResult struct {
+	status int
+	shed   bool // 503 with Retry-After: deliberate admission shed
+	stale  bool // X-Cache: STALE: degraded serve from a retained body
+}
+
+// classify fills the degradation markers from a response's headers.
+func classify(status int, h http.Header) sendResult {
+	return sendResult{
+		status: status,
+		shed:   status == http.StatusServiceUnavailable && h.Get("Retry-After") != "",
+		stale:  h.Get("X-Cache") == "STALE",
+	}
+}
+
+// sendFunc issues one request to target index ti and reports the
+// outcome. A sendFunc is owned by one worker and must not be shared.
+type sendFunc func(ctx context.Context, ti int, t *Target, body []byte) (sendResult, error)
 
 // senderFactory validates the targets once and returns a constructor
 // for per-worker senders.
@@ -307,28 +346,28 @@ func (c Config) senderFactory() (func() sendFunc, error) {
 		}}
 	}
 	base := c.BaseURL
-	send := func(ctx context.Context, _ int, t *Target, body []byte) (int, error) {
+	send := func(ctx context.Context, _ int, t *Target, body []byte) (sendResult, error) {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
 		req, err := http.NewRequestWithContext(ctx, t.method(), base+t.Path, rd)
 		if err != nil {
-			return 0, err
+			return sendResult{}, err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := client.Do(req)
 		if err != nil {
-			return 0, err
+			return sendResult{}, err
 		}
 		_, err = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return 0, err
+			return sendResult{}, err
 		}
-		return resp.StatusCode, nil
+		return classify(resp.StatusCode, resp.Header), nil
 	}
 	return func() sendFunc { return send }, nil
 }
@@ -364,7 +403,7 @@ func (c Config) handlerSenderFactory() (func() sendFunc, error) {
 			}
 			readers[i] = &bytes.Reader{}
 		}
-		return func(ctx context.Context, ti int, t *Target, body []byte) (int, error) {
+		return func(ctx context.Context, ti int, t *Target, body []byte) (sendResult, error) {
 			req := reqs[ti]
 			if body != nil {
 				readers[ti].Reset(body)
@@ -376,7 +415,7 @@ func (c Config) handlerSenderFactory() (func() sendFunc, error) {
 			}
 			w.reset()
 			h.ServeHTTP(w, req.WithContext(ctx))
-			return w.status(), nil
+			return classify(w.status(), w.header), nil
 		}
 	}, nil
 }

@@ -1,0 +1,246 @@
+// Package faultinject makes failure paths testable: a configurable
+// injector that adds latency spikes, error rates, and panics to
+// selected routes. It is off unless a spec is supplied, and it is the
+// engine behind the load generator's chaos scenario — the serving
+// stack's overload and degradation machinery is only trustworthy if
+// something actually exercises it.
+//
+// A spec is one or more rules separated by ';'. Each rule is a list of
+// key=value fields separated by spaces or commas:
+//
+//	route=/v1/ttm latency=50ms latency-rate=0.02 error-rate=0.05 panics=1
+//
+// Fields:
+//
+//	route        path prefix the rule applies to ("*" or empty matches all)
+//	latency      injected sleep duration (requires latency-rate > 0)
+//	latency-rate probability of injecting the latency (default 1 when latency is set)
+//	error-rate   probability of failing the request with ErrInjected
+//	panics       total number of panics to inject over the injector's life
+//
+// The first rule whose route matches the request decides the faults.
+// Decisions are drawn from a deterministic splitmix64 stream, so a
+// fixed seed reproduces a chaos run exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a deliberately injected failure, so handlers and
+// tests can distinguish chaos from genuine errors.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Rule is one parsed spec rule.
+type Rule struct {
+	Route       string
+	Latency     time.Duration
+	LatencyRate float64
+	ErrorRate   float64
+	Panics      int
+}
+
+// rule is a Rule plus its live panic budget.
+type rule struct {
+	Rule
+	panicsLeft atomic.Int64
+}
+
+// Stats counts the faults an injector has delivered.
+type Stats struct {
+	Latencies uint64
+	Errors    uint64
+	Panics    uint64
+}
+
+// Injector applies parsed fault rules. The zero of *Injector (nil) is
+// valid and injects nothing, so callers can hold one unconditionally.
+type Injector struct {
+	rules []*rule
+	seed  uint64
+	ctr   atomic.Uint64
+
+	paused atomic.Bool
+
+	latencies atomic.Uint64
+	errors    atomic.Uint64
+	panics    atomic.Uint64
+}
+
+// Parse builds an Injector from a spec string. An empty spec returns
+// (nil, nil): fault injection disabled.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	inj := &Injector{seed: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		r := &rule{Rule: Rule{Route: "*", LatencyRate: -1}}
+		for _, field := range strings.FieldsFunc(group, func(c rune) bool { return c == ' ' || c == ',' || c == '\t' }) {
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: field %q is not key=value", field)
+			}
+			var err error
+			switch key {
+			case "route":
+				r.Route = val
+			case "latency":
+				r.Latency, err = time.ParseDuration(val)
+			case "latency-rate":
+				r.LatencyRate, err = parseRate(key, val)
+			case "error-rate":
+				r.ErrorRate, err = parseRate(key, val)
+			case "panics":
+				r.Panics, err = strconv.Atoi(val)
+				if err == nil && r.Panics < 0 {
+					err = fmt.Errorf("faultinject: panics must be >= 0")
+				}
+			default:
+				err = fmt.Errorf("faultinject: unknown field %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %q: %w", field, err)
+			}
+		}
+		if r.Latency < 0 {
+			return nil, fmt.Errorf("faultinject: negative latency in %q", group)
+		}
+		if r.LatencyRate < 0 { // unset: default to 1 when a latency is configured
+			r.LatencyRate = 0
+			if r.Latency > 0 {
+				r.LatencyRate = 1
+			}
+		}
+		if r.Latency == 0 && r.LatencyRate > 0 {
+			return nil, fmt.Errorf("faultinject: latency-rate without latency in %q", group)
+		}
+		r.panicsLeft.Store(int64(r.Panics))
+		inj.rules = append(inj.rules, r)
+	}
+	if len(inj.rules) == 0 {
+		return nil, nil
+	}
+	return inj, nil
+}
+
+func parseRate(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("%s %v outside [0, 1]", key, f)
+	}
+	return f, nil
+}
+
+// Enabled reports whether the injector exists and is not paused.
+func (inj *Injector) Enabled() bool { return inj != nil && !inj.paused.Load() }
+
+// Pause suspends all injection (the rules and panic budgets are kept);
+// Resume re-enables it. Harnesses use this to warm caches faultlessly
+// before unleashing chaos.
+func (inj *Injector) Pause() {
+	if inj != nil {
+		inj.paused.Store(true)
+	}
+}
+
+// Resume re-enables a paused injector.
+func (inj *Injector) Resume() {
+	if inj != nil {
+		inj.paused.Store(false)
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	return Stats{
+		Latencies: inj.latencies.Load(),
+		Errors:    inj.errors.Load(),
+		Panics:    inj.panics.Load(),
+	}
+}
+
+// match returns the first rule whose route prefix matches.
+func (inj *Injector) match(route string) *rule {
+	for _, r := range inj.rules {
+		if r.Route == "*" || r.Route == "" || strings.HasPrefix(route, r.Route) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Inject applies the matching rule to one request: it may sleep for
+// the configured latency, panic (consuming one unit of the rule's
+// panic budget), or return an error wrapping ErrInjected. A nil
+// injector, a paused injector, or an unmatched route injects nothing.
+// route is matched against the request path, not the full pattern.
+func (inj *Injector) Inject(route string) error {
+	if !inj.Enabled() {
+		return nil
+	}
+	r := inj.match(route)
+	if r == nil {
+		return nil
+	}
+	if r.Latency > 0 && inj.draw() < r.LatencyRate {
+		inj.latencies.Add(1)
+		time.Sleep(r.Latency)
+	}
+	if r.panicsLeft.Load() > 0 && r.panicsLeft.Add(-1) >= 0 {
+		inj.panics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected panic on %s", route))
+	}
+	if r.ErrorRate > 0 && inj.draw() < r.ErrorRate {
+		inj.errors.Add(1)
+		return fmt.Errorf("%w on %s", ErrInjected, route)
+	}
+	return nil
+}
+
+// Middleware wraps an http.Handler with the injector: injected
+// latency delays the request, injected errors answer 503 with a JSON
+// body before the handler runs, and injected panics propagate (an
+// outer recovery middleware is expected to contain them). A nil
+// injector returns next unchanged.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := inj.Inject(r.URL.Path); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// draw returns the next deterministic uniform float64 in [0, 1) from
+// a splitmix64 stream keyed by the seed and a global counter.
+func (inj *Injector) draw() float64 {
+	z := inj.seed + inj.ctr.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

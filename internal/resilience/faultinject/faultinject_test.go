@@ -1,0 +1,194 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseEmptyDisables(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";;"} {
+		inj, err := Parse(spec, 1)
+		if err != nil || inj != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, inj, err)
+		}
+		if inj.Enabled() {
+			t.Fatal("nil injector reports enabled")
+		}
+		if err := inj.Inject("/v1/ttm"); err != nil {
+			t.Fatalf("nil injector injected: %v", err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"latency",                    // not key=value
+		"bogus=1",                    // unknown field
+		"error-rate=1.5",             // rate out of range
+		"error-rate=x",               // not a number
+		"latency=abc",                // bad duration
+		"latency-rate=0.5",           // rate without latency
+		"panics=-1",                  // negative budget
+		"route=/v1/ttm latency=-5ms", // negative latency
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestErrorRateOne(t *testing.T) {
+	inj, err := Parse("route=/v1/ttm error-rate=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject("/v1/ttm"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	if err := inj.Inject("/v1/cas"); err != nil {
+		t.Fatalf("unmatched route injected: %v", err)
+	}
+	if st := inj.Stats(); st.Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 error", st)
+	}
+}
+
+func TestErrorRateIsApproximate(t *testing.T) {
+	inj, err := Parse("error-rate=0.25", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for i := 0; i < 4000; i++ {
+		if inj.Inject("/any") != nil {
+			failures++
+		}
+	}
+	if failures < 800 || failures > 1200 {
+		t.Fatalf("failures = %d/4000, want ~1000", failures)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	run := func() []bool {
+		inj, err := Parse("error-rate=0.5", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Inject("/x") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	inj, err := Parse("latency=30ms", 1) // latency-rate defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := inj.Inject("/v1/ttm"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("Inject returned after %v, want >= 30ms sleep", d)
+	}
+	if st := inj.Stats(); st.Latencies != 1 {
+		t.Fatalf("stats = %+v, want 1 latency", st)
+	}
+}
+
+func TestPanicBudget(t *testing.T) {
+	inj, err := Parse("panics=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		inj.Inject("/v1/ttm")
+		return false
+	}
+	if !panicked() {
+		t.Fatal("first Inject did not panic")
+	}
+	if panicked() {
+		t.Fatal("second Inject panicked; budget was 1")
+	}
+	if st := inj.Stats(); st.Panics != 1 {
+		t.Fatalf("stats = %+v, want 1 panic", st)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	inj, err := Parse("error-rate=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Pause()
+	if inj.Enabled() {
+		t.Fatal("paused injector reports enabled")
+	}
+	if err := inj.Inject("/x"); err != nil {
+		t.Fatalf("paused injector injected: %v", err)
+	}
+	inj.Resume()
+	if err := inj.Inject("/x"); err == nil {
+		t.Fatal("resumed injector injected nothing at error-rate=1")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	inj, err := Parse("route=/v1/ttm error-rate=1; route=* error-rate=0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject("/v1/ttm"); err == nil {
+		t.Fatal("specific rule not applied")
+	}
+	if err := inj.Inject("/v1/cas"); err != nil {
+		t.Fatalf("wildcard rule injected: %v", err)
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	inj, err := Parse("route=/fail error-rate=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	})
+	h := inj.Middleware(next)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fail", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "injected") {
+		t.Fatalf("injected route: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/pass", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("clean route: %d", rec.Code)
+	}
+
+	// A nil injector's middleware is the identity.
+	var none *Injector
+	if got := none.Middleware(next); got == nil {
+		t.Fatal("nil middleware returned nil")
+	}
+}

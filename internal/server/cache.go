@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // shardedCache is a byte-budgeted least-recently-used response cache
@@ -25,12 +26,27 @@ import (
 // LRU list and byte budget, so Get/Put on different keys proceed in
 // parallel; a key always maps to the same shard via FNV-1a, so
 // per-entry operations stay linearizable.
+//
+// Entries optionally age through two TTLs. Within freshTTL an entry is
+// served directly (Get hits). Past freshTTL but within staleTTL the
+// entry no longer hits — the caller recomputes — but it is retained
+// and reachable through GetAny, the degraded-mode read the server uses
+// to serve a stale body when recomputation is shed or fails. Past
+// freshTTL+staleTTL the entry is dropped lazily on the next lookup.
+// freshTTL == 0 (the default) disables aging entirely: entries stay
+// fresh until evicted and the hot path never reads the clock.
 type shardedCache struct {
 	shards   []cacheShard
 	mask     uint32
 	disabled bool
 
+	freshTTL time.Duration
+	staleTTL time.Duration
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
 	evictions atomic.Uint64
+	expired   atomic.Uint64
 }
 
 // cacheShard is one lock domain of the cache: an LRU list over the
@@ -50,6 +66,9 @@ type cacheEntry struct {
 	// cl is the precomputed Content-Length header value, built once at
 	// insert so serving a hit allocates nothing for headers.
 	cl []string
+	// stored is when the body was inserted or last refreshed; the
+	// aging TTLs are measured from it.
+	stored time.Time
 }
 
 // cacheStats is a point-in-time aggregate across shards, surfaced in
@@ -60,15 +79,16 @@ type cacheStats struct {
 	BudgetBytes int64
 	Shards      int
 	Evictions   uint64
+	Expired     uint64
 }
 
 // newShardedCache returns a cache bounded to roughly totalBytes of
 // cached response bodies across `shards` shards (rounded up to a power
 // of two). totalBytes <= 0 disables caching: every Get misses and Put
-// is a no-op.
-func newShardedCache(totalBytes int64, shards int) *shardedCache {
+// is a no-op. freshTTL/staleTTL configure entry aging (0 disables it).
+func newShardedCache(totalBytes int64, shards int, freshTTL, staleTTL time.Duration) *shardedCache {
 	if totalBytes <= 0 {
-		return &shardedCache{disabled: true}
+		return &shardedCache{disabled: true, now: time.Now}
 	}
 	n := 1
 	for n < shards {
@@ -78,7 +98,13 @@ func newShardedCache(totalBytes int64, shards int) *shardedCache {
 	if per < 1 {
 		per = 1
 	}
-	c := &shardedCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	c := &shardedCache{
+		shards:   make([]cacheShard, n),
+		mask:     uint32(n - 1),
+		freshTTL: freshTTL,
+		staleTTL: staleTTL,
+		now:      time.Now,
+	}
 	for i := range c.shards {
 		c.shards[i] = cacheShard{
 			budget: per,
@@ -111,13 +137,20 @@ func (c *shardedCache) shard(key string) *cacheShard {
 }
 
 // Get returns the cached body for key, with its precomputed
-// Content-Length header value, and marks it most recently used. The
+// Content-Length header value, and marks it most recently used. Only
+// fresh entries hit: with aging enabled, an entry past its fresh TTL
+// reports a miss (so the caller revalidates) but stays reachable via
+// GetAny, and an entry past its hard TTL is dropped on the spot. The
 // key is a byte slice so a hit — the hot path — performs zero
 // allocations: the map lookup through string(key) is resolved by the
 // compiler without materializing the string.
 func (c *shardedCache) Get(key []byte) (body []byte, cl []string, ok bool) {
 	if c.disabled {
 		return nil, nil, false
+	}
+	var now time.Time
+	if c.freshTTL > 0 {
+		now = c.now() // read the clock outside the shard lock
 	}
 	s := &c.shards[fnv1a(key)&c.mask]
 	s.mu.Lock()
@@ -126,8 +159,51 @@ func (c *shardedCache) Get(key []byte) (body []byte, cl []string, ok bool) {
 	if !found {
 		return nil, nil, false
 	}
-	s.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
+	if c.freshTTL > 0 {
+		switch age := now.Sub(e.stored); {
+		case age > c.freshTTL+c.staleTTL:
+			// Hard-expired: drop lazily so GetAny cannot resurrect it.
+			s.ll.Remove(el)
+			delete(s.items, e.key)
+			s.bytes -= int64(len(e.body))
+			c.expired.Add(1)
+			return nil, nil, false
+		case age > c.freshTTL:
+			return nil, nil, false
+		}
+	}
+	s.ll.MoveToFront(el)
+	return e.body, e.cl, true
+}
+
+// GetAny returns the entry for key whether fresh or stale — the
+// degraded-mode read used to serve a retained body when recomputation
+// was shed or failed. Hard-expired entries are dropped, never served.
+func (c *shardedCache) GetAny(key string) (body []byte, cl []string, ok bool) {
+	if c.disabled {
+		return nil, nil, false
+	}
+	var now time.Time
+	if c.freshTTL > 0 {
+		now = c.now()
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.items[key]
+	if !found {
+		return nil, nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.freshTTL > 0 && now.Sub(e.stored) > c.freshTTL+c.staleTTL {
+		s.ll.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= int64(len(e.body))
+		c.expired.Add(1)
+		return nil, nil, false
+	}
+	s.ll.MoveToFront(el)
 	return e.body, e.cl, true
 }
 
@@ -144,6 +220,10 @@ func (c *shardedCache) Put(key string, body []byte) {
 		return
 	}
 	cl := []string{strconv.Itoa(len(body))}
+	var now time.Time
+	if c.freshTTL > 0 {
+		now = c.now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
@@ -151,9 +231,10 @@ func (c *shardedCache) Put(key string, body []byte) {
 		s.bytes += int64(len(body)) - int64(len(e.body))
 		e.body = body
 		e.cl = cl
+		e.stored = now // a refresh restarts the freshness clock
 		s.ll.MoveToFront(el)
 	} else {
-		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body, cl: cl})
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body, cl: cl, stored: now})
 		s.bytes += int64(len(body))
 	}
 	for s.bytes > s.budget {
@@ -181,7 +262,7 @@ func (c *shardedCache) Len() int {
 // Stats aggregates entry/byte counts and the eviction counter across
 // shards.
 func (c *shardedCache) Stats() cacheStats {
-	st := cacheStats{Shards: len(c.shards), Evictions: c.evictions.Load()}
+	st := cacheStats{Shards: len(c.shards), Evictions: c.evictions.Load(), Expired: c.expired.Load()}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

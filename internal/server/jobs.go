@@ -23,15 +23,17 @@ import (
 func jobError(err error) error {
 	switch {
 	case errors.Is(err, jobs.ErrInvalidSpec):
-		return &apiError{http.StatusUnprocessableEntity, err.Error()}
+		return &apiError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	case errors.Is(err, jobs.ErrTooManyJobs):
-		return &apiError{http.StatusTooManyRequests, err.Error()}
+		// Job capacity frees on the scale of job runtimes, not request
+		// latencies; tell clients to back off accordingly.
+		return &apiError{status: http.StatusTooManyRequests, msg: err.Error(), retryAfter: 5}
 	case errors.Is(err, jobs.ErrNotFound):
-		return &apiError{http.StatusNotFound, err.Error()}
+		return &apiError{status: http.StatusNotFound, msg: err.Error()}
 	case errors.Is(err, jobs.ErrNotFinished):
-		return &apiError{http.StatusConflict, err.Error()}
+		return &apiError{status: http.StatusConflict, msg: err.Error()}
 	case errors.Is(err, jobs.ErrClosed):
-		return &apiError{http.StatusServiceUnavailable, err.Error()}
+		return &apiError{status: http.StatusServiceUnavailable, msg: err.Error()}
 	default:
 		return err
 	}

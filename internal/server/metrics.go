@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"ttmcas/internal/jobs"
+	"ttmcas/internal/resilience"
+	"ttmcas/internal/resilience/faultinject"
 )
 
 // Metrics aggregates the server's operational counters and renders
@@ -27,17 +29,24 @@ type Metrics struct {
 	flightShared uint64
 	evaluations  uint64
 
+	staleServed          uint64
+	staleRefreshes       uint64
+	staleRefreshFailures uint64
+
 	jobsSubmitted  map[string]uint64
 	jobsFinished   map[jobStatusKey]uint64
 	jobsRunning    int64
 	jobEvaluations uint64
 
-	// cacheStats and evalStats, when set (once, at Server
-	// construction), snapshot the response cache and the compiled-
-	// evaluator cache for the exposition; their counters live in the
-	// caches themselves, not under this mutex.
-	cacheStats func() cacheStats
-	evalStats  func() evalStats
+	// cacheStats, evalStats, limiterStats and faultStats, when set
+	// (once, at Server construction), snapshot the response cache, the
+	// compiled-evaluator cache, the admission limiters and the fault
+	// injector for the exposition; their counters live in those
+	// components themselves, not under this mutex.
+	cacheStats   func() cacheStats
+	evalStats    func() evalStats
+	limiterStats func() []resilience.LimiterStats
+	faultStats   func() faultinject.Stats
 }
 
 // jobStatusKey keys the finished-jobs counter by kind and terminal
@@ -101,6 +110,16 @@ func (m *Metrics) FlightShared() { m.mu.Lock(); m.flightShared++; m.mu.Unlock() 
 // Evaluation records one actual model computation.
 func (m *Metrics) Evaluation() { m.mu.Lock(); m.evaluations++; m.mu.Unlock() }
 
+// StaleServed records a degraded response: a retained stale body
+// served because recomputation was shed or failed.
+func (m *Metrics) StaleServed() { m.mu.Lock(); m.staleServed++; m.mu.Unlock() }
+
+// StaleRefresh records a background recomputation kicked off after a
+// stale serve; StaleRefreshFailed records one that did not produce a
+// fresh body.
+func (m *Metrics) StaleRefresh()       { m.mu.Lock(); m.staleRefreshes++; m.mu.Unlock() }
+func (m *Metrics) StaleRefreshFailed() { m.mu.Lock(); m.staleRefreshFailures++; m.mu.Unlock() }
+
 // IncInflight/DecInflight track the in-flight request gauge.
 func (m *Metrics) IncInflight() { m.inflight.Add(1) }
 func (m *Metrics) DecInflight() { m.inflight.Add(-1) }
@@ -132,6 +151,19 @@ func (m *Metrics) CacheHits() uint64   { m.mu.Lock(); defer m.mu.Unlock(); retur
 func (m *Metrics) CacheMisses() uint64 { m.mu.Lock(); defer m.mu.Unlock(); return m.cacheMisses }
 func (m *Metrics) Shared() uint64      { m.mu.Lock(); defer m.mu.Unlock(); return m.flightShared }
 func (m *Metrics) Evaluations() uint64 { m.mu.Lock(); defer m.mu.Unlock(); return m.evaluations }
+
+// StaleServes and StaleRefreshes expose the degradation counters.
+func (m *Metrics) StaleServes() uint64    { m.mu.Lock(); defer m.mu.Unlock(); return m.staleServed }
+func (m *Metrics) StaleRefreshes() uint64 { m.mu.Lock(); defer m.mu.Unlock(); return m.staleRefreshes }
+
+// LimiterStats snapshots the admission limiters, if the registry is
+// attached to a server.
+func (m *Metrics) LimiterStats() []resilience.LimiterStats {
+	if m.limiterStats == nil {
+		return nil
+	}
+	return m.limiterStats()
+}
 
 // Metrics implements jobs.Observer, folding the job manager's
 // lifecycle into the same registry.
@@ -287,6 +319,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"ttmcas_cache_misses_total", "Cache lookups that found nothing.", "counter", m.cacheMisses},
 		{"ttmcas_singleflight_shared_total", "Requests that shared an identical in-flight computation.", "counter", m.flightShared},
 		{"ttmcas_model_evaluations_total", "Actual model computations performed.", "counter", m.evaluations},
+		{"ttmcas_stale_served_total", "Degraded responses served from a stale cache entry.", "counter", m.staleServed},
+		{"ttmcas_stale_refreshes_total", "Background recomputations started after a stale serve.", "counter", m.staleRefreshes},
+		{"ttmcas_stale_refresh_failures_total", "Background stale refreshes that failed.", "counter", m.staleRefreshFailures},
 		{"ttmcas_inflight_requests", "Requests currently being served.", "gauge", m.inflight.Load()},
 	}
 	if m.cacheStats != nil {
@@ -297,6 +332,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			scalar{"ttmcas_response_cache_budget_bytes", "Byte budget of the sharded response cache.", "gauge", cs.BudgetBytes},
 			scalar{"ttmcas_response_cache_shards", "Shard count of the response cache.", "gauge", cs.Shards},
 			scalar{"ttmcas_response_cache_evictions_total", "Entries evicted from the response cache to respect the byte budget.", "counter", cs.Evictions},
+			scalar{"ttmcas_response_cache_expired_total", "Entries dropped from the response cache past their hard TTL.", "counter", cs.Expired},
 		)
 	}
 	if m.evalStats != nil {
@@ -312,5 +348,56 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
+
+	if m.limiterStats != nil {
+		lims := m.limiterStats()
+		type limSeries struct {
+			name, help, typ string
+			value           func(resilience.LimiterStats) any
+		}
+		for _, ls := range []limSeries{
+			{"ttmcas_admission_admitted_total", "Requests admitted by the adaptive admission limiter, by class.", "counter",
+				func(st resilience.LimiterStats) any { return st.Admitted }},
+			{"ttmcas_admission_shed_total", "Requests shed by the adaptive admission limiter, by class.", "counter",
+				func(st resilience.LimiterStats) any { return st.Shed }},
+			{"ttmcas_admission_inuse", "Admission slots currently held, by class.", "gauge",
+				func(st resilience.LimiterStats) any { return st.InUse }},
+			{"ttmcas_admission_queued", "Requests currently waiting for an admission slot, by class.", "gauge",
+				func(st resilience.LimiterStats) any { return st.Queued }},
+			{"ttmcas_admission_shedding", "Whether the limiter is currently shedding (1) or not (0), by class.", "gauge",
+				func(st resilience.LimiterStats) any { return boolGauge(st.Shedding) }},
+		} {
+			if err := emit("# HELP %s %s\n# TYPE %s %s\n", ls.name, ls.help, ls.name, ls.typ); err != nil {
+				return total, err
+			}
+			for _, st := range lims {
+				if err := emit("%s{class=%q} %d\n", ls.name, st.Name, ls.value(st)); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+
+	if m.faultStats != nil {
+		fs := m.faultStats()
+		if err := emit("# HELP ttmcas_faults_injected_total Faults delivered by the fault injector, by kind.\n# TYPE ttmcas_faults_injected_total counter\n"); err != nil {
+			return total, err
+		}
+		for _, kv := range []struct {
+			kind  string
+			value uint64
+		}{{"error", fs.Errors}, {"latency", fs.Latencies}, {"panic", fs.Panics}} {
+			if err := emit("ttmcas_faults_injected_total{kind=%q} %d\n", kv.kind, kv.value); err != nil {
+				return total, err
+			}
+		}
+	}
 	return total, nil
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -9,11 +9,16 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"ttmcas/internal/jobs"
+	"ttmcas/internal/resilience"
+	"ttmcas/internal/resilience/faultinject"
 )
 
 // Config parameterizes a Server. The zero value of every field selects
@@ -32,9 +37,35 @@ type Config struct {
 	// entries — one per distinct (design, conditions) pair
 	// (default 256); negative disables it.
 	EvalCacheSize int
-	// MaxConcurrent bounds the worker pool used by the expensive
-	// routes — sensitivity analysis and planning (default 4).
+	// MaxConcurrent bounds the heavy admission class — sensitivity
+	// analysis and planning (default 4).
 	MaxConcurrent int
+	// CheapConcurrent bounds the cheap admission class — the ttm, cas
+	// and cost computations behind response-cache misses
+	// (default 2×GOMAXPROCS). Cache hits are never limited.
+	CheapConcurrent int
+	// ShedTarget is the CoDel-style queue-delay target of both
+	// admission classes (default 25ms): when even the minimum slot
+	// wait over an observation interval exceeds it, new arrivals are
+	// shed with 503 + Retry-After instead of queueing.
+	ShedTarget time.Duration
+	// FreshTTL is how long a cached response is served directly; past
+	// it the entry is revalidated by recomputation (default 0: cached
+	// responses never go stale — the models are deterministic).
+	FreshTTL time.Duration
+	// StaleTTL is how long past freshness an entry is retained for
+	// graceful degradation: when revalidation is shed or fails, the
+	// stale body is served with X-Cache: STALE instead of an error
+	// (default 0: no stale serving). Meaningful only with FreshTTL set.
+	StaleTTL time.Duration
+	// FaultSpec enables the fault-injection layer (see the
+	// resilience/faultinject package for the grammar); empty disables
+	// it. Injection applies to the evaluation routes' compute path —
+	// downstream of the cache, upstream of the degradation machinery —
+	// and wraps every other route as middleware.
+	FaultSpec string
+	// FaultSeed fixes the fault injector's decision stream (default 1).
+	FaultSeed int64
 	// RequestTimeout is the per-request deadline (default 30s); work
 	// queued behind a full worker pool gives up when it expires.
 	RequestTimeout time.Duration
@@ -95,6 +126,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
 	}
+	if c.CheapConcurrent <= 0 {
+		c.CheapConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.ShedTarget <= 0 {
+		c.ShedTarget = 25 * time.Millisecond
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 1
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
@@ -118,8 +158,8 @@ func (c Config) withDefaults() Config {
 
 // Server is the HTTP evaluation service: JSON handlers over the public
 // ttmcas API, a keyed LRU response cache with single-flight
-// deduplication, a bounded worker pool for the expensive analyses, and
-// a metrics registry exposed at /metrics.
+// deduplication, per-class adaptive admission control for the compute
+// paths, and a metrics registry exposed at /metrics.
 type Server struct {
 	cfg     Config
 	log     *log.Logger
@@ -128,9 +168,18 @@ type Server struct {
 	evals   *evalCache
 	flight  flightGroup
 	metrics *Metrics
-	heavy   chan struct{}
-	jobs    *jobs.Manager
-	closed  sync.Once
+	// cheap and heavy are the two admission classes: cheap gates the
+	// inexpensive evaluations behind response-cache misses, heavy gates
+	// sensitivity analysis and planning. Both shed with 503 +
+	// Retry-After once their queue delay stands above ShedTarget.
+	cheap  *resilience.Limiter
+	heavy  *resilience.Limiter
+	faults *faultinject.Injector
+	// refreshSem bounds concurrent background stale refreshes so a
+	// burst of stale serves cannot spawn unbounded goroutines.
+	refreshSem chan struct{}
+	jobs       *jobs.Manager
+	closed     sync.Once
 
 	// slowEval, when set, runs at the start of every model
 	// computation; tests use it to hold requests in flight.
@@ -143,13 +192,34 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
-		cache:   newShardedCache(cfg.CacheBytes, cfg.CacheShards),
+		cache:   newShardedCache(cfg.CacheBytes, cfg.CacheShards, cfg.FreshTTL, cfg.StaleTTL),
 		evals:   newEvalCache(cfg.EvalCacheSize),
 		metrics: NewMetrics(),
-		heavy:   make(chan struct{}, cfg.MaxConcurrent),
+		cheap: resilience.NewLimiter(resilience.LimiterConfig{
+			Name:          "cheap",
+			MaxConcurrent: cfg.CheapConcurrent,
+			Target:        cfg.ShedTarget,
+		}),
+		heavy: resilience.NewLimiter(resilience.LimiterConfig{
+			Name:          "heavy",
+			MaxConcurrent: cfg.MaxConcurrent,
+			Target:        cfg.ShedTarget,
+		}),
+		refreshSem: make(chan struct{}, 2),
+	}
+	if inj, err := faultinject.Parse(cfg.FaultSpec, cfg.FaultSeed); err != nil {
+		// Config errors here cannot fail New's signature; the CLI
+		// pre-validates the spec, so this path only logs and disables.
+		cfg.Logger.Printf("ignoring invalid fault spec: %v", err)
+	} else {
+		s.faults = inj
 	}
 	s.metrics.cacheStats = s.cache.Stats
 	s.metrics.evalStats = s.evals.Stats
+	s.metrics.limiterStats = func() []resilience.LimiterStats {
+		return []resilience.LimiterStats{s.cheap.Stats(), s.heavy.Stats()}
+	}
+	s.metrics.faultStats = s.faults.Stats
 	s.jobs = jobs.New(jobs.Config{
 		Workers:        cfg.JobWorkers,
 		MaxActive:      cfg.MaxJobs,
@@ -177,33 +247,51 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Jobs returns the batch-job manager, for the CLI and tests.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
-// Close stops the batch-job manager, cancelling running jobs and
-// waiting for the workers to drain. Serve calls it after the HTTP
-// shutdown; tests that only use Handler must call it themselves.
+// FaultInjector returns the configured fault injector (nil when
+// disabled). The chaos harness uses it to pause injection while
+// warming caches and to read injected-fault counts.
+func (s *Server) FaultInjector() *faultinject.Injector { return s.faults }
+
+// Close stops the admission limiters (waking any queued requests with
+// 503) and the batch-job manager, cancelling running jobs and waiting
+// for the workers to drain. Serve calls it after the HTTP shutdown;
+// tests that only use Handler must call it themselves.
 func (s *Server) Close() {
-	s.closed.Do(func() { s.jobs.Close() })
+	s.closed.Do(func() {
+		s.cheap.Close()
+		s.heavy.Close()
+		s.jobs.Close()
+	})
 }
 
 // routes builds the route table. Every route is wrapped with the
-// middleware stack under its own metrics label.
+// middleware stack under its own metrics label. The evaluation routes
+// inject faults inside respondCached's compute path (so the cache and
+// degradation machinery are exercised, not bypassed); the job and
+// listing routes take the injector as plain middleware. /healthz and
+// /metrics are never injected — operators must be able to observe a
+// chaos run.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.wrap(pattern, h))
+	}
+	injected := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.wrap(pattern, s.faults.Middleware(h).ServeHTTP))
 	}
 	handle("POST /v1/ttm", s.handleTTM)
 	handle("POST /v1/cas", s.handleCAS)
 	handle("POST /v1/cost", s.handleCost)
 	handle("POST /v1/sensitivity", s.handleSensitivity)
 	handle("POST /v1/plan", s.handlePlan)
-	handle("POST /v1/jobs", s.handleJobSubmit)
-	handle("GET /v1/jobs", s.handleJobList)
-	handle("GET /v1/jobs/{id}", s.handleJobGet)
-	handle("GET /v1/jobs/{id}/result", s.handleJobResult)
-	handle("DELETE /v1/jobs/{id}", s.handleJobDelete)
-	handle("GET /v1/nodes", s.handleNodes)
-	handle("GET /v1/scenarios", s.handleScenarios)
-	handle("GET /v1/designs", s.handleDesigns)
+	injected("POST /v1/jobs", s.handleJobSubmit)
+	injected("GET /v1/jobs", s.handleJobList)
+	injected("GET /v1/jobs/{id}", s.handleJobGet)
+	injected("GET /v1/jobs/{id}/result", s.handleJobResult)
+	injected("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	injected("GET /v1/nodes", s.handleNodes)
+	injected("GET /v1/scenarios", s.handleScenarios)
+	injected("GET /v1/designs", s.handleDesigns)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	return mux
@@ -239,6 +327,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		// Close the limiters before draining: requests already admitted
+		// keep their slots and finish, but queued-but-unadmitted ones
+		// are answered 503 immediately instead of holding the drain
+		// window open.
+		s.cheap.Close()
+		s.heavy.Close()
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		shutdownErr <- hs.Shutdown(drainCtx)
@@ -255,19 +349,22 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 }
 
 // apiError is an error carrying the HTTP status it should produce.
+// retryAfter, when positive, emits a Retry-After header (seconds) so
+// shed and rate-limited clients know when to come back.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
-	return &apiError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 func unprocessablef(format string, args ...any) error {
-	return &apiError{http.StatusUnprocessableEntity, fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(format, args...)}
 }
 
 // errorResponse is the uniform error body of every non-2xx reply.
@@ -321,9 +418,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // under the already-canonical key skips textproto's canonicalization
 // pass and the per-request slice allocation Header.Set would pay.
 var (
-	headerJSON = []string{"application/json"}
-	headerHit  = []string{"HIT"}
-	headerMiss = []string{"MISS"}
+	headerJSON  = []string{"application/json"}
+	headerHit   = []string{"HIT"}
+	headerMiss  = []string{"MISS"}
+	headerStale = []string{"STALE"}
 )
 
 // writeBody writes a complete, newline-terminated JSON body verbatim
@@ -345,6 +443,9 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
+		if ae.retryAfter > 0 {
+			w.Header()["Retry-After"] = []string{strconv.Itoa(ae.retryAfter)}
+		}
 		writeError(w, ae.status, ae.msg)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
@@ -358,25 +459,98 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	}
 }
 
-// acquireHeavy takes a worker-pool slot, or fails with 503 when the
-// pool stays saturated past the request deadline.
-func (s *Server) acquireHeavy(ctx context.Context) error {
-	select {
-	case s.heavy <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return &apiError{http.StatusServiceUnavailable,
-			fmt.Sprintf("worker pool saturated (%d concurrent heavy requests)", cap(s.heavy))}
+// computeBody runs one model computation end to end — fault injection,
+// the computation itself, pooled JSON encoding, cache insert — and
+// contains panics: an injected or genuine panic in the compute path
+// becomes a 500 apiError instead of tearing down the single-flight
+// call, which both keeps piggybacked waiters alive and makes the
+// failure eligible for stale rescue. path is the request path (the
+// route label minus its method), which the fault injector matches on.
+func (s *Server) computeBody(ctx context.Context, key, path string, compute func(ctx context.Context) (any, error)) (body []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.log.Printf("panic computing %s: %v\n%s", path, p, debug.Stack())
+			body, err = nil, &apiError{status: http.StatusInternalServerError, msg: "internal error: computation panicked"}
+		}
+	}()
+	if s.slowEval != nil {
+		s.slowEval()
 	}
+	if err := s.faults.Inject(path); err != nil {
+		return nil, err
+	}
+	s.metrics.Evaluation()
+	v, err := compute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// The pooled buffer cannot outlive this call (the body is cached
+	// and shared across piggybacked requests), so copy it into an owned
+	// slice — still one precisely-sized allocation instead of Marshal's
+	// grow-and-copy churn.
+	pooled, release, err := encodeJSON(v)
+	if err != nil {
+		return nil, &apiError{status: http.StatusInternalServerError, msg: "encoding response: " + err.Error()}
+	}
+	b := make([]byte, len(pooled))
+	copy(b, pooled)
+	release()
+	s.cache.Put(key, b)
+	return b, nil
 }
 
-func (s *Server) releaseHeavy() { <-s.heavy }
+// staleEligible reports whether a compute failure may be papered over
+// with a retained stale body: sheds, injected faults, panics and
+// timeouts qualify; client errors (4xx) never do — the client sent a
+// bad request and must hear so.
+func staleEligible(err error) bool {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.status < 500 {
+		return false
+	}
+	return true
+}
+
+// tryRefresh starts a best-effort background recomputation of a stale
+// entry so the next request finds it fresh. It runs after every stale
+// serve but never queues: it needs a free refresh slot and a free
+// limiter slot right now, otherwise it does nothing — under a shed the
+// limiter is full, so foreground traffic keeps the capacity and the
+// stale body keeps being served; after a transient compute failure the
+// freed slot is usually available and the retry proceeds.
+func (s *Server) tryRefresh(lim *resilience.Limiter, key, path string, compute func(ctx context.Context) (any, error)) {
+	select {
+	case s.refreshSem <- struct{}{}:
+	default:
+		return
+	}
+	rel, ok := lim.TryAdmit()
+	if !ok {
+		<-s.refreshSem
+		return
+	}
+	s.metrics.StaleRefresh()
+	go func() {
+		defer func() { <-s.refreshSem }()
+		defer rel()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		if _, _, err := s.flight.Do(key, func() ([]byte, error) {
+			return s.computeBody(ctx, key, path, compute)
+		}); err != nil {
+			s.metrics.StaleRefreshFailed()
+		}
+	}()
+}
 
 // respondCached serves a POST evaluation through the cache →
-// single-flight → compute pipeline. req must already be decoded: its
-// canonical JSON, prefixed by the route, keys both layers. Only
-// successful responses are cached; errors pass through single-flight
-// (concurrent identical failures fail once) but are never remembered.
+// single-flight → admission → compute pipeline. req must already be
+// decoded: its canonical JSON, prefixed by the route, keys both
+// layers. Only successful responses are cached; errors pass through
+// single-flight (concurrent identical failures fail once) but are
+// never remembered. When the computation is shed by admission control
+// or fails with a server-side error, a retained stale body — if one
+// exists — is served with X-Cache: STALE instead.
 func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route string, req any, heavy bool, compute func(ctx context.Context) (any, error)) {
 	// The canonical key is built in a pooled buffer: a cache hit never
 	// materializes the key as a string (Get looks the bytes up
@@ -406,43 +580,59 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route str
 	encPool.Put(eb)
 	s.metrics.CacheMiss()
 
+	lim := s.cheap
+	if heavy {
+		lim = s.heavy
+	}
+	// The route label is "METHOD /path"; the injector matches paths.
+	path := route
+	if _, p, ok := strings.Cut(route, " "); ok {
+		path = p
+	}
+
 	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
 		// The request deadline is armed here, around the only work
 		// that can stall, so cache hits never pay for a timer context.
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		if heavy {
-			if err := s.acquireHeavy(ctx); err != nil {
-				return nil, err
-			}
-			defer s.releaseHeavy()
-		}
-		if s.slowEval != nil {
-			s.slowEval()
-		}
-		s.metrics.Evaluation()
-		v, err := compute(ctx)
+		// Admission happens inside the flight so N identical concurrent
+		// requests cost one slot; a shed is shared with the
+		// piggybackers, each of which falls back to its own stale
+		// lookup.
+		release, err := lim.Admit(ctx)
 		if err != nil {
 			return nil, err
 		}
-		// The pooled buffer cannot outlive this closure (the body is
-		// cached and shared across piggybacked requests), so copy it
-		// into an owned slice — still one precisely-sized allocation
-		// instead of Marshal's grow-and-copy churn.
-		pooled, release, err := encodeJSON(v)
-		if err != nil {
-			return nil, &apiError{http.StatusInternalServerError, "encoding response: " + err.Error()}
-		}
-		b := make([]byte, len(pooled))
-		copy(b, pooled)
-		release()
-		s.cache.Put(key, b)
-		return b, nil
+		defer release()
+		return s.computeBody(ctx, key, path, compute)
 	})
 	if shared {
 		s.metrics.FlightShared()
 	}
 	if err != nil {
+		if staleEligible(err) {
+			if body, cl, ok := s.cache.GetAny(key); ok {
+				s.metrics.StaleServed()
+				s.tryRefresh(lim, key, path, compute)
+				h := w.Header()
+				h["X-Cache"] = headerStale
+				h["Content-Type"] = headerJSON
+				h["Content-Length"] = cl
+				w.WriteHeader(http.StatusOK)
+				w.Write(body)
+				return
+			}
+		}
+		switch {
+		case errors.Is(err, resilience.ErrShed):
+			err = &apiError{
+				status:     http.StatusServiceUnavailable,
+				msg:        fmt.Sprintf("overloaded: %s admission shed request", lim.Stats().Name),
+				retryAfter: int(lim.RetryAfter() / time.Second),
+			}
+		case errors.Is(err, faultinject.ErrInjected):
+			err = &apiError{status: http.StatusServiceUnavailable, msg: err.Error(), retryAfter: 1}
+		}
 		s.fail(w, err)
 		return
 	}

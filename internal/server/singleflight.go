@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent calls with the same key: the
 // first caller runs fn, later callers with the same in-flight key
@@ -43,11 +46,22 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, sh
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.body, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
+	// Pre-set the error and complete the call in defers: if fn panics,
+	// the panic propagates to this caller's recovery layer, but the
+	// piggybacked waiters still wake — with an error — instead of
+	// blocking forever on a call that will never finish.
+	c.err = errFlightPanicked
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	body, err = fn()
+	c.body, c.err = body, err
 	return c.body, false, c.err
 }
+
+// errFlightPanicked is what piggybacked callers observe when the
+// executing caller's fn panicked out of Do.
+var errFlightPanicked = errors.New("singleflight: shared call panicked")

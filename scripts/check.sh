@@ -18,3 +18,11 @@ go test -run '^$' -bench . -benchtime 1x ./internal/core ./internal/mc ./interna
 # transport error, or any 5xx — a one-second end-to-end exercise of the
 # whole serving stack (routing, caches, worker pool, encoding).
 go run ./cmd/ttmcas-loadgen -scenario mixed -d 1s -c 4 -check
+
+# Chaos smoke: one short fault-injected run (latency spikes, errors,
+# one panic) against a deliberately small in-process server. -check
+# asserts the availability contract: zero transport errors, every 5xx
+# a deliberate Retry-After-bearing shed, goodput >= 90% of admitted
+# requests, bounded p99, stale fallbacks observed, and the goroutine
+# count back at baseline after drain.
+go run ./cmd/ttmcas-loadgen -scenario chaos -d 2s -c 8 -check
