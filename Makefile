@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke
+.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke
 
-check: vet build race benchsmoke loadsmoke chaossmoke
+check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,13 @@ loadsmoke:
 # bounded p99, stale serves observed, goroutines drained.
 chaossmoke:
 	$(GO) run ./cmd/ttmcas-loadgen -scenario chaos -d 2s -c 8 -check
+
+# A 4-node in-process cluster with a mid-run node kill and rejoin;
+# -check runs a single-node baseline first and asserts near-linear
+# scaling (>= 0.8 x 4 x baseline RPS) with zero lost requests and a
+# reconverged ring.
+clustersmoke:
+	$(GO) run ./cmd/ttmcas-loadgen -scenario cluster -nodes 4 -kill -d 2s -c 4 -check
 
 # Full measurement runs (kernel, band curves, Sobol) with allocation
 # counts and a parallel-vs-serial guard; writes BENCH_jobs.json.

@@ -12,6 +12,8 @@
 //	             [-job-workers 2] [-max-jobs 32] [-job-ttl 1h] [-job-timeout 10m]
 //	             [-job-snapshots DIR] [-max-samples 8192] [-max-curve-points 64]
 //	             [-fault-spec ""] [-fault-seed 1] [-pprof-addr localhost:6060]
+//	             [-peers URL,URL] [-cluster-addr http://host:port] [-node-id ID]
+//	             [-vnodes 64] [-forward] [-probe-interval 1s]
 //
 // Endpoints:
 //
@@ -29,7 +31,8 @@
 //	GET    /v1/nodes            the process-node database
 //	GET    /v1/scenarios        built-in market scenarios
 //	GET    /v1/designs          built-in case-study designs
-//	GET    /healthz             liveness probe
+//	GET    /v1/cluster          cluster membership, ring and peer health
+//	GET    /healthz             liveness probe (JSON: node ID, uptime, ring epoch)
 //	GET    /metrics             Prometheus text-format counters
 //
 // With -pprof-addr the standard net/http/pprof profiles are served on
@@ -65,6 +68,20 @@
 // Injected faults surface as 503s (or one-shot contained panics) and
 // are counted in ttmcas_faults_injected_total{kind}. See
 // ttmcas-loadgen -scenario chaos for the matching availability check.
+//
+// # Cluster mode
+//
+// With -peers and -cluster-addr set, the node joins a consistent-hash
+// cluster: every canonical request key has exactly one owning node, and
+// a node receiving a key it does not own forwards the request to the
+// owner over HTTP (or, with -forward=false, answers 307 with the
+// owner's URL in Location and lets the client re-issue). Peer health is
+// probed via /healthz every -probe-interval; a peer failing probes is
+// first suspected (kept on the ring) and then evicted, its key range
+// redistributing to the survivors, and re-admitted on its first
+// successful probe. Forwarding failures never lose requests — the node
+// computes locally instead. Batch jobs route to the owner of their spec
+// so snapshots never collide. See README.md "Running a cluster".
 package main
 
 import (
@@ -76,6 +93,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -114,11 +132,36 @@ func run(args []string) error {
 	faultSpec := fs.String("fault-spec", "", "fault-injection spec for chaos testing (empty disables), e.g. \"route=/v1/ttm error-rate=0.05\"")
 	faultSeed := fs.Int64("fault-seed", 1, "deterministic seed for the fault-injection draw stream")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster members (empty disables clustering)")
+	clusterAddr := fs.String("cluster-addr", "", "this node's advertised base URL, e.g. http://10.0.0.1:8080 (required with -peers)")
+	nodeID := fs.String("node-id", "", "node identity in /healthz and cluster state (default: -cluster-addr without scheme)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default 64)")
+	forward := fs.Bool("forward", true, "forward mis-owned requests to the owner (false answers 307 redirects instead)")
+	probeInterval := fs.Duration("probe-interval", time.Second, "peer health-probe period")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := faultinject.Parse(*faultSpec, *faultSeed); err != nil {
 		return fmt.Errorf("-fault-spec: %w", err)
+	}
+	var peerList []string
+	if *peers != "" {
+		if *clusterAddr == "" {
+			return fmt.Errorf("-peers requires -cluster-addr (this node's advertised URL)")
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(strings.TrimSuffix(p, "/"))
+			if p == "" {
+				continue
+			}
+			if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+				return fmt.Errorf("-peers: %q is not a base URL (want http://host:port)", p)
+			}
+			peerList = append(peerList, p)
+		}
+		if len(peerList) == 0 {
+			return fmt.Errorf("-peers: no usable peer URLs in %q", *peers)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -160,6 +203,13 @@ func run(args []string) error {
 		FaultSpec:        *faultSpec,
 		FaultSeed:        *faultSeed,
 		Logger:           logger,
+
+		NodeID:               *nodeID,
+		ClusterSelfURL:       strings.TrimSuffix(*clusterAddr, "/"),
+		ClusterPeers:         peerList,
+		ClusterVNodes:        *vnodes,
+		ClusterRedirect:      !*forward,
+		ClusterProbeInterval: *probeInterval,
 	})
 	return srv.ListenAndServe(ctx)
 }

@@ -67,6 +67,28 @@
 // load and asserts availability — every 5xx a deliberate shed, goodput
 // at least 90% of admitted requests, no goroutine leaks after drain.
 //
+// # Running a cluster
+//
+// Several ttmcas-serve processes form a cluster given only each
+// other's URLs (-peers plus -cluster-addr; internal/cluster — no
+// coordinator, no external store). A consistent-hash ring with
+// virtual nodes maps each request's canonical cache key to one owning
+// node: send any request to any node, the owner computes and caches
+// it, a non-owner forwards server-side in one hop (X-Cache: FWD) or,
+// with -forward=false, answers a 307 redirect to the owner — so each
+// distinct evaluation is computed once cluster-wide. Batch jobs route
+// to their owner the same way and are findable through any node.
+// Gossip-style health probes drive an alive → suspect → dead state
+// machine: a suspect peer keeps its ring segment (brief stalls don't
+// reshuffle the keyspace), a dead one is evicted and the ring
+// rebalances, moving only ≈1/N of the keyspace; the first successful
+// probe rejoins it. A failed forward falls back to local computation
+// — availability beats placement — and /v1/cluster plus the
+// ttmcas_cluster_* metrics expose membership, epoch and traffic
+// placement. cmd/ttmcas-loadgen's cluster scenario drives an
+// in-process N-node fleet through a kill and rejoin and asserts
+// near-linear scaling (make clustersmoke).
+//
 // # Batch jobs
 //
 // The analyses behind the paper's figures — Monte-Carlo uncertainty

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("POST /v1/ttm|{\"design\":\"a11\",\"n\":%d}\n", i)
+	}
+	return out
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// Balance: with the default virtual-node count, four members each own
+// within ±15% of the ideal quarter of a large key population.
+func TestRingBalance(t *testing.T) {
+	ms := members(4)
+	r := NewRing(DefaultVNodes, ms)
+	counts := make(map[string]int, 4)
+	ks := keys(40000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	ideal := float64(len(ks)) / 4
+	for _, m := range ms {
+		got := float64(counts[m])
+		if got < 0.85*ideal || got > 1.15*ideal {
+			t.Errorf("member %s owns %.0f keys, outside ±15%% of ideal %.0f", m, got, ideal)
+		}
+	}
+}
+
+// Adding a member moves roughly 1/N of the keys, and every moved key
+// lands on the new member — the property that makes scale-out cheap.
+func TestRingAddMovesOneNth(t *testing.T) {
+	before := NewRing(DefaultVNodes, members(4))
+	after := NewRing(DefaultVNodes, append(members(4), "http://10.0.0.9:8080"))
+	ks := keys(40000)
+	moved := 0
+	for _, k := range ks {
+		oldOwner, newOwner := before.Owner(k), after.Owner(k)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "http://10.0.0.9:8080" {
+			t.Fatalf("key moved from %s to %s, not to the new member", oldOwner, newOwner)
+		}
+	}
+	frac := float64(moved) / float64(len(ks))
+	// Ideal is 1/5; allow generous spread for vnode placement noise.
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("add moved %.1f%% of keys, want ≈20%%", 100*frac)
+	}
+}
+
+// Removing a member strands only its own keys: everything it did not
+// own keeps its owner.
+func TestRingRemoveMovesOnlyOrphans(t *testing.T) {
+	before := NewRing(DefaultVNodes, members(4))
+	after := NewRing(DefaultVNodes, members(3)) // drops 10.0.0.4
+	removed := members(4)[3]
+	moved := 0
+	for _, k := range keys(40000) {
+		oldOwner := before.Owner(k)
+		if oldOwner == removed {
+			moved++
+			continue
+		}
+		if newOwner := after.Owner(k); newOwner != oldOwner {
+			t.Fatalf("key not owned by removed member moved %s → %s", oldOwner, newOwner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys")
+	}
+}
+
+// Ownership is a pure function of the member set: construction order,
+// duplicate entries and process restarts cannot change the mapping.
+func TestRingDeterministic(t *testing.T) {
+	ms := members(4)
+	a := NewRing(DefaultVNodes, ms)
+	b := NewRing(DefaultVNodes, []string{ms[2], ms[0], ms[3], ms[1], ms[0]})
+	for _, k := range keys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner differs across construction orders for %q: %s vs %s",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if a.Len() != b.Len() || a.Len() != 4 {
+		t.Fatalf("ring sizes %d, %d, want 4", a.Len(), b.Len())
+	}
+}
+
+// A single-member ring owns everything; an empty ring owns nothing.
+func TestRingDegenerate(t *testing.T) {
+	one := NewRing(DefaultVNodes, members(1))
+	for _, k := range keys(100) {
+		if one.Owner(k) != members(1)[0] {
+			t.Fatal("single-member ring did not own a key")
+		}
+	}
+	if empty := NewRing(DefaultVNodes, nil); empty.Owner("x") != "" || empty.Len() != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+}

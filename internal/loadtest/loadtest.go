@@ -58,6 +58,12 @@ type Config struct {
 	// Handler dispatches requests in-process with no network in the
 	// path, measuring the serving stack itself.
 	Handler http.Handler
+	// Router, when set, picks the in-process handler per request —
+	// the multi-node hook: a cluster harness routes each body to the
+	// node a real client would hit. It receives the target index and
+	// the request body and must be safe for concurrent use. Exactly
+	// one of BaseURL, Handler and Router must be set.
+	Router func(ti int, body []byte) http.Handler
 	// Client overrides the live-mode HTTP client; the default pools
 	// one idle connection per worker.
 	Client *http.Client
@@ -140,8 +146,18 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	if len(cfg.Targets) == 0 {
 		return Report{}, errors.New("loadtest: no targets configured")
 	}
-	if (cfg.BaseURL == "") == (cfg.Handler == nil) {
-		return Report{}, errors.New("loadtest: exactly one of BaseURL and Handler must be set")
+	modes := 0
+	if cfg.BaseURL != "" {
+		modes++
+	}
+	if cfg.Handler != nil {
+		modes++
+	}
+	if cfg.Router != nil {
+		modes++
+	}
+	if modes != 1 {
+		return Report{}, errors.New("loadtest: exactly one of BaseURL, Handler and Router must be set")
 	}
 	totalWeight := 0
 	for i := range cfg.Targets {
@@ -335,7 +351,7 @@ type sendFunc func(ctx context.Context, ti int, t *Target, body []byte) (sendRes
 // senderFactory validates the targets once and returns a constructor
 // for per-worker senders.
 func (c Config) senderFactory() (func() sendFunc, error) {
-	if c.Handler != nil {
+	if c.Handler != nil || c.Router != nil {
 		return c.handlerSenderFactory()
 	}
 	client := c.Client
@@ -378,7 +394,11 @@ func (c Config) senderFactory() (func() sendFunc, error) {
 // templates and a response sink, so the generator's own overhead stays
 // a small, constant fraction of the measured request.
 func (c Config) handlerSenderFactory() (func() sendFunc, error) {
-	h := c.Handler
+	route := c.Router
+	if route == nil {
+		h := c.Handler
+		route = func(int, []byte) http.Handler { return h }
+	}
 	urls := make([]*url.URL, len(c.Targets))
 	for i := range c.Targets {
 		u, err := url.Parse("http://loadtest.invalid" + c.Targets[i].Path)
@@ -414,7 +434,7 @@ func (c Config) handlerSenderFactory() (func() sendFunc, error) {
 				req.ContentLength = 0
 			}
 			w.reset()
-			h.ServeHTTP(w, req.WithContext(ctx))
+			route(ti, body).ServeHTTP(w, req.WithContext(ctx))
 			return classify(w.status(), w.header), nil
 		}
 	}, nil

@@ -5,11 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	"ttmcas"
+	"ttmcas/internal/cluster"
 )
 
 // ---- request types -------------------------------------------------
@@ -688,10 +689,33 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is the liveness probe and the cluster gossip payload:
+// peers probing it learn this node's identity, uptime, and ring epoch,
+// not just that something answered 200 on the port.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	h := cluster.Health{
+		Status:  "ok",
+		NodeID:  s.cfg.NodeID,
+		UptimeS: time.Since(s.started).Seconds(),
+	}
+	if s.cluster != nil {
+		h.RingEpoch = s.cluster.Epoch()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleCluster reports the node's view of cluster membership: ring
+// epoch and members, peer health states, and the routing counters.
+// On a non-clustered node it answers {"enabled": false, ...} so
+// operators can distinguish "solo" from "broken".
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, cluster.Status{
+			Self: cluster.PeerStatus{ID: s.cfg.NodeID, State: "alive"},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Status())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

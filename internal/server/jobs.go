@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
+	"ttmcas/internal/cluster"
 	"ttmcas/internal/jobs"
 )
 
@@ -45,12 +48,86 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	// Cluster routing: a job runs on the node owning its canonical spec
+	// key, so identical submissions land (and snapshot) on one node and
+	// snapshot files never collide across the fleet. A forward that
+	// fails at the transport level runs the job locally — placement is
+	// an optimization, acceptance is availability.
+	if s.cluster != nil && r.Header.Get(cluster.ForwardHeader) == "" {
+		key, err := CacheKey("POST /v1/jobs", spec)
+		if err == nil {
+			if owner, self := s.cluster.Owner(key); !self {
+				if s.forwardJob(w, r, owner, key) {
+					return
+				}
+			} else {
+				s.cluster.NoteLocal()
+			}
+		}
+	}
 	v, err := s.jobs.Submit(spec)
 	if err != nil {
 		s.fail(w, jobError(err))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, v)
+}
+
+// forwardJob relays a job submission to the owning peer; false means
+// the forward failed in transport and the caller should submit
+// locally. With forwarding disabled the client is redirected instead.
+func (s *Server) forwardJob(w http.ResponseWriter, r *http.Request, ownerURL, key string) bool {
+	if !s.cluster.Forwarding() {
+		s.cluster.NoteRedirect()
+		w.Header()["Location"] = []string{ownerURL + "/v1/jobs"}
+		writeJSON(w, http.StatusTemporaryRedirect,
+			errorResponse{Error: "jobs owned by peer " + ownerURL})
+		return true
+	}
+	body := key[len("POST /v1/jobs|"):]
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := s.cluster.Forward(ctx, ownerURL, http.MethodPost, "/v1/jobs", []byte(body))
+	if err != nil {
+		s.log.Printf("cluster: job submit forward to %s failed, running locally: %v", ownerURL, err)
+		return false
+	}
+	relayForwarded(w, res)
+	return true
+}
+
+// scatterJob queries the peers for a job ID this node does not hold —
+// job IDs are minted by the owning node, so a client polling through a
+// different node needs the lookup fanned out. Peers are tried
+// healthiest-first; the first non-404 answer wins. Returns false when
+// no peer knows the job (or clustering is off), leaving the local 404.
+func (s *Server) scatterJob(w http.ResponseWriter, r *http.Request, path string) bool {
+	if s.cluster == nil || !s.cluster.Forwarding() || r.Header.Get(cluster.ForwardHeader) != "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	for _, u := range s.cluster.PeerURLs(true) {
+		res, err := s.cluster.Forward(ctx, u, r.Method, path, nil)
+		if err != nil || res.Status == http.StatusNotFound {
+			continue
+		}
+		relayForwarded(w, res)
+		return true
+	}
+	return false
+}
+
+// relayForwarded writes a peer's response through verbatim.
+func relayForwarded(w http.ResponseWriter, res cluster.ForwardResult) {
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h["Content-Length"] = []string{strconv.Itoa(len(res.Body))}
+	if res.RetryAfter != "" {
+		h["Retry-After"] = []string{res.RetryAfter}
+	}
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -62,8 +139,12 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.jobs.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	v, ok := s.jobs.Get(id)
 	if !ok {
+		if s.scatterJob(w, r, "/v1/jobs/"+id) {
+			return
+		}
 		s.fail(w, jobError(jobs.ErrNotFound))
 		return
 	}
@@ -82,8 +163,12 @@ type JobResultResponse struct {
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	raw, v, err := s.jobs.Result(r.PathValue("id"))
+	id := r.PathValue("id")
+	raw, v, err := s.jobs.Result(id)
 	if err != nil {
+		if errors.Is(err, jobs.ErrNotFound) && s.scatterJob(w, r, "/v1/jobs/"+id+"/result") {
+			return
+		}
 		s.fail(w, jobError(err))
 		return
 	}
@@ -98,6 +183,9 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := s.jobs.Get(id)
 	if !ok {
+		if s.scatterJob(w, r, "/v1/jobs/"+id) {
+			return
+		}
 		s.fail(w, jobError(jobs.ErrNotFound))
 		return
 	}

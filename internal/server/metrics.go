@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ttmcas/internal/cluster"
 	"ttmcas/internal/jobs"
 	"ttmcas/internal/resilience"
 	"ttmcas/internal/resilience/faultinject"
@@ -47,6 +48,7 @@ type Metrics struct {
 	evalStats    func() evalStats
 	limiterStats func() []resilience.LimiterStats
 	faultStats   func() faultinject.Stats
+	clusterStats func() cluster.Stats
 }
 
 // jobStatusKey keys the finished-jobs counter by kind and terminal
@@ -375,6 +377,41 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 					return total, err
 				}
 			}
+		}
+	}
+
+	if m.clusterStats != nil {
+		cs := m.clusterStats()
+		for _, s := range []scalar{
+			{"ttmcas_cluster_ring_nodes", "Members currently owning segments of the consistent-hash ring.", "gauge", cs.RingNodes},
+			{"ttmcas_cluster_ring_epoch", "Ring epoch: increments on every membership change.", "gauge", cs.Epoch},
+			{"ttmcas_cluster_local_total", "Ownership decisions served locally (this node owned the key).", "counter", cs.Local},
+			{"ttmcas_cluster_forwarded_total", "Requests forwarded to the owning peer.", "counter", cs.Forwarded},
+			{"ttmcas_cluster_forward_errors_total", "Forwards that failed at the transport level and fell back to local compute.", "counter", cs.ForwardErrors},
+			{"ttmcas_cluster_redirected_total", "Ownership misses answered with a 307 redirect to the owner.", "counter", cs.Redirected},
+			{"ttmcas_cluster_probe_failures_total", "Peer health probes that failed.", "counter", cs.ProbeFailures},
+		} {
+			if err := emit("# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.value); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("# HELP ttmcas_cluster_peers Peers by health state.\n# TYPE ttmcas_cluster_peers gauge\n"); err != nil {
+			return total, err
+		}
+		for _, kv := range []struct {
+			state string
+			value int
+		}{
+			// Stats.Alive counts self; this series is peers only.
+			{"alive", cs.Alive - 1}, {"suspect", cs.Suspect}, {"dead", cs.Dead},
+		} {
+			if err := emit("ttmcas_cluster_peers{state=%q} %d\n", kv.state, kv.value); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("# HELP ttmcas_cluster_forward_seconds Latency summary of peer forwards.\n# TYPE ttmcas_cluster_forward_seconds summary\nttmcas_cluster_forward_seconds_count %d\nttmcas_cluster_forward_seconds_sum %g\nttmcas_cluster_forward_seconds_max %g\n",
+			cs.ForwardCount, cs.ForwardSum.Seconds(), cs.ForwardMax.Seconds()); err != nil {
+			return total, err
 		}
 	}
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"ttmcas/internal/cluster"
 	"ttmcas/internal/jobs"
 	"ttmcas/internal/resilience"
 	"ttmcas/internal/resilience/faultinject"
@@ -108,6 +109,29 @@ type Config struct {
 	// MaxJobEvaluations caps the estimated evaluation units of one job
 	// (default 2,000,000).
 	MaxJobEvaluations int
+
+	// NodeID identifies this process in /healthz and cluster state
+	// (default: ClusterSelfURL without its scheme, or "single").
+	NodeID string
+	// ClusterSelfURL is this node's advertised base URL
+	// ("http://host:port") — its identity on the hash ring. Cluster
+	// mode is enabled when both it and ClusterPeers are set.
+	ClusterSelfURL string
+	// ClusterPeers lists the other members' base URLs.
+	ClusterPeers []string
+	// ClusterVNodes is the virtual-node count per ring member
+	// (default 64). All members must agree on it.
+	ClusterVNodes int
+	// ClusterRedirect answers ownership misses with 307 redirects to
+	// the owning node instead of forwarding server-side.
+	ClusterRedirect bool
+	// ClusterProbeInterval is the peer health-probe period (default 1s).
+	ClusterProbeInterval time.Duration
+	// ClusterSuspectAfter and ClusterEvictAfter are the consecutive
+	// probe failures after which a peer is marked suspect (default 2)
+	// and evicted from the ring (default 3).
+	ClusterSuspectAfter int
+	ClusterEvictAfter   int
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +177,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxCurvePoints <= 0 {
 		c.MaxCurvePoints = 64
 	}
+	if c.NodeID == "" {
+		if c.ClusterSelfURL != "" {
+			c.NodeID = strings.TrimPrefix(strings.TrimPrefix(c.ClusterSelfURL, "https://"), "http://")
+		} else {
+			c.NodeID = "single"
+		}
+	}
+	if c.ClusterVNodes <= 0 {
+		c.ClusterVNodes = cluster.DefaultVNodes
+	}
 	return c
 }
 
@@ -179,7 +213,11 @@ type Server struct {
 	// burst of stale serves cannot spawn unbounded goroutines.
 	refreshSem chan struct{}
 	jobs       *jobs.Manager
-	closed     sync.Once
+	// cluster is the consistent-hash peer layer (nil when the node runs
+	// alone): ownership lookup, peer-to-peer forwarding, gossip health.
+	cluster *cluster.Cluster
+	started time.Time
+	closed  sync.Once
 
 	// slowEval, when set, runs at the start of every model
 	// computation; tests use it to hold requests in flight.
@@ -206,6 +244,21 @@ func New(cfg Config) *Server {
 			Target:        cfg.ShedTarget,
 		}),
 		refreshSem: make(chan struct{}, 2),
+		started:    time.Now(),
+	}
+	if cfg.ClusterSelfURL != "" && len(cfg.ClusterPeers) > 0 {
+		s.cluster = cluster.New(cluster.Options{
+			SelfID:        cfg.NodeID,
+			SelfURL:       cfg.ClusterSelfURL,
+			Peers:         cfg.ClusterPeers,
+			VNodes:        cfg.ClusterVNodes,
+			Redirect:      cfg.ClusterRedirect,
+			ProbeInterval: cfg.ClusterProbeInterval,
+			SuspectAfter:  cfg.ClusterSuspectAfter,
+			EvictAfter:    cfg.ClusterEvictAfter,
+			Logger:        cfg.Logger,
+		})
+		s.metrics.clusterStats = s.cluster.Stats
 	}
 	if inj, err := faultinject.Parse(cfg.FaultSpec, cfg.FaultSeed); err != nil {
 		// Config errors here cannot fail New's signature; the CLI
@@ -252,6 +305,10 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 // warming caches and to read injected-fault counts.
 func (s *Server) FaultInjector() *faultinject.Injector { return s.faults }
 
+// Cluster returns the consistent-hash peer layer, or nil when the node
+// runs alone. The cluster harness reads its stats and status.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
 // Close stops the admission limiters (waking any queued requests with
 // 503) and the batch-job manager, cancelling running jobs and waiting
 // for the workers to drain. Serve calls it after the HTTP shutdown;
@@ -261,6 +318,9 @@ func (s *Server) Close() {
 		s.cheap.Close()
 		s.heavy.Close()
 		s.jobs.Close()
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
 	})
 }
 
@@ -294,6 +354,7 @@ func (s *Server) routes() http.Handler {
 	injected("GET /v1/designs", s.handleDesigns)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
+	handle("GET /v1/cluster", s.handleCluster)
 	return mux
 }
 
@@ -422,6 +483,7 @@ var (
 	headerHit   = []string{"HIT"}
 	headerMiss  = []string{"MISS"}
 	headerStale = []string{"STALE"}
+	headerFwd   = []string{"FWD"}
 )
 
 // writeBody writes a complete, newline-terminated JSON body verbatim
@@ -580,14 +642,36 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route str
 	encPool.Put(eb)
 	s.metrics.CacheMiss()
 
-	lim := s.cheap
-	if heavy {
-		lim = s.heavy
-	}
-	// The route label is "METHOD /path"; the injector matches paths.
+	// The route label is "METHOD /path"; the injector and the cluster
+	// forwarder work with paths.
 	path := route
 	if _, p, ok := strings.Cut(route, " "); ok {
 		path = p
+	}
+
+	// Cluster routing: on a local cache miss, a key owned by a peer is
+	// forwarded to (or redirected at) its owner, so each key is
+	// computed and cached on exactly one node. A request already
+	// carrying the single-hop guard header is served locally no matter
+	// what this node's ring says — two nodes with divergent membership
+	// views must degrade to duplicated work, never to a forwarding
+	// loop. A forward that fails at the transport level (owner died
+	// between probes) falls through to the local compute path: a dead
+	// owner costs latency and a duplicated cache entry, not
+	// availability.
+	if s.cluster != nil && r.Header.Get(cluster.ForwardHeader) == "" {
+		if owner, self := s.cluster.Owner(key); !self {
+			if served := s.forwardEval(w, r, owner, path, key); served {
+				return
+			}
+		} else {
+			s.cluster.NoteLocal()
+		}
+	}
+
+	lim := s.cheap
+	if heavy {
+		lim = s.heavy
 	}
 
 	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
@@ -638,4 +722,91 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route str
 	}
 	w.Header()["X-Cache"] = headerMiss
 	writeBody(w, http.StatusOK, body)
+}
+
+// CacheKey returns the canonical cache key of a decoded request on a
+// route — route + '|' + the request's canonical JSON encoding
+// (newline-terminated), exactly what respondCached builds in its
+// pooled buffer. The cluster layer hashes this key onto the ring, and
+// the cluster load harness uses CacheKey to route requests
+// ownership-aware before sending them.
+func CacheKey(route string, req any) (string, error) {
+	body, release, err := encodeJSON(req)
+	if err != nil {
+		return "", err
+	}
+	key := route + "|" + string(body)
+	release()
+	return key, nil
+}
+
+// forwardEval routes one evaluation request to the owning peer and
+// relays the answer. It reports whether a response was written: false
+// means the forward failed at the transport level and the caller
+// should serve the request locally instead.
+//
+// Forwards ride the same single-flight group as local computations, so
+// N concurrent callers of a hot remote key cost the owner one upstream
+// request per flight, not N. With forwarding disabled the caller is
+// sent a 307 to the owner instead — the ownership-aware-client
+// topology, where a smart client or LB learns the ring from redirects.
+func (s *Server) forwardEval(w http.ResponseWriter, r *http.Request, ownerURL, path, key string) bool {
+	if !s.cluster.Forwarding() {
+		s.cluster.NoteRedirect()
+		w.Header()["Location"] = []string{ownerURL + path}
+		writeJSON(w, http.StatusTemporaryRedirect,
+			errorResponse{Error: "resource owned by peer " + ownerURL})
+		return true
+	}
+	// The canonical JSON after the route prefix is byte-for-byte the
+	// body the owner will decode — no re-encoding.
+	fwdBody := key[strings.IndexByte(key, '|')+1:]
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		res, err := s.cluster.Forward(ctx, ownerURL, http.MethodPost, path, []byte(fwdBody))
+		if err != nil {
+			return nil, &forwardError{err: err}
+		}
+		if res.Status != http.StatusOK {
+			ae := &apiError{status: res.Status, msg: decodeErrorBody(res.Body)}
+			if res.RetryAfter != "" {
+				ae.retryAfter, _ = strconv.Atoi(res.RetryAfter)
+			}
+			return nil, ae
+		}
+		return res.Body, nil
+	})
+	if shared {
+		s.metrics.FlightShared()
+	}
+	if err != nil {
+		var fe *forwardError
+		if errors.As(err, &fe) {
+			s.log.Printf("cluster: forward %s to %s failed, serving locally: %v", path, ownerURL, fe.err)
+			return false
+		}
+		s.fail(w, err)
+		return true
+	}
+	w.Header()["X-Cache"] = headerFwd
+	writeBody(w, http.StatusOK, body)
+	return true
+}
+
+// forwardError marks a transport-level forwarding failure — the class
+// of error that falls back to local computation.
+type forwardError struct{ err error }
+
+func (e *forwardError) Error() string { return e.err.Error() }
+func (e *forwardError) Unwrap() error { return e.err }
+
+// decodeErrorBody extracts the "error" field of a peer's JSON error
+// body, falling back to the raw body.
+func decodeErrorBody(body []byte) string {
+	var er errorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(body))
 }

@@ -226,10 +226,19 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := io.ReadAll(resp.Body)
+	var health struct {
+		Status    string  `json:"status"`
+		NodeID    string  `json:"node_id"`
+		UptimeS   float64 `json:"uptime_s"`
+		RingEpoch uint64  `json:"ring_epoch"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(b)) != "ok" {
-		t.Errorf("/healthz = %d %q", resp.StatusCode, b)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, decode err %v", resp.StatusCode, err)
+	}
+	if health.Status != "ok" || health.NodeID != "single" || health.RingEpoch != 0 {
+		t.Errorf("/healthz = %+v, want status ok, node single, epoch 0", health)
 	}
 
 	// Generate traffic so the exposition has content: one miss, one hit.
@@ -241,7 +250,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ = io.ReadAll(resp.Body)
+	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics = %d", resp.StatusCode)

@@ -8,10 +8,13 @@
 #
 # It then load-tests the serving layer with ttmcas-loadgen (cached-hit,
 # uncached and mixed /v1/ttm scenarios against an in-process server)
-# and records RPS and p50/p95/p99/max latency as BENCH_serve.json.
+# and records RPS and p50/p95/p99/max latency as BENCH_serve.json,
+# followed by the cluster scaling sweep (N in 1, 2, 4 in-process nodes
+# under the latency-bound cluster scenario) recorded as
+# BENCH_cluster.json with per-N RPS and the forward-hop p99.
 #
-#   scripts/bench.sh [out.json] [serve_out.json]
-#                                     # defaults: BENCH_jobs.json BENCH_serve.json
+#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json]
+#                # defaults: BENCH_jobs.json BENCH_serve.json BENCH_cluster.json
 #   BENCHTIME=5s scripts/bench.sh     # longer kernel runs for stabler numbers
 #   SERVE_DURATION=10s scripts/bench.sh   # longer load-test scenarios
 #   BENCH_STRICT=1 scripts/bench.sh   # exit non-zero when a guard fails
@@ -20,10 +23,12 @@
 #   - parallel drivers slower than their serial baselines
 #   - cached-hit p99 latency not below uncached p99
 #   - cached-hit RPS below 5x uncached RPS
+#   - 4-node cluster RPS below 0.8 x 4 x single-node RPS
 set -eu
 
 out="${1:-BENCH_jobs.json}"
 serveout="${2:-BENCH_serve.json}"
+clusterout="${3:-BENCH_cluster.json}"
 tmp="$(mktemp)"
 tmpbin="$(mktemp -d)"
 trap 'rm -f "$tmp"; rm -rf "$tmpbin"' EXIT
@@ -125,6 +130,49 @@ if awk -v c="$cached_rps" -v u="$uncached_rps" 'BEGIN { exit !(c < 5 * u) }'; th
     guard_status=1
 else
     echo "ok: cached-hit RPS ${cached_rps} >= 5x uncached RPS ${uncached_rps}"
+fi
+
+# ---- cluster scaling sweep -----------------------------------------
+# The latency-bound cluster scenario at N in {1, 2, 4} in-process
+# nodes. RPS should grow near-linearly with N (the per-request 5ms
+# floor is sleep, not CPU); the ttm-forward target's p99 is the cost of
+# one peer hop.
+cluster_rps_1=""
+cluster_rps_4=""
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "scaling": [\n'
+    first=1
+    for n in 1 2 4; do
+        run_json="$("$tmpbin/ttmcas-loadgen" -scenario cluster -nodes "$n" -d "$servedur" -c 4 -json)"
+        # "baseline_rps" never matches: the grep needs the quote right
+        # before "rps". The aggregate precedes the per-target stats.
+        rps="$(printf '%s' "$run_json" | grep -o '"rps":[0-9.eE+-]*' | head -n 1 | cut -d: -f2)"
+        fwd_p99="$(printf '%s' "$run_json" | sed -n 's/.*"name":"ttm-forward"[^}]*"p99_us":\([0-9.eE+-]*\).*/\1/p')"
+        [ "$n" = 1 ] && cluster_rps_1="$rps"
+        [ "$n" = 4 ] && cluster_rps_4="$rps"
+        [ "$first" = 1 ] || printf ',\n'
+        first=0
+        printf '    {"nodes": %s, "rps": %s, "forward_p99_us": %s}' \
+            "$n" "${rps:-null}" "${fwd_p99:-null}"
+    done
+    printf '\n  ]\n'
+    printf '}\n'
+} > "$clusterout"
+echo "wrote $clusterout"
+
+if [ -n "$cluster_rps_1" ] && [ -n "$cluster_rps_4" ]; then
+    if awk -v r4="$cluster_rps_4" -v r1="$cluster_rps_1" 'BEGIN { exit !(r4 < 0.8 * 4 * r1) }'; then
+        echo "WARNING: 4-node cluster RPS (${cluster_rps_4}) below 0.8 x 4 x single-node RPS (${cluster_rps_1})" >&2
+        guard_status=1
+    else
+        echo "ok: 4-node cluster RPS ${cluster_rps_4} >= 0.8 x 4 x single-node RPS ${cluster_rps_1}"
+    fi
+else
+    echo "WARNING: cluster sweep produced no RPS figures" >&2
+    guard_status=1
 fi
 
 if [ "$guard_status" -ne 0 ] && [ "${BENCH_STRICT:-0}" = "1" ]; then

@@ -26,3 +26,11 @@ go run ./cmd/ttmcas-loadgen -scenario mixed -d 1s -c 4 -check
 # requests, bounded p99, stale fallbacks observed, and the goroutine
 # count back at baseline after drain.
 go run ./cmd/ttmcas-loadgen -scenario chaos -d 2s -c 8 -check
+
+# Cluster smoke: a 4-node in-process cluster (real loopback listeners
+# between peers) with one node killed a quarter in and revived at three
+# quarters. -check runs a single-node baseline first and asserts the
+# scaling contract: >= 0.8 x 4 x baseline RPS, zero transport errors,
+# every request answered 200 across the kill and rejoin, forwards
+# actually exercised, and the ring reconverged.
+go run ./cmd/ttmcas-loadgen -scenario cluster -nodes 4 -kill -d 2s -c 4 -check
