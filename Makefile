@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke
+.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke
 
-check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke
+check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +26,7 @@ serve: build
 # core kernel's — catches benchmarks that no longer compile or fail,
 # without paying for measurement runs.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep ./internal/timeline
 
 # One short closed-loop run of the load generator against an in-process
 # server; -check fails on transport errors or 5xx responses.
@@ -46,6 +46,13 @@ chaossmoke:
 # reconverged ring.
 clustersmoke:
 	$(GO) run ./cmd/ttmcas-loadgen -scenario cluster -nodes 4 -kill -d 2s -c 4 -check
+
+# A short timeline run: one fab-fire-recovery batch job driven through
+# /v1/jobs end to end, then a 9:1 cached/uncached POST /v1/scenarios
+# mix; -check fails on transport errors or any 5xx beyond deliberate
+# sheds.
+timelinesmoke:
+	$(GO) run ./cmd/ttmcas-loadgen -scenario timeline -d 2s -c 4 -check
 
 # Full measurement runs (kernel, band curves, Sobol) with allocation
 # counts and a parallel-vs-serial guard; writes BENCH_jobs.json.

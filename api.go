@@ -18,6 +18,7 @@ import (
 	"ttmcas/internal/scenario"
 	"ttmcas/internal/sens"
 	"ttmcas/internal/technode"
+	"ttmcas/internal/timeline"
 	"ttmcas/internal/units"
 	"ttmcas/internal/yield"
 )
@@ -393,4 +394,55 @@ func DesignStudy(name string) string {
 		}
 	}
 	return ""
+}
+
+// ---- timeline (scenario composer) ----------------------------------
+
+// Timeline types, re-exported from internal/timeline: declarative
+// time-varying scenarios composed over the static market snapshots.
+type (
+	// TimelineSpec is a declarative timeline: a base scenario, a
+	// horizon, and disruption segments composed over it.
+	TimelineSpec = timeline.Spec
+	// TimelineSegment is one disruption mechanism on a timeline.
+	TimelineSegment = timeline.Segment
+	// TimelineLimits bound client-supplied timeline specs.
+	TimelineLimits = timeline.Limits
+	// TimelineOptions tune a timeline evaluation run.
+	TimelineOptions = timeline.Options
+	// TimelineResult is a full timeline evaluation: per-step TTM/CAS
+	// curves plus summary statistics.
+	TimelineResult = timeline.Result
+	// TimelineEpisode is a named historical timeline anchored to static
+	// scenarios at its endpoints.
+	TimelineEpisode = timeline.Episode
+)
+
+// ErrInvalidTimelineSpec wraps every timeline spec validation failure.
+var ErrInvalidTimelineSpec = timeline.ErrInvalidSpec
+
+// CompileTimeline validates a timeline spec and resolves it for
+// evaluation; the zero Limits select the defaults.
+func CompileTimeline(s TimelineSpec, lim TimelineLimits) (*timeline.Timeline, error) {
+	return timeline.Compile(s, lim)
+}
+
+// EvaluateTimeline evaluates a compiled timeline for a design and chip
+// count: TTM and CAS at every step, summary statistics, and optionally
+// the discrete-event in-flight study.
+func EvaluateTimeline(ctx context.Context, d Design, n float64, tl *timeline.Timeline, opt TimelineOptions) (*TimelineResult, error) {
+	return timeline.Evaluate(ctx, Model{}, d, n, tl, opt)
+}
+
+// TimelineEpisodes lists the built-in historical episodes (the 2020–22
+// global shortage, a localized fab loss, an export-control shock, a
+// fab-fire recovery arc).
+func TimelineEpisodes() []TimelineEpisode { return timeline.Episodes() }
+
+// FindTimelineEpisode returns the named episode, or false.
+func FindTimelineEpisode(name string) (TimelineEpisode, bool) { return timeline.FindEpisode(name) }
+
+// EvaluateTimelineEpisode compiles and evaluates a named episode.
+func EvaluateTimelineEpisode(ctx context.Context, d Design, n float64, name string, opt TimelineOptions) (*TimelineResult, error) {
+	return timeline.EvaluateEpisode(ctx, Model{}, d, n, name, opt)
 }

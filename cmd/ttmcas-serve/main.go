@@ -11,6 +11,7 @@
 //	             [-shed-target-ms 25] [-fresh-ttl 0] [-stale-ttl 0]
 //	             [-job-workers 2] [-max-jobs 32] [-job-ttl 1h] [-job-timeout 10m]
 //	             [-job-snapshots DIR] [-max-samples 8192] [-max-curve-points 64]
+//	             [-max-timeline-steps 256]
 //	             [-fault-spec ""] [-fault-seed 1] [-pprof-addr localhost:6060]
 //	             [-peers URL,URL] [-cluster-addr http://host:port] [-node-id ID]
 //	             [-vnodes 64] [-forward] [-probe-interval 1s]
@@ -22,14 +23,16 @@
 //	POST   /v1/cost             chip-creation cost breakdown
 //	POST   /v1/sensitivity      Sobol sensitivity of TTM (worker pool)
 //	POST   /v1/plan             §7 manufacturing-plan recommendation (worker pool)
+//	POST   /v1/scenarios        evaluate a composed disruption timeline inline
 //	POST   /v1/jobs             submit an async batch job (mc-band, sensitivity,
-//	                            sweep, pareto, plan-portfolio)
+//	                            sweep, pareto, plan-portfolio, timeline)
 //	GET    /v1/jobs             list batch jobs, newest first
 //	GET    /v1/jobs/{id}        job status with progress and ETA
 //	GET    /v1/jobs/{id}/result finished job's result document
 //	DELETE /v1/jobs/{id}        cancel a job (remove it once finished)
 //	GET    /v1/nodes            the process-node database
 //	GET    /v1/scenarios        built-in market scenarios
+//	GET    /v1/episodes         built-in historical disruption episodes
 //	GET    /v1/designs          built-in case-study designs
 //	GET    /v1/cluster          cluster membership, ring and peer health
 //	GET    /healthz             liveness probe (JSON: node ID, uptime, ring epoch)
@@ -129,6 +132,7 @@ func run(args []string) error {
 	jobSnapshots := fs.String("job-snapshots", "", "directory for job snapshots (persists results across restarts; empty disables)")
 	maxSamples := fs.Int("max-samples", 8192, "largest accepted sample count (sensitivity N, Monte-Carlo samples)")
 	maxCurvePoints := fs.Int("max-curve-points", 64, "largest accepted curve/grid point list")
+	maxTimelineSteps := fs.Int("max-timeline-steps", 256, "largest timeline evaluated inline by /v1/scenarios (bigger ones go through /v1/jobs)")
 	faultSpec := fs.String("fault-spec", "", "fault-injection spec for chaos testing (empty disables), e.g. \"route=/v1/ttm error-rate=0.05\"")
 	faultSeed := fs.Int64("fault-seed", 1, "deterministic seed for the fault-injection draw stream")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
@@ -200,6 +204,7 @@ func run(args []string) error {
 		JobSnapshotDir:   *jobSnapshots,
 		MaxSamples:       *maxSamples,
 		MaxCurvePoints:   *maxCurvePoints,
+		MaxTimelineSteps: *maxTimelineSteps,
 		FaultSpec:        *faultSpec,
 		FaultSeed:        *faultSeed,
 		Logger:           logger,

@@ -17,6 +17,8 @@
 //	ttmcas table 3 [-fast]               # regenerate a paper table
 //	ttmcas all [-fast]                   # regenerate everything
 //	ttmcas fabsim -node 28 -wafers 50000 [-queue-wafers 10000] [-disrupt 2:0.5,6:1]
+//	ttmcas timeline -episode global-shortage-2020-22 -design zen2 [-inflight] [-json]
+//	ttmcas timeline -spec episode.json -design a11 -node 28
 package main
 
 import (
@@ -75,6 +77,8 @@ func run(args []string) error {
 		return cmdAll(rest)
 	case "fabsim":
 		return cmdFabsim(rest)
+	case "timeline":
+		return cmdTimeline(rest)
 	case "jobs":
 		return cmdJobs(rest)
 	case "help", "-h", "--help":
@@ -104,6 +108,7 @@ subcommands:
   table N     regenerate paper table N (2..4)
   all         regenerate every figure and table
   fabsim      run the discrete-event fab/packaging pipeline
+  timeline    evaluate a composed disruption timeline or a historical episode
   jobs        run a batch-evaluation spec locally (same engine as POST /v1/jobs)
 
 run 'ttmcas <subcommand> -h' for flags.

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTimelineList(t *testing.T) {
+	out, err := capture(t, "timeline", "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"global-shortage-2020-22", "single-fab-loss", "export-control-shock", "fab-fire-recovery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("episode list missing %q", want)
+		}
+	}
+}
+
+func TestTimelineEpisode(t *testing.T) {
+	out, err := capture(t, "timeline", "-episode", "fab-fire-recovery", "-design", "a11", "-node", "40", "-inflight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"peak TTM", "peak CAS degradation", "time to recover", "in-flight order study", "timeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineSpecFileJSON(t *testing.T) {
+	spec := `{
+		"base": "baseline",
+		"horizon_weeks": 8,
+		"step_weeks": 2,
+		"segments": [
+			{"kind": "queue-drift", "node": "7nm", "start_week": 2, "end_week": 6, "delta_weeks": 3}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "timeline", "-spec", path, "-design", "zen2", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Steps []struct {
+			Week float64 `json:"week"`
+		} `json:"steps"`
+		Summary struct {
+			AUCLossWeeks2 float64 `json:"auc_loss_weeks2"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, out)
+	}
+	if len(res.Steps) != 5 {
+		t.Fatalf("%d steps, want 5", len(res.Steps))
+	}
+	if res.Summary.AUCLossWeeks2 <= 0 {
+		t.Errorf("queue drift on a fabricating node should cost schedule: AUC %v", res.Summary.AUCLossWeeks2)
+	}
+}
+
+func TestTimelineErrors(t *testing.T) {
+	if _, err := capture(t, "timeline"); err == nil {
+		t.Error("no spec or episode should error")
+	}
+	if _, err := capture(t, "timeline", "-episode", "nope"); err == nil {
+		t.Error("unknown episode should error")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"horizon_weeks": -1, "segments": []}`), 0o644)
+	if _, err := capture(t, "timeline", "-spec", path); err == nil {
+		t.Error("invalid spec should error")
+	}
+	if _, err := capture(t, "timeline", "-spec", path, "-episode", "single-fab-loss"); err == nil {
+		t.Error("spec and episode together should error")
+	}
+}

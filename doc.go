@@ -38,7 +38,8 @@
 // The cmd/ttmcas-serve binary runs the framework as an always-on HTTP
 // evaluation service (internal/server): a JSON REST API over this
 // package — POST /v1/ttm, /v1/cas, /v1/cost, /v1/sensitivity,
-// /v1/plan and GET /v1/nodes, /v1/scenarios, /v1/designs — with a
+// /v1/plan, /v1/scenarios (timeline evaluation) and GET /v1/nodes,
+// /v1/scenarios, /v1/designs, /v1/episodes — with a
 // keyed LRU response cache, single-flight deduplication of concurrent
 // identical evaluations, a bounded worker pool for the expensive
 // analyses, per-request timeouts, graceful shutdown, and
@@ -103,6 +104,27 @@
 // come back queryable and interrupted jobs re-run from their
 // deterministic specs. The ttmcas CLI's `jobs` subcommand runs the
 // same specs locally without a server.
+//
+// # Composing scenarios
+//
+// Static market conditions answer "what does TTM look like under this
+// state"; disruptions are trajectories. The timeline composer
+// (internal/timeline, exported here as TimelineSpec, CompileTimeline
+// and EvaluateTimeline) turns a declarative spec — fab-outage ramps
+// with recovery, demand shocks with the hoarding feedback,
+// queue-depth drift, composed over a named base scenario — into a
+// piecewise conditions curve, evaluates TTM and CAS at every step
+// through the same compiled kernel as the static path, and reports
+// summary statistics: peak TTM, peak CAS degradation, time-to-recover
+// and the integrated AUC schedule loss. An optional in-flight study
+// simulates an order placed at week 0 through the disruption
+// (promised vs simulated TTM). A built-in library of historical
+// episodes (TimelineEpisodes; the 2020-22 global shortage, a
+// single-fab loss, an export-control shock, a fab-fire recovery) is
+// anchored bit-for-bit to the static scenario library at its
+// endpoints. The server evaluates timelines inline at POST
+// /v1/scenarios, asynchronously as the "timeline" job kind, and the
+// CLI's `timeline` subcommand runs them locally.
 //
 // # Performance
 //

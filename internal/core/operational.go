@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,13 @@ type OperationalResult struct {
 // to 25 wafers; the TAP stage throughput is unbounded, matching the
 // analytic model's assumption.
 func (m Model) EvaluateOperational(d design.Design, n float64, c market.Conditions, sched DisruptionSchedule) (OperationalResult, error) {
+	return m.EvaluateOperationalCtx(context.Background(), d, n, c, sched)
+}
+
+// EvaluateOperationalCtx is EvaluateOperational under a context: each
+// per-node discrete-event simulation checks for cancellation, so a
+// timeline job hitting its deadline mid-study stops promptly.
+func (m Model) EvaluateOperationalCtx(ctx context.Context, d design.Design, n float64, c market.Conditions, sched DisruptionSchedule) (OperationalResult, error) {
 	analytic, err := m.Evaluate(d, n, c)
 	if err != nil {
 		return OperationalResult{}, err
@@ -66,7 +74,7 @@ func (m Model) EvaluateOperational(d design.Design, n float64, c market.Conditio
 			FabLatency: p.FabLatency,
 			TAPLatency: p.TAPLatency,
 		}
-		res, err := fabsim.Run(cfg, float64(nf.Wafers), c.QueueWafers(p), sched[nf.Node])
+		res, err := fabsim.RunCtx(ctx, cfg, float64(nf.Wafers), c.QueueWafers(p), sched[nf.Node])
 		if err != nil {
 			return OperationalResult{}, fmt.Errorf("core: simulating %s: %w", nf.Node, err)
 		}

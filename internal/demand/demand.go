@@ -12,6 +12,7 @@ package demand
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ttmcas/internal/units"
 )
@@ -63,6 +64,18 @@ func (c Config) Validate() error {
 	}
 	if c.FabLatency < 0 {
 		return errors.New("demand: negative fab latency")
+	}
+	// A negative gain would scale orders below true demand — negative
+	// "demand" the backlog recursion was never defined for — and a
+	// multiplier cap below 1 silently clips orders under need.
+	if c.HoardingGain < 0 {
+		return errors.New("demand: negative hoarding gain")
+	}
+	if c.MaxHoarding < 0 || (c.MaxHoarding > 0 && c.MaxHoarding < 1) {
+		return errors.New("demand: max hoarding must be at least 1 (or 0 for the default)")
+	}
+	if c.Weeks < 0 {
+		return errors.New("demand: negative horizon")
 	}
 	return nil
 }
@@ -187,4 +200,52 @@ func QueueAtWeek(res Result, week int) (units.Wafers, error) {
 		return 0, fmt.Errorf("demand: week %d outside horizon", week)
 	}
 	return units.Wafers(res.Weeks[week].Backlog), nil
+}
+
+// GenerateShocks draws n deterministic demand shocks inside the window
+// [startWeek, endWeek): starts uniform over the window, durations of
+// 2 to 12 weeks (clipped to the window), multipliers in [1.1, 1.8].
+// The same seed always yields the same shocks — the generator is a
+// splitmix64 stream, not math/rand — so scenario specs that reference
+// a seed reproduce exactly across runs, machines and Go versions.
+// Shocks may overlap; Simulate composes overlaps multiplicatively.
+func GenerateShocks(seed int64, n, startWeek, endWeek int) []Shock {
+	if n <= 0 || endWeek <= startWeek {
+		return nil
+	}
+	window := endWeek - startWeek
+	state := uint64(seed) ^ 0x6a09e667f3bcc908
+	next := func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+	out := make([]Shock, 0, n)
+	for i := 0; i < n; i++ {
+		maxDur := 12
+		if maxDur > window {
+			maxDur = window
+		}
+		dur := 2
+		if maxDur > 2 {
+			dur = 2 + int(next()*float64(maxDur-1))
+			if dur > maxDur {
+				dur = maxDur
+			}
+		}
+		start := startWeek + int(next()*float64(window-dur+1))
+		if start+dur > endWeek {
+			start = endWeek - dur
+		}
+		out = append(out, Shock{
+			StartWeek:  start,
+			EndWeek:    start + dur,
+			Multiplier: 1.1 + 0.7*next(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartWeek < out[j].StartWeek })
+	return out
 }

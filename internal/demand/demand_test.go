@@ -183,3 +183,102 @@ func TestQueueAtWeekFeedsEq4(t *testing.T) {
 	}
 	_ = units.Wafers(0)
 }
+
+// The new validation rules: hoarding parameters and horizon that the
+// recursion was never defined for must be rejected up front.
+func TestValidationHoardingAndHorizon(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative hoarding gain", Config{Capacity: 10, BaseDemand: 8, HoardingGain: -0.1}},
+		{"negative max hoarding", Config{Capacity: 10, BaseDemand: 8, MaxHoarding: -2}},
+		{"sub-unity max hoarding", Config{Capacity: 10, BaseDemand: 8, MaxHoarding: 0.5}},
+		{"negative horizon", Config{Capacity: 10, BaseDemand: 8, Weeks: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err == nil {
+				t.Errorf("%+v accepted", tc.cfg)
+			}
+		})
+	}
+	ok := []Config{
+		{Capacity: 10, BaseDemand: 8},                   // zero values: defaults
+		{Capacity: 10, BaseDemand: 8, MaxHoarding: 1},   // exactly 1 = no over-order
+		{Capacity: 10, BaseDemand: 8, MaxHoarding: 1.5}, // explicit cap
+		{Capacity: 10, BaseDemand: 0},                   // idle line is fine
+	}
+	for _, c := range ok {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", c, err)
+		}
+	}
+}
+
+// GenerateShocks is a deterministic stream: same seed, same shocks —
+// across runs and (because it is splitmix64, not math/rand) across Go
+// versions. Windows, durations and multipliers must respect the doc.
+func TestGenerateShocks(t *testing.T) {
+	cases := []struct {
+		name          string
+		seed          int64
+		n, start, end int
+	}{
+		{"small window", 1, 3, 10, 16},
+		{"wide window", 42, 8, 0, 104},
+		{"tight window", 7, 5, 20, 22},
+		{"single", -99, 1, 4, 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := GenerateShocks(tc.seed, tc.n, tc.start, tc.end)
+			b := GenerateShocks(tc.seed, tc.n, tc.start, tc.end)
+			if len(a) != tc.n {
+				t.Fatalf("got %d shocks, want %d", len(a), tc.n)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("shock %d not reproducible: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+			for i, s := range a {
+				if s.StartWeek < tc.start || s.EndWeek > tc.end {
+					t.Errorf("shock %d window [%d, %d) escapes [%d, %d)", i, s.StartWeek, s.EndWeek, tc.start, tc.end)
+				}
+				if dur := s.EndWeek - s.StartWeek; dur < 1 || dur > 12 {
+					t.Errorf("shock %d duration %d outside [1, 12]", i, dur)
+				}
+				if s.Multiplier < 1.1 || s.Multiplier > 1.8 {
+					t.Errorf("shock %d multiplier %v outside [1.1, 1.8]", i, s.Multiplier)
+				}
+				if i > 0 && a[i].StartWeek < a[i-1].StartWeek {
+					t.Errorf("shocks not sorted by start: %d before %d", a[i].StartWeek, a[i-1].StartWeek)
+				}
+			}
+			// Generated shocks must be directly consumable by Simulate.
+			if _, err := Simulate(line(), a); err != nil {
+				t.Errorf("Simulate rejected generated shocks: %v", err)
+			}
+		})
+	}
+	if got := GenerateShocks(1, 0, 0, 10); got != nil {
+		t.Errorf("n=0 returned %v, want nil", got)
+	}
+	if got := GenerateShocks(1, 3, 10, 10); got != nil {
+		t.Errorf("empty window returned %v, want nil", got)
+	}
+	// Different seeds should explore the window differently.
+	a := GenerateShocks(1, 6, 0, 104)
+	b := GenerateShocks(2, 6, 0, 104)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 generated identical shock sets")
+	}
+}

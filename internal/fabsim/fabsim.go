@@ -19,6 +19,7 @@ package fabsim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -185,6 +186,15 @@ func (c *releaseClock) advance(wafers float64) float64 {
 // `queueAhead` wafers of previously-committed work, under the given
 // disruption schedule.
 func Run(cfg Config, wafers float64, queueAhead units.Wafers, disruptions []Disruption) (Result, error) {
+	return RunCtx(context.Background(), cfg, wafers, queueAhead, disruptions)
+}
+
+// RunCtx is Run under a context: a large order is hundreds of
+// thousands of lot-release and packaging events, and timeline jobs run
+// one simulation per disrupted node per evaluation, so the loops check
+// for cancellation and return ctx.Err() promptly when a job deadline
+// expires mid-simulation.
+func RunCtx(ctx context.Context, cfg Config, wafers float64, queueAhead units.Wafers, disruptions []Disruption) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -216,6 +226,11 @@ func Run(cfg Config, wafers float64, queueAhead units.Wafers, disruptions []Disr
 	q := &eventQueue{}
 	remaining := wafers
 	for k := 0; k < lots; k++ {
+		if k%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		size := math.Min(remaining, float64(cfg.lotSize()))
 		remaining -= size
 		start := clock.advance(size)
@@ -228,7 +243,12 @@ func Run(cfg Config, wafers float64, queueAhead units.Wafers, disruptions []Disr
 
 	// TAP stage: FIFO behind a throughput bound, plus fixed latency.
 	tapFree := 0.0 // earliest time the TAP line can accept the next lot
-	for q.Len() > 0 {
+	for steps := 0; q.Len() > 0; steps++ {
+		if steps%2048 == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		ev := heap.Pop(q).(event)
 		switch ev.kind {
 		case evFabDone:

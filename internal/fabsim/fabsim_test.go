@@ -1,9 +1,12 @@
 package fabsim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ttmcas/internal/units"
 )
@@ -164,5 +167,38 @@ func TestValidation(t *testing.T) {
 	bad := Config{Rate: 10, FabLatency: -1}
 	if err := bad.Validate(); err == nil {
 		t.Error("negative latency should error")
+	}
+}
+
+// RunCtx must notice cancellation mid-simulation: a large order is
+// hundreds of thousands of events, and timeline jobs rely on their
+// deadline propagating into the event loops.
+func TestRunCtxCancellation(t *testing.T) {
+	cfg := line()
+	// Already-cancelled context: the run must abort with ctx.Err()
+	// rather than simulating half a million wafers.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, cfg, 500_000, 0, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// An expired deadline behaves the same.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := RunCtx(dctx, cfg, 500_000, 0, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	// A live context completes and matches the context-free entry point.
+	want, err := Run(cfg, 5000, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), cfg, 5000, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("RunCtx result %+v differs from Run %+v", got, want)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"ttmcas/internal/sens"
 	"ttmcas/internal/sweep"
 	"ttmcas/internal/technode"
+	"ttmcas/internal/timeline"
 )
 
 // The job kinds: each wraps one of the repo's batch-evaluation engines.
@@ -37,11 +38,16 @@ const (
 	// KindPlanPortfolio runs the §7 planner across a portfolio of
 	// market scenarios, recommending a plan per scenario.
 	KindPlanPortfolio = "plan-portfolio"
+	// KindTimeline evaluates a composed time-varying scenario — an
+	// inline timeline spec or a named historical episode — step by
+	// step with the compiled evaluator (TTM/CAS curves plus summary
+	// statistics).
+	KindTimeline = "timeline"
 )
 
 // Kinds lists the supported job kinds.
 func Kinds() []string {
-	return []string{KindMCBand, KindSensitivity, KindSweep, KindPareto, KindPlanPortfolio}
+	return []string{KindMCBand, KindSensitivity, KindSweep, KindPareto, KindPlanPortfolio, KindTimeline}
 }
 
 // ErrInvalidSpec wraps every spec validation failure; the HTTP layer
@@ -130,6 +136,16 @@ type Spec struct {
 	BudgetUSD     float64  `json:"budget_usd,omitempty"`
 	MinCAS        float64  `json:"min_cas,omitempty"`
 	Scenarios     []string `json:"scenarios,omitempty"`
+
+	// Timeline is the timeline kind's inline spec; Episode names a
+	// built-in historical episode instead (at most one of the two;
+	// neither selects the flagship global-shortage episode). InFlight
+	// additionally runs the discrete-event in-flight order study. The
+	// base scenario lives inside the timeline spec, so the top-level
+	// Scenario field is rejected for this kind.
+	Timeline *timeline.Spec `json:"timeline,omitempty"`
+	Episode  string         `json:"episode,omitempty"`
+	InFlight bool           `json:"in_flight,omitempty"`
 
 	// TimeoutSeconds overrides the manager's default per-job deadline.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -242,8 +258,37 @@ func (s Spec) EstimatedEvaluations() int {
 		// producing node plus the two-node splits.
 		p := len(technode.Producing())
 		return len(s.scenarioNames()) * p * p
+	case KindTimeline:
+		ts, err := s.timelineSpec()
+		if err != nil {
+			return 0
+		}
+		return ts.StepCount()
 	default:
 		return 0
+	}
+}
+
+// timelineSpec resolves the timeline kind's spec: the inline one, the
+// named episode's, or — like every other kind's defaults — the
+// flagship episode when neither is given.
+func (s Spec) timelineSpec() (timeline.Spec, error) {
+	switch {
+	case s.Timeline != nil && s.Episode != "":
+		return timeline.Spec{}, invalidf("timeline and episode are mutually exclusive")
+	case s.Timeline != nil:
+		return *s.Timeline, nil
+	default:
+		name := s.Episode
+		if name == "" {
+			name = timeline.EpisodeNames()[0]
+		}
+		ep, ok := timeline.FindEpisode(name)
+		if !ok {
+			return timeline.Spec{}, invalidf("unknown episode %q (one of %s)",
+				name, strings.Join(timeline.EpisodeNames(), ", "))
+		}
+		return ep.Spec, nil
 	}
 }
 
@@ -253,7 +298,7 @@ func (s Spec) EstimatedEvaluations() int {
 func (s Spec) Validate(lim Limits) error {
 	lim = lim.withDefaults()
 	switch s.Kind {
-	case KindMCBand, KindSensitivity, KindSweep, KindPareto, KindPlanPortfolio:
+	case KindMCBand, KindSensitivity, KindSweep, KindPareto, KindPlanPortfolio, KindTimeline:
 	case "":
 		return invalidf("missing kind (one of %s)", strings.Join(Kinds(), ", "))
 	default:
@@ -332,6 +377,22 @@ func (s Spec) Validate(lim Limits) error {
 	if s.TimeoutSeconds < 0 {
 		return invalidf("negative timeout_seconds %v", s.TimeoutSeconds)
 	}
+	if s.Kind == KindTimeline {
+		ts, err := s.timelineSpec()
+		if err != nil {
+			return err
+		}
+		if s.Scenario != "" {
+			return invalidf("timeline jobs set the base scenario inside the timeline spec, not the scenario field")
+		}
+		// The step budget rides the sample limit: one compiled evaluation
+		// per step, same order of work as one Monte-Carlo sample.
+		if err := ts.Validate(timeline.Limits{MaxSteps: lim.MaxSamples, MaxSegments: lim.MaxPoints}); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+	} else if s.Timeline != nil || s.Episode != "" {
+		return invalidf("timeline/episode fields belong to the %q kind", KindTimeline)
+	}
 	if est := s.EstimatedEvaluations(); est > lim.MaxEvaluations {
 		return invalidf("estimated %d evaluations exceed the limit %d (reduce samples or grid size)",
 			est, lim.MaxEvaluations)
@@ -393,6 +454,8 @@ func (s Spec) run(ctx context.Context, pr Tracker) (any, error) {
 		return s.runPareto(ctx, pr)
 	case KindPlanPortfolio:
 		return s.runPlanPortfolio(ctx, pr)
+	case KindTimeline:
+		return s.runTimeline(ctx, pr)
 	default:
 		return nil, invalidf("unknown kind %q", s.Kind)
 	}
@@ -748,6 +811,31 @@ func (s Spec) runPlanPortfolio(ctx context.Context, pr Tracker) (any, error) {
 		pr.Add(1)
 	}
 	return res, nil
+}
+
+// ---- timeline ------------------------------------------------------
+
+func (s Spec) runTimeline(ctx context.Context, pr Tracker) (any, error) {
+	d, _, err := s.resolveEval()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := s.timelineSpec()
+	if err != nil {
+		return nil, err
+	}
+	// Submission already validated the spec against the manager's
+	// limits; compile under a generous ceiling so a manager configured
+	// above the defaults is not re-clamped here.
+	tl, err := timeline.Compile(ts, timeline.Limits{MaxSteps: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	pr.SetTotal(uint64(tl.StepCount()))
+	return timeline.Evaluate(ctx, core.Model{}, d, s.n(), tl, timeline.Options{
+		InFlight: s.InFlight,
+		OnStep:   func() { pr.Add(1) },
+	})
 }
 
 func planChoice(o plan.Option) PlanChoice {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ttmcas/internal/core"
+	"ttmcas/internal/timeline"
 )
 
 func TestValidateAcceptsEveryKindWithDefaults(t *testing.T) {
@@ -212,5 +213,95 @@ func TestRunMCBandCASMetric(t *testing.T) {
 		if p.Mean == nil {
 			t.Fatalf("CAS point with nil mean: %+v", p)
 		}
+	}
+}
+
+func TestValidateTimelineSpec(t *testing.T) {
+	inline := &timeline.Spec{
+		Base:         "baseline",
+		HorizonWeeks: 10,
+		Segments: []timeline.Segment{
+			{Kind: timeline.KindQueueDrift, StartWeek: 1, EndWeek: 5, DeltaWeeks: 2},
+		},
+	}
+	ok := []Spec{
+		{Kind: KindTimeline, Design: "zen2"}, // defaults to the flagship episode
+		{Kind: KindTimeline, Design: "zen2", Episode: "single-fab-loss"},
+		{Kind: KindTimeline, Design: "zen2", Timeline: inline, InFlight: true},
+	}
+	for _, s := range ok {
+		if err := s.normalized().Validate(Limits{}); err != nil {
+			t.Errorf("Validate(%+v) = %v", s, err)
+		}
+	}
+	bad := []struct {
+		name string
+		spec Spec
+		lim  Limits
+	}{
+		{"unknown episode", Spec{Kind: KindTimeline, Design: "zen2", Episode: "nope"}, Limits{}},
+		{"both spec and episode", Spec{Kind: KindTimeline, Design: "zen2",
+			Episode: "single-fab-loss", Timeline: inline}, Limits{}},
+		{"scenario field rejected", Spec{Kind: KindTimeline, Design: "zen2",
+			Episode: "single-fab-loss", Scenario: "baseline"}, Limits{}},
+		{"invalid inline spec", Spec{Kind: KindTimeline, Design: "zen2",
+			Timeline: &timeline.Spec{HorizonWeeks: -1}}, Limits{}},
+		{"steps over sample limit", Spec{Kind: KindTimeline, Design: "zen2",
+			Timeline: inline}, Limits{MaxSamples: 5}},
+		{"timeline fields on other kind", Spec{Kind: KindMCBand, Design: "a11",
+			Episode: "single-fab-loss"}, Limits{}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.normalized().Validate(tc.lim)
+			if err == nil {
+				t.Fatal("spec accepted")
+			}
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("error %v does not wrap ErrInvalidSpec", err)
+			}
+		})
+	}
+	// Estimated work is the step count.
+	s := Spec{Kind: KindTimeline, Design: "zen2", Timeline: inline}.normalized()
+	if got := s.EstimatedEvaluations(); got != 11 {
+		t.Errorf("EstimatedEvaluations = %d, want 11 (weeks 0–10)", got)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	pr, j := trackerFor()
+	s := Spec{Kind: KindTimeline, Design: "zen2", Episode: "export-control-shock", InFlight: true}.normalized()
+	out, err := s.run(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(*timeline.Result)
+	if res.Name != "export-control-shock" || res.Design != "zen2" {
+		t.Fatalf("result header = %+v", res)
+	}
+	if len(res.Steps) != 53 {
+		t.Fatalf("got %d steps, want 53", len(res.Steps))
+	}
+	if res.InFlight == nil {
+		t.Fatal("in-flight study missing despite in_flight=true")
+	}
+	want := uint64(53)
+	if j.done.Load() != want || j.total.Load() != want {
+		t.Fatalf("progress = %d/%d, want %d", j.done.Load(), j.total.Load(), want)
+	}
+	// The result must survive the JSON round trip the HTTP layer does.
+	if _, err := json.Marshal(out); err != nil {
+		t.Fatalf("result not JSON-marshalable: %v", err)
+	}
+}
+
+func TestRunTimelineCancelled(t *testing.T) {
+	pr, _ := trackerFor()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Spec{Kind: KindTimeline, Design: "zen2", Episode: "global-shortage-2020-22"}.normalized()
+	if _, err := s.run(ctx, pr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -226,6 +226,12 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					stats[ti].errors++
 					continue
 				}
+				if res.status >= 500 && runCtx.Err() != nil {
+					// Same teardown through the in-process sender: the
+					// expired run context surfaces as the handler's own
+					// timeout response instead of a transport error.
+					break
+				}
 				st := &stats[ti]
 				st.requests++
 				st.hist.Record(time.Since(began))

@@ -90,6 +90,10 @@ type Config struct {
 	// MaxCurvePoints caps the /v1/cas curve length and the point lists
 	// of batch jobs; above it is 422 (default 64).
 	MaxCurvePoints int
+	// MaxTimelineSteps caps the step count of timelines evaluated
+	// inline by POST /v1/scenarios; longer timelines must go through
+	// the batch-job route. Above it is 422 (default 256).
+	MaxTimelineSteps int
 
 	// JobWorkers bounds how many batch jobs run concurrently
 	// (default 2).
@@ -176,6 +180,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCurvePoints <= 0 {
 		c.MaxCurvePoints = 64
+	}
+	if c.MaxTimelineSteps <= 0 {
+		c.MaxTimelineSteps = 256
 	}
 	if c.NodeID == "" {
 		if c.ClusterSelfURL != "" {
@@ -344,6 +351,7 @@ func (s *Server) routes() http.Handler {
 	handle("POST /v1/cost", s.handleCost)
 	handle("POST /v1/sensitivity", s.handleSensitivity)
 	handle("POST /v1/plan", s.handlePlan)
+	handle("POST /v1/scenarios", s.handleTimeline)
 	injected("POST /v1/jobs", s.handleJobSubmit)
 	injected("GET /v1/jobs", s.handleJobList)
 	injected("GET /v1/jobs/{id}", s.handleJobGet)
@@ -351,6 +359,7 @@ func (s *Server) routes() http.Handler {
 	injected("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	injected("GET /v1/nodes", s.handleNodes)
 	injected("GET /v1/scenarios", s.handleScenarios)
+	injected("GET /v1/episodes", s.handleEpisodes)
 	injected("GET /v1/designs", s.handleDesigns)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)

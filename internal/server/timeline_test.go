@@ -1,0 +1,239 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ttmcas"
+	"ttmcas/internal/jobs"
+)
+
+func TestTimelineEndpointEpisode(t *testing.T) {
+	status, body := do(t, "POST", "/v1/scenarios",
+		`{"design":"zen2","n":1e6,"episode":"export-control-shock"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out ttmcas.TimelineResult
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	// 52-week horizon at the default 1-week step: 53 samples.
+	if len(out.Steps) != 53 {
+		t.Fatalf("%d steps, want 53", len(out.Steps))
+	}
+	if out.Base != "baseline" || out.Design != "zen2" {
+		t.Errorf("identity: base %q design %q", out.Base, out.Design)
+	}
+	if out.Summary.PeakTTMWeeks == nil || out.Summary.BaselineTTMWeeks == nil {
+		t.Fatal("summary missing TTMs")
+	}
+	if *out.Summary.PeakTTMWeeks <= *out.Summary.BaselineTTMWeeks {
+		t.Errorf("capacity loss should raise TTM: peak %v baseline %v",
+			*out.Summary.PeakTTMWeeks, *out.Summary.BaselineTTMWeeks)
+	}
+	if out.InFlight != nil {
+		t.Error("in-flight study ran without being requested")
+	}
+}
+
+func TestTimelineEndpointInlineSpec(t *testing.T) {
+	status, body := do(t, "POST", "/v1/scenarios", `{
+		"design": "zen2", "n": 1e6, "in_flight": true,
+		"timeline": {
+			"base": "baseline",
+			"horizon_weeks": 10,
+			"step_weeks": 2,
+			"segments": [
+				{"kind": "fab-outage", "node": "7nm", "start_week": 2, "end_week": 8,
+				 "depth": 0.5, "ramp": "linear", "ramp_weeks": 2}
+			]
+		}
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out ttmcas.TimelineResult
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 6 {
+		t.Fatalf("%d steps, want 6", len(out.Steps))
+	}
+	if out.InFlight == nil {
+		t.Fatal("in-flight study missing")
+	}
+	if out.InFlight.SlipWeeks < -1e-9 {
+		t.Errorf("negative slip %v under an outage", out.InFlight.SlipWeeks)
+	}
+}
+
+func TestTimelineEndpointCache(t *testing.T) {
+	s := testServer(t, Config{})
+	post := func() (int, string, string) {
+		req := httptest.NewRequest("POST", "/v1/scenarios",
+			strings.NewReader(`{"design":"zen2","n":1e6,"episode":"fab-fire-recovery"}`))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code, w.Header().Get("X-Cache"), w.Body.String()
+	}
+	code, cache, body := post()
+	if code != http.StatusOK || cache != "MISS" {
+		t.Fatalf("first request: %d X-Cache=%q %s", code, cache, body)
+	}
+	code, cache, hitBody := post()
+	if code != http.StatusOK || cache != "HIT" {
+		t.Fatalf("second request: %d X-Cache=%q", code, cache)
+	}
+	if hitBody != body {
+		t.Error("cache hit served a different body")
+	}
+}
+
+// Well-formed JSON describing an unusable timeline is 422 — the shapes
+// the spec validator rejects, surfaced with their reasons.
+func TestTimelineUnprocessable(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			"malformed segment",
+			`{"design":"zen2","n":1e6,"timeline":{"horizon_weeks":10,"segments":[
+				{"kind":"fab-outage","node":"7nm","start_week":2,"end_week":8,"depth":1.5}]}}`,
+			"depth",
+		},
+		{
+			"unknown segment kind",
+			`{"design":"zen2","n":1e6,"timeline":{"horizon_weeks":10,"segments":[
+				{"kind":"meteor","start_week":0,"end_week":4}]}}`,
+			"unknown segment kind",
+		},
+		{
+			"overlapping intervals",
+			`{"design":"zen2","n":1e6,"timeline":{"horizon_weeks":20,"segments":[
+				{"kind":"fab-outage","node":"7nm","start_week":2,"end_week":10,"depth":0.5},
+				{"kind":"fab-outage","node":"7nm","start_week":8,"end_week":12,"depth":0.25}]}}`,
+			"overlap",
+		},
+		{
+			"unknown base scenario",
+			`{"design":"zen2","n":1e6,"timeline":{"base":"apocalypse","horizon_weeks":10,"segments":[
+				{"kind":"queue-drift","start_week":0,"end_week":4,"delta_weeks":2}]}}`,
+			"unknown base scenario",
+		},
+		{
+			"over-budget step count",
+			`{"design":"zen2","n":1e6,"timeline":{"horizon_weeks":104,"step_weeks":0.01,"segments":[
+				{"kind":"queue-drift","start_week":0,"end_week":4,"delta_weeks":2}]}}`,
+			"batch jobs",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := do(t, "POST", "/v1/scenarios", tc.body)
+			if status != http.StatusUnprocessableEntity {
+				t.Fatalf("status %d, body %s, want 422", status, body)
+			}
+			if !strings.Contains(body, tc.want) {
+				t.Errorf("error %s should mention %q", body, tc.want)
+			}
+		})
+	}
+}
+
+func TestTimelineBadRequests(t *testing.T) {
+	inline := `"timeline":{"horizon_weeks":10,"segments":[{"kind":"queue-drift","start_week":0,"end_week":4,"delta_weeks":2}]}`
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"no timeline or episode", `{"design":"zen2","n":1e6}`},
+		{"timeline and episode", `{"design":"zen2","n":1e6,"episode":"single-fab-loss",` + inline + `}`},
+		{"unknown episode", `{"design":"zen2","n":1e6,"episode":"nope"}`},
+		{"zero n", `{"design":"zen2","episode":"single-fab-loss"}`},
+		{"no design", `{"n":1e6,"episode":"single-fab-loss"}`},
+		{"unknown design", `{"design":"nope","n":1e6,"episode":"single-fab-loss"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := do(t, "POST", "/v1/scenarios", tc.body)
+			if status != http.StatusBadRequest {
+				t.Errorf("status %d, body %s, want 400", status, body)
+			}
+		})
+	}
+}
+
+func TestEpisodesEndpoint(t *testing.T) {
+	status, body := do(t, "GET", "/v1/episodes", "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var out []ttmcas.TimelineEpisode
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ttmcas.TimelineEpisodes()) {
+		t.Fatalf("%d episodes, want %d", len(out), len(ttmcas.TimelineEpisodes()))
+	}
+	for _, ep := range out {
+		if ep.Name == "" || ep.Description == "" || ep.StartScenario == "" || ep.EndScenario == "" {
+			t.Errorf("incomplete episode: %+v", ep)
+		}
+		if len(ep.Spec.Segments) == 0 {
+			t.Errorf("episode %s has no segments", ep.Name)
+		}
+	}
+}
+
+// A timeline batch job runs end to end through the job routes with
+// step-accurate progress.
+func TestTimelineJobEndToEnd(t *testing.T) {
+	s := testServer(t, Config{})
+	v := submitJob(t, s, `{"kind":"timeline","design":"zen2","episode":"fab-fire-recovery","in_flight":true}`)
+	if v.Kind != "timeline" {
+		t.Fatalf("kind = %q", v.Kind)
+	}
+	fin := waitJob(t, s, v.ID)
+	if fin.Status != jobs.StatusSucceeded {
+		t.Fatalf("status = %s (err %q)", fin.Status, fin.Error)
+	}
+	// 40-week horizon, 1-week step: 41 steps of progress.
+	if fin.Done != 41 || fin.Total != 41 {
+		t.Fatalf("progress = %d/%d, want 41/41", fin.Done, fin.Total)
+	}
+	status, body := doOn(t, s, "GET", "/v1/jobs/"+v.ID+"/result", "")
+	if status != http.StatusOK {
+		t.Fatalf("result: status %d, body %s", status, body)
+	}
+	var res JobResultResponse
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	var out ttmcas.TimelineResult
+	if err := json.Unmarshal(res.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 41 || out.InFlight == nil {
+		t.Fatalf("result: %d steps, in-flight %v", len(out.Steps), out.InFlight != nil)
+	}
+	// The recovery arc ends back at the baseline quote.
+	first, last := out.Steps[0], out.Steps[len(out.Steps)-1]
+	if first.TTMWeeks == nil || last.TTMWeeks == nil || *first.TTMWeeks != *last.TTMWeeks {
+		t.Errorf("recovery episode endpoints differ: %v vs %v", first.TTMWeeks, last.TTMWeeks)
+	}
+}
+
+// An invalid timeline job is rejected at submission with 422.
+func TestTimelineJobInvalid(t *testing.T) {
+	s := testServer(t, Config{})
+	status, body := doOn(t, s, "POST", "/v1/jobs", `{"kind":"timeline","design":"zen2","episode":"nope"}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, body %s, want 422", status, body)
+	}
+}

@@ -1,0 +1,295 @@
+package timeline
+
+import (
+	"context"
+	"math"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/cost"
+	"ttmcas/internal/design"
+	"ttmcas/internal/sweep"
+)
+
+// Options tune an evaluation run.
+type Options struct {
+	// Workers is the parallel fan-out over timeline steps (0 =
+	// GOMAXPROCS); Serial forces a plain single-goroutine loop — the
+	// benchmark baseline the parallel driver must beat.
+	Workers int
+	Serial  bool
+	// InFlight also runs the discrete-event in-flight study: an order
+	// placed at week 0 simulated through the composed capacity curve
+	// (core.EvaluateOperational), answering "what happens to chips
+	// already on the line" — the question the per-step snapshots, which
+	// re-quote at every step, cannot.
+	InFlight bool
+	// OnStep, when set, is called once per completed step (progress).
+	OnStep func()
+}
+
+// Step is one evaluated point of the timeline.
+type Step struct {
+	// Week is the simulation time of the step.
+	Week float64 `json:"week"`
+	// TTMWeeks is the time-to-market quoted at this step's conditions;
+	// nil (with Stalled set) when a required node is at zero capacity.
+	TTMWeeks *float64 `json:"ttm_weeks"`
+	Stalled  bool     `json:"stalled,omitempty"`
+	// CAS is the Chip Agility Score at this step's conditions.
+	CAS float64 `json:"cas"`
+	// Conditions summarizes the composed market state.
+	Conditions string `json:"conditions"`
+}
+
+// Summary aggregates a timeline run.
+type Summary struct {
+	// BaselineTTMWeeks and BaselineCAS are the step-0 values — the
+	// pre-disruption promise every later step is measured against.
+	BaselineTTMWeeks *float64 `json:"baseline_ttm_weeks"`
+	BaselineCAS      float64  `json:"baseline_cas"`
+	// PeakTTMWeeks is the worst finite TTM along the timeline and
+	// PeakWeek when it occurs.
+	PeakTTMWeeks *float64 `json:"peak_ttm_weeks"`
+	PeakWeek     float64  `json:"peak_week"`
+	// MinCAS is the worst agility score and CASDegradation the drop
+	// from the baseline — "peak CAS degradation" in the plots.
+	MinCAS         float64 `json:"min_cas"`
+	MinCASWeek     float64 `json:"min_cas_week"`
+	CASDegradation float64 `json:"cas_degradation"`
+	// TimeToRecoverWeeks is how long after the TTM peak the quote
+	// returns within 5% of the baseline; nil when it never does inside
+	// the window.
+	TimeToRecoverWeeks *float64 `json:"time_to_recover_weeks"`
+	// AUCLossWeeks2 is the area under the excess-TTM curve,
+	// Σ max(0, TTM(t) − TTM(0))·Δt in week² — the integrated schedule
+	// damage of the whole episode, not just its worst moment.
+	AUCLossWeeks2 float64 `json:"auc_loss_weeks2"`
+	// StalledSteps counts steps where production never completes; they
+	// are excluded from the peak and the area.
+	StalledSteps int `json:"stalled_steps,omitempty"`
+}
+
+// InFlightNode is one node's simulated in-flight outcome.
+type InFlightNode struct {
+	Node            string  `json:"node"`
+	LastFabComplete float64 `json:"last_fab_complete_weeks"`
+	QueueDrained    float64 `json:"queue_drained_weeks"`
+}
+
+// InFlightSummary is the discrete-event study of an order placed at
+// week 0 and fabricated through the composed disruption schedule.
+type InFlightSummary struct {
+	// PromisedTTMWeeks is the closed-form quote at week-0 conditions;
+	// SimulatedTTMWeeks what the order actually takes; SlipWeeks the
+	// difference.
+	PromisedTTMWeeks  *float64       `json:"promised_ttm_weeks"`
+	SimulatedTTMWeeks *float64       `json:"simulated_ttm_weeks"`
+	SlipWeeks         float64        `json:"slip_weeks"`
+	Nodes             []InFlightNode `json:"nodes,omitempty"`
+}
+
+// Result is a full timeline evaluation.
+type Result struct {
+	Name         string  `json:"name,omitempty"`
+	Base         string  `json:"base"`
+	Design       string  `json:"design"`
+	Chips        float64 `json:"chips"`
+	StepWeeks    float64 `json:"step_weeks"`
+	HorizonWeeks float64 `json:"horizon_weeks"`
+	Steps        []Step  `json:"steps"`
+	Summary      Summary `json:"summary"`
+	// CostUSD is the chip-creation cost — conditions-independent, so
+	// evaluated once, not per step.
+	CostUSD  float64          `json:"cost_usd"`
+	InFlight *InFlightSummary `json:"in_flight,omitempty"`
+}
+
+func finiteWeeks(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// Evaluate runs the timeline for a design and chip count: every step
+// compiles the composed conditions into the zero-allocation evaluator
+// and reads TTM and CAS off it — the same kernel, and therefore the
+// same bits, as the static evaluation path.
+func Evaluate(ctx context.Context, m core.Model, d design.Design, n float64, tl *Timeline, opt Options) (*Result, error) {
+	steps := tl.StepCount()
+	res := &Result{
+		Name:         tl.spec.Name,
+		Base:         tl.baseName,
+		Design:       d.Name,
+		Chips:        n,
+		StepWeeks:    tl.StepWeeks(),
+		HorizonWeeks: tl.spec.HorizonWeeks,
+	}
+
+	evalStep := func(i int) (Step, error) {
+		c := tl.ConditionsAt(i)
+		ev, err := m.Compile(d, n, c)
+		if err != nil {
+			return Step{}, err
+		}
+		ttm, err := ev.Eval(core.Perturbation{})
+		if err != nil {
+			return Step{}, err
+		}
+		cas, err := ev.CAS(core.Perturbation{})
+		if err != nil {
+			return Step{}, err
+		}
+		if opt.OnStep != nil {
+			opt.OnStep()
+		}
+		w := finiteWeeks(float64(ttm))
+		return Step{
+			Week:       tl.WeekAt(i),
+			TTMWeeks:   w,
+			Stalled:    w == nil,
+			CAS:        cas,
+			Conditions: c.String(),
+		}, nil
+	}
+
+	if opt.Serial {
+		res.Steps = make([]Step, steps)
+		for i := 0; i < steps; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			st, err := evalStep(i)
+			if err != nil {
+				return nil, err
+			}
+			res.Steps[i] = st
+		}
+	} else {
+		idx := make([]int, steps)
+		for i := range idx {
+			idx[i] = i
+		}
+		out, err := sweep.Map(ctx, idx, opt.Workers, evalStep)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = out
+	}
+
+	res.Summary = summarize(res.Steps, tl.StepWeeks())
+
+	// Cost mirrors the TTM model's manufacturing configuration so the
+	// two agree on wafer counts.
+	cm := cost.Model{Wafer: m.Wafer, YieldModel: m.YieldModel, Alpha: m.Alpha, Nodes: m.Nodes}
+	total, err := cm.Total(d, n)
+	if err != nil {
+		return nil, err
+	}
+	res.CostUSD = float64(total)
+
+	if opt.InFlight {
+		inf, err := inFlight(ctx, m, d, n, tl)
+		if err != nil {
+			return nil, err
+		}
+		res.InFlight = inf
+	}
+	return res, nil
+}
+
+// summarize computes the headline stats from the step curve.
+func summarize(steps []Step, stepWeeks float64) Summary {
+	var s Summary
+	if len(steps) == 0 {
+		return s
+	}
+	s.BaselineTTMWeeks = steps[0].TTMWeeks
+	s.BaselineCAS = steps[0].CAS
+	s.MinCAS = steps[0].CAS
+	s.MinCASWeek = steps[0].Week
+
+	base := math.Inf(1)
+	if s.BaselineTTMWeeks != nil {
+		base = *s.BaselineTTMWeeks
+	}
+	peak := math.Inf(-1)
+	peakIdx := 0
+	for i, st := range steps {
+		if st.TTMWeeks == nil {
+			s.StalledSteps++
+		} else {
+			if *st.TTMWeeks > peak {
+				peak = *st.TTMWeeks
+				peakIdx = i
+			}
+			if excess := *st.TTMWeeks - base; excess > 0 && !math.IsInf(base, 1) {
+				s.AUCLossWeeks2 += excess * stepWeeks
+			}
+		}
+		if st.CAS < s.MinCAS {
+			s.MinCAS = st.CAS
+			s.MinCASWeek = st.Week
+		}
+	}
+	if !math.IsInf(peak, -1) {
+		s.PeakTTMWeeks = &peak
+		s.PeakWeek = steps[peakIdx].Week
+	}
+	s.CASDegradation = s.BaselineCAS - s.MinCAS
+	// Recovery: the first step at or after the peak whose quote is back
+	// within 5% of the baseline. With no disruption the peak is step 0
+	// and recovery is immediately zero.
+	if s.BaselineTTMWeeks != nil && s.PeakTTMWeeks != nil {
+		for _, st := range steps[peakIdx:] {
+			if st.TTMWeeks != nil && *st.TTMWeeks <= base*1.05 {
+				ttr := st.Week - steps[peakIdx].Week
+				s.TimeToRecoverWeeks = &ttr
+				break
+			}
+		}
+	}
+	return s
+}
+
+// inFlight runs the discrete-event study over the composed capacity
+// curve for every node the design fabricates on.
+func inFlight(ctx context.Context, m core.Model, d design.Design, n float64, tl *Timeline) (*InFlightSummary, error) {
+	nodes := d.Nodes()
+	sched := tl.DisruptionSchedule(nodes)
+	op, err := m.EvaluateOperationalCtx(ctx, d, n, tl.ConditionsAt(0), core.DisruptionSchedule(sched))
+	if err != nil {
+		return nil, err
+	}
+	out := &InFlightSummary{
+		PromisedTTMWeeks:  finiteWeeks(float64(op.Analytic.TTM)),
+		SimulatedTTMWeeks: finiteWeeks(float64(op.TTM)),
+		SlipWeeks:         float64(op.Slip),
+	}
+	// Deterministic order: follow the design's node list, not the map.
+	for _, node := range nodes {
+		nr, ok := op.PerNode[node]
+		if !ok {
+			continue
+		}
+		out.Nodes = append(out.Nodes, InFlightNode{
+			Node:            node.String(),
+			LastFabComplete: float64(nr.LastFabComplete),
+			QueueDrained:    float64(nr.QueueDrained),
+		})
+	}
+	return out, nil
+}
+
+// EvaluateEpisode compiles and evaluates a named library episode.
+func EvaluateEpisode(ctx context.Context, m core.Model, d design.Design, n float64, name string, opt Options) (*Result, error) {
+	ep, ok := FindEpisode(name)
+	if !ok {
+		return nil, invalidf("unknown episode %q (one of %v)", name, EpisodeNames())
+	}
+	tl, err := Compile(ep.Spec, Limits{})
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(ctx, m, d, n, tl, opt)
+}

@@ -1,0 +1,283 @@
+package timeline
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/design"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+)
+
+func oracleDesigns() map[string]design.Design {
+	return map[string]design.Design{
+		"zen2":     scenario.Zen2(),
+		"a11":      scenario.A11(),
+		"a11@28nm": scenario.A11At(technode.N28),
+		// Retargeted to 40 nm so the fab-fire-anchored episodes hit a
+		// node the design actually fabricates on.
+		"a11@40nm": scenario.A11At(technode.N40),
+	}
+}
+
+// The episode oracle: every shipped episode's first and last timeline
+// steps must reproduce the anchored static scenarios' TTM and CAS
+// bit-for-bit through the map-based (uncompiled) evaluation path. This
+// is the contract that makes the composer trustworthy — wherever no
+// segment is active, it IS the static model.
+func TestEpisodeEndpointsMatchStaticScenarios(t *testing.T) {
+	var m core.Model
+	const chips = 1e6
+	for _, ep := range Episodes() {
+		for dname, d := range oracleDesigns() {
+			t.Run(ep.Name+"/"+dname, func(t *testing.T) {
+				tl, err := Compile(ep.Spec, Limits{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Evaluate(context.Background(), m, d, chips, tl, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Steps) != tl.StepCount() {
+					t.Fatalf("got %d steps, want %d", len(res.Steps), tl.StepCount())
+				}
+				check := func(label, scenarioName string, st Step) {
+					sc, ok := market.FindScenario(scenarioName)
+					if !ok {
+						t.Fatalf("unknown anchor scenario %q", scenarioName)
+					}
+					wantRes, err := m.Evaluate(d, chips, sc.Conditions)
+					if err != nil {
+						t.Fatalf("static evaluate(%s): %v", scenarioName, err)
+					}
+					wantCAS, err := m.CAS(d, chips, sc.Conditions)
+					if err != nil {
+						t.Fatalf("static CAS(%s): %v", scenarioName, err)
+					}
+					// a11 on its native 10 nm node has no production in the
+					// calibrated database: both paths must agree the TTM is
+					// infinite (timeline: a stalled step).
+					if wantInf := math.IsInf(float64(wantRes.TTM), 1); wantInf != (st.TTMWeeks == nil) {
+						t.Fatalf("%s step stalled=%v; static %s TTM is %v", label, st.TTMWeeks == nil, scenarioName, wantRes.TTM)
+					}
+					if st.TTMWeeks != nil && *st.TTMWeeks != float64(wantRes.TTM) {
+						t.Errorf("%s TTM %v != static %s TTM %v (diff %g)",
+							label, *st.TTMWeeks, scenarioName, float64(wantRes.TTM), *st.TTMWeeks-float64(wantRes.TTM))
+					}
+					if st.CAS != wantCAS.CAS {
+						t.Errorf("%s CAS %v != static %s CAS %v (diff %g)",
+							label, st.CAS, scenarioName, wantCAS.CAS, st.CAS-wantCAS.CAS)
+					}
+				}
+				check("first", ep.StartScenario, res.Steps[0])
+				check("last", ep.EndScenario, res.Steps[len(res.Steps)-1])
+			})
+		}
+	}
+}
+
+// Serial and parallel evaluation must agree bit-for-bit: the parallel
+// driver only reorders work, never changes it.
+func TestSerialParallelAgree(t *testing.T) {
+	var m core.Model
+	d := scenario.Zen2()
+	ep, _ := FindEpisode("export-control-shock")
+	tl, err := Compile(ep.Spec, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Evaluate(context.Background(), m, d, 1e6, tl, Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Evaluate(context.Background(), m, d, 1e6, tl, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser.Steps) != len(par.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(ser.Steps), len(par.Steps))
+	}
+	for i := range ser.Steps {
+		s, p := ser.Steps[i], par.Steps[i]
+		if s.Week != p.Week || s.CAS != p.CAS || s.Stalled != p.Stalled {
+			t.Fatalf("step %d differs: %+v vs %+v", i, s, p)
+		}
+		if (s.TTMWeeks == nil) != (p.TTMWeeks == nil) {
+			t.Fatalf("step %d TTM nil-ness differs", i)
+		}
+		if s.TTMWeeks != nil && *s.TTMWeeks != *p.TTMWeeks {
+			t.Fatalf("step %d TTM differs: %v vs %v", i, *s.TTMWeeks, *p.TTMWeeks)
+		}
+	}
+	if ser.CostUSD != par.CostUSD {
+		t.Errorf("cost differs: %v vs %v", ser.CostUSD, par.CostUSD)
+	}
+}
+
+// The summary stats must describe the curve: disruption peaks above the
+// baseline, the worst CAS dips below it, and a recovery arc recovers.
+func TestSummaryStats(t *testing.T) {
+	var m core.Model
+	// The fab-fire episodes disrupt the 40 nm line, so the design under
+	// test must fabricate there.
+	d := scenario.A11At(technode.N40)
+	res, err := EvaluateEpisode(context.Background(), m, d, 1e6, "fab-fire-recovery", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.BaselineTTMWeeks == nil || s.PeakTTMWeeks == nil {
+		t.Fatal("baseline or peak TTM missing")
+	}
+	if *s.PeakTTMWeeks <= *s.BaselineTTMWeeks {
+		t.Errorf("peak TTM %v not above baseline %v", *s.PeakTTMWeeks, *s.BaselineTTMWeeks)
+	}
+	if s.PeakWeek <= 0 {
+		t.Errorf("peak week %v, want after the outage starts", s.PeakWeek)
+	}
+	if s.CASDegradation <= 0 {
+		t.Errorf("CAS degradation %v, want positive under a capacity loss", s.CASDegradation)
+	}
+	if s.MinCAS >= s.BaselineCAS {
+		t.Errorf("min CAS %v not below baseline %v", s.MinCAS, s.BaselineCAS)
+	}
+	if s.AUCLossWeeks2 <= 0 {
+		t.Errorf("AUC loss %v, want positive", s.AUCLossWeeks2)
+	}
+	if s.TimeToRecoverWeeks == nil {
+		t.Error("recovery episode never recovered")
+	} else if *s.TimeToRecoverWeeks <= 0 || *s.TimeToRecoverWeeks > 40 {
+		t.Errorf("time to recover %v weeks, want within the horizon", *s.TimeToRecoverWeeks)
+	}
+	if s.StalledSteps != 0 {
+		t.Errorf("%d stalled steps in a 75%% outage, want none", s.StalledSteps)
+	}
+
+	// single-fab-loss never recovers inside its window.
+	res2, err := EvaluateEpisode(context.Background(), m, d, 1e6, "single-fab-loss", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Summary.TimeToRecoverWeeks != nil {
+		t.Errorf("single-fab-loss reports recovery after %v weeks, want none", *res2.Summary.TimeToRecoverWeeks)
+	}
+	if res2.Summary.AUCLossWeeks2 <= res.Summary.AUCLossWeeks2 {
+		t.Errorf("unrecovered loss AUC %v not above recovered %v",
+			res2.Summary.AUCLossWeeks2, res.Summary.AUCLossWeeks2)
+	}
+}
+
+// A full (depth-1) outage on a required node stalls those steps: TTM
+// nil, CAS zero, and the summary counts them without poisoning peaks.
+func TestStalledSteps(t *testing.T) {
+	var m core.Model
+	d := scenario.Zen2() // fabricates on 7nm and 12nm
+	tl, err := Compile(Spec{
+		Base:         "baseline",
+		HorizonWeeks: 10,
+		Segments: []Segment{
+			{Kind: KindFabOutage, Node: "7nm", StartWeek: 3, EndWeek: 7, Depth: 1, Ramp: RampStep},
+		},
+	}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(context.Background(), m, d, 1e6, tl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.StalledSteps != 4 {
+		t.Errorf("stalled %d steps, want 4 (weeks 3–6)", res.Summary.StalledSteps)
+	}
+	for _, st := range res.Steps {
+		inOutage := st.Week >= 3 && st.Week < 7
+		if st.Stalled != inOutage {
+			t.Errorf("week %v stalled=%v, want %v", st.Week, st.Stalled, inOutage)
+		}
+		if st.Stalled && st.CAS != 0 {
+			t.Errorf("week %v stalled with CAS %v, want 0", st.Week, st.CAS)
+		}
+	}
+	if res.Summary.PeakTTMWeeks != nil && math.IsInf(*res.Summary.PeakTTMWeeks, 1) {
+		t.Error("peak TTM is Inf; stalled steps must stay out of the peak")
+	}
+}
+
+// Cancelling the context mid-run must abort promptly with ctx.Err().
+func TestEvaluateCancellation(t *testing.T) {
+	var m core.Model
+	d := scenario.Zen2()
+	ep, _ := FindEpisode("global-shortage-2020-22")
+	tl, err := Compile(ep.Spec, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	steps := 0
+	_, err = Evaluate(ctx, m, d, 1e6, tl, Options{Serial: true, OnStep: func() {
+		steps++
+		if steps == 3 {
+			cancel()
+		}
+	}})
+	if err == nil {
+		t.Fatal("cancelled evaluation returned no error")
+	}
+	if ctx.Err() == nil || err != context.Canceled {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if steps > 4 {
+		t.Errorf("ran %d steps after cancellation", steps)
+	}
+}
+
+// The in-flight study must report a promise, a simulated outcome, and a
+// non-negative slip under a mid-run outage.
+func TestInFlightStudy(t *testing.T) {
+	var m core.Model
+	d := scenario.Zen2()
+	res, err := EvaluateEpisode(context.Background(), m, d, 1e7, "export-control-shock", Options{InFlight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := res.InFlight
+	if inf == nil {
+		t.Fatal("in-flight study missing")
+	}
+	if inf.PromisedTTMWeeks == nil || inf.SimulatedTTMWeeks == nil {
+		t.Fatal("in-flight TTMs missing")
+	}
+	// The simulated completion quantizes to lots, so allow float noise
+	// around the closed-form promise — but no real beat.
+	const tol = 1e-9
+	if *inf.SimulatedTTMWeeks < *inf.PromisedTTMWeeks-tol {
+		t.Errorf("simulated TTM %v beat the promise %v under an outage",
+			*inf.SimulatedTTMWeeks, *inf.PromisedTTMWeeks)
+	}
+	if inf.SlipWeeks < -tol {
+		t.Errorf("negative slip %v under a capacity loss", inf.SlipWeeks)
+	}
+	if len(inf.Nodes) == 0 {
+		t.Error("no per-node outcomes")
+	}
+	// Without the flag the study is skipped.
+	res2, err := EvaluateEpisode(context.Background(), m, d, 1e7, "export-control-shock", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.InFlight != nil {
+		t.Error("in-flight study ran without being requested")
+	}
+}
+
+func TestEvaluateEpisodeUnknown(t *testing.T) {
+	var m core.Model
+	_, err := EvaluateEpisode(context.Background(), m, scenario.Zen2(), 1e6, "nope", Options{})
+	if err == nil {
+		t.Fatal("unknown episode accepted")
+	}
+}

@@ -11,10 +11,13 @@
 # and records RPS and p50/p95/p99/max latency as BENCH_serve.json,
 # followed by the cluster scaling sweep (N in 1, 2, 4 in-process nodes
 # under the latency-bound cluster scenario) recorded as
-# BENCH_cluster.json with per-N RPS and the forward-hop p99.
+# BENCH_cluster.json with per-N RPS and the forward-hop p99, and the
+# timeline step-sweep (serial vs parallel per-step evaluation at 64 and
+# 512 steps) recorded as BENCH_timeline.json in steps/s.
 #
-#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json]
-#                # defaults: BENCH_jobs.json BENCH_serve.json BENCH_cluster.json
+#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json] [timeline_out.json]
+#                # defaults: BENCH_jobs.json BENCH_serve.json
+#                #           BENCH_cluster.json BENCH_timeline.json
 #   BENCHTIME=5s scripts/bench.sh     # longer kernel runs for stabler numbers
 #   SERVE_DURATION=10s scripts/bench.sh   # longer load-test scenarios
 #   BENCH_STRICT=1 scripts/bench.sh   # exit non-zero when a guard fails
@@ -24,14 +27,17 @@
 #   - cached-hit p99 latency not below uncached p99
 #   - cached-hit RPS below 5x uncached RPS
 #   - 4-node cluster RPS below 0.8 x 4 x single-node RPS
+#   - parallel timeline steps/s below serial at the largest step count
 set -eu
 
 out="${1:-BENCH_jobs.json}"
 serveout="${2:-BENCH_serve.json}"
 clusterout="${3:-BENCH_cluster.json}"
+timelineout="${4:-BENCH_timeline.json}"
 tmp="$(mktemp)"
+tmptl="$(mktemp)"
 tmpbin="$(mktemp -d)"
-trap 'rm -f "$tmp"; rm -rf "$tmpbin"' EXIT
+trap 'rm -f "$tmp" "$tmptl"; rm -rf "$tmpbin"' EXIT
 
 go test -run '^$' -bench 'BandCurve|Sobol|ModelEvaluate|Evaluator' -benchmem \
     -benchtime "${BENCHTIME:-2s}" \
@@ -162,6 +168,60 @@ cluster_rps_4=""
     printf '}\n'
 } > "$clusterout"
 echo "wrote $clusterout"
+
+# ---- timeline step sweep -------------------------------------------
+# Serial vs parallel per-step timeline evaluation of a 3-segment
+# disruption spec at 64 and 512 steps. The benchmarks report steps/s;
+# the parallel sweep must not lose to the serial one at the largest
+# step count, where the fan-out has the most work to amortise (same
+# 10% noise tolerance as the kernel pairs — on a single-core runner
+# the two paths are equal up to scheduling noise).
+go test -run '^$' -bench 'Timeline' -benchmem \
+    -benchtime "${BENCHTIME:-2s}" ./internal/timeline | tee "$tmptl"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/^Benchmark/, "", name)
+            sub(/-[0-9]+$/, "", name)
+            ns = "null"; sps = "null"; allocs = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op")     ns = $i
+                if ($(i+1) == "steps/s")   sps = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"steps_per_s\": %s}", name, ns, allocs, sps
+        }
+        END { printf "\n" }
+    ' "$tmptl"
+    printf '  ]\n'
+    printf '}\n'
+} > "$timelineout"
+echo "wrote $timelineout"
+
+tl_steps_per_s() {
+    awk -v n="BenchmarkTimeline$1/steps=$2" '
+        $1 ~ "^"n"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++) if ($(i+1) == "steps/s") { print $i; exit }
+        }' "$tmptl"
+}
+tl_par="$(tl_steps_per_s Parallel 512)"
+tl_ser="$(tl_steps_per_s Serial 512)"
+if [ -z "$tl_par" ] || [ -z "$tl_ser" ]; then
+    echo "WARNING: missing timeline benchmark pair (steps=512)" >&2
+    guard_status=1
+elif awk -v p="$tl_par" -v s="$tl_ser" 'BEGIN { exit !(p < s * 0.90) }'; then
+    echo "WARNING: parallel timeline (${tl_par} steps/s) is slower than serial (${tl_ser} steps/s) at 512 steps" >&2
+    guard_status=1
+else
+    echo "ok: parallel timeline ${tl_par} steps/s >= serial ${tl_ser} steps/s at 512 steps"
+fi
 
 if [ -n "$cluster_rps_1" ] && [ -n "$cluster_rps_4" ]; then
     if awk -v r4="$cluster_rps_4" -v r1="$cluster_rps_1" 'BEGIN { exit !(r4 < 0.8 * 4 * r1) }'; then

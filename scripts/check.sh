@@ -11,7 +11,7 @@ go test -race ./...
 # the compiled core kernel's — so a broken benchmark (or a
 # serial/parallel variant that stops compiling) fails CI without CI
 # paying for real measurement runs.
-go test -run '^$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep
+go test -run '^$' -bench . -benchtime 1x ./internal/core ./internal/mc ./internal/sens ./internal/sweep ./internal/timeline
 
 # Load-generator smoke: one short mixed run against an in-process
 # server. -check fails the run on zero completed requests, any
@@ -34,3 +34,10 @@ go run ./cmd/ttmcas-loadgen -scenario chaos -d 2s -c 8 -check
 # every request answered 200 across the kill and rejoin, forwards
 # actually exercised, and the ring reconverged.
 go run ./cmd/ttmcas-loadgen -scenario cluster -nodes 4 -kill -d 2s -c 4 -check
+
+# Timeline smoke: one fab-fire-recovery batch job driven end to end
+# through /v1/jobs (submit, poll to success, fetch the result), then a
+# short 9:1 cached/uncached POST /v1/scenarios mix against an
+# in-process server. -check fails on transport errors or any 5xx
+# beyond deliberate Retry-After-bearing sheds.
+go run ./cmd/ttmcas-loadgen -scenario timeline -d 2s -c 4 -check
