@@ -239,24 +239,36 @@ func SensitivityWithModel(base Model, d Design, n float64, c Conditions, cfg Sen
 
 // SensitivityWithModelCtx is SensitivityWithModel under a context. The
 // design is compiled once and every worker runs its own clone of the
-// zero-allocation evaluator, so the N·(k+2) Saltelli evaluations never
-// repeat the per-node database lookups.
+// zero-allocation evaluator; the Saltelli sample matrices are drawn
+// column-shaped and fed whole chunks at a time to the kernel's
+// EvalBatch (core.Inputs order matches the batch's six parameter
+// columns), so the N·(k+2) evaluations never assemble a per-sample row.
 func SensitivityWithModelCtx(ctx context.Context, base Model, d Design, n float64, c Conditions, cfg SensitivityConfig) (SensitivityResult, error) {
 	ev, err := base.Compile(d, n, c)
 	if err != nil {
 		return SensitivityResult{}, err
 	}
-	return sens.TotalEffectFrom(ctx, core.Inputs, cfg, func() (func(mult []float64) (float64, error), error) {
+	return sens.TotalEffectBatch(ctx, core.Inputs, cfg, func() (sens.BatchEval, error) {
 		w := ev.Clone()
-		return func(mult []float64) (float64, error) {
-			var p Perturbation
-			for i, name := range core.Inputs {
-				if err := p.SetInput(name, mult[i]); err != nil {
-					return 0, err
-				}
+		var (
+			b    core.Batch
+			wout []units.Weeks
+			errs core.BatchErrors
+		)
+		return func(cols [][]float64, out []float64) error {
+			b.NTT, b.NUT, b.D0, b.Rate, b.FabLatency, b.TAPLatency = cols[0], cols[1], cols[2], cols[3], cols[4], cols[5]
+			if cap(wout) < len(out) {
+				wout = make([]units.Weeks, len(out))
 			}
-			t, err := w.Eval(p)
-			return float64(t), err
+			ws := wout[:len(out)]
+			if err := w.EvalBatch(&b, ws, &errs); err != nil {
+				return err
+			}
+			for j, t := range ws {
+				out[j] = float64(t)
+			}
+			_, err := errs.First()
+			return err
 		}, nil
 	})
 }

@@ -140,6 +140,24 @@
 // kernel and driver throughput — with allocation counts — in
 // BENCH_jobs.json.
 //
+// On top of the compiled kernel sits a structure-of-arrays batch path:
+// Evaluator.EvalBatch and CASBatch (plus at-capacity variants) take a
+// core.Batch of flat per-input columns — perturbation fields, chip
+// counts, a global factor, per-node factor and queue columns in
+// compiled node order, with nil meaning "default for every sample" —
+// and fill caller-preallocated output slices in one call. Per-sample
+// failures come back as a compact index list (core.BatchErrors) whose
+// First method returns the lowest-index failure, exactly what a serial
+// per-call loop would have hit, with the identical error value. The
+// batch path is oracle-tested bit-for-bit against per-call Eval
+// (values and error reporting) and is allocation-free in steady state;
+// callers pool the Batch, outputs and BatchErrors per worker and give
+// each worker its own Evaluator.Clone. Every hot driver — the
+// Monte-Carlo bands, the Saltelli AB_i fan-out, sweep chunk bodies,
+// the split-study fraction sweep, and per-step timeline evaluation
+// (compiled once, stepped via SetConditions) — feeds this batch path
+// through pooled per-worker buffers.
+//
 // The HTTP service applies the same discipline to its hot path. A
 // sharded, byte-budgeted LRU caches encoded response bodies (a hit
 // costs a map lookup plus pooled, precomputed writes — no encoding,

@@ -1,0 +1,642 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ttmcas/internal/geometry"
+	"ttmcas/internal/market"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+	"ttmcas/internal/yield"
+)
+
+// This file implements the structure-of-arrays batch entry points of
+// the compiled kernel. Eval runs one perturbation per call; the
+// Monte-Carlo, Sobol, sweep and timeline drivers call it 10³–10⁶ times
+// in tight loops, paying per-call dispatch (argument marshalling,
+// bounds-checked scratch resets, error wrapping) on every sample.
+// EvalBatch takes the whole sample set as flat float64 columns — one
+// slice per perturbed input, shared condition columns per node — and
+// evaluates it phase by phase: each compiled table row (node, die) is
+// resolved once and then applied across the dense sample columns, so
+// the per-node resolution work is hoisted out of the per-sample path
+// and the remaining inner loops are branch-light slice walks.
+//
+// The arithmetic mirrors Evaluator.eval operation for operation, in
+// the same order, so batch results are bit-for-bit identical to the
+// per-call path (held by the property tests in batch_test.go), and
+// per-element failures reproduce the exact per-call error values.
+//
+// Error convention: structural misuse (ragged columns, wrong output
+// length, nil error sink) is reported as the call's error return;
+// per-sample evaluation failures (a die too large under its perturbed
+// transistor count, an invalid salvage yield) are collected into a
+// compact BatchErrors index list and the corresponding output entries
+// are zeroed, exactly the value Eval returns alongside its error. A
+// sample fails at its first failing die, like the per-call path, and
+// later phases skip failed samples.
+//
+// Pooling rules for callers: a Batch, its output slices and the
+// BatchErrors are plain memory — pool them per worker (sync.Pool or a
+// per-chunk struct) and reuse them across calls, and steady-state
+// allocations drop to zero. The Evaluator's own batch scratch grows to
+// the largest batch length seen and is retained; like the per-call
+// scratch it makes the Evaluator single-goroutine — parallel drivers
+// give each worker its own Clone.
+
+// Batch is a structure-of-arrays sample set for EvalBatch/CASBatch.
+// Every column is either nil (all samples take the default: an
+// unperturbed input, the compiled chip count / conditions) or a slice
+// of one value per sample; all non-nil columns must share one length.
+type Batch struct {
+	// NTT..TAPLatency are the Perturbation fields as columns; entry s
+	// of each is Perturbation.<Field> of sample s (zero and negative
+	// values mean "unperturbed", as in the scalar Perturbation).
+	NTT, NUT, D0, Rate, FabLatency, TAPLatency []float64
+
+	// Chips overrides the compiled final-chip count per sample
+	// (EvalChips); negative entries fail with the per-call error.
+	Chips []float64
+
+	// Global overrides the compiled global capacity fraction per
+	// sample (EvalAtCapacity); zero means "default to 1" exactly as
+	// the compiled conditions do.
+	Global []float64
+
+	// Factor and Queue override the compiled per-node capacity factor
+	// and queued-wafer count. They are indexed by the evaluator's
+	// compiled node order (NodeIndex/NodeAt); a nil inner column keeps
+	// the node's compiled value. Evaluator.SetConditions fills one
+	// sample of all three condition columns from a market.Conditions.
+	Factor [][]float64
+	Queue  [][]float64
+}
+
+// Len returns the common length of the batch's non-nil columns, or 0
+// when every column is nil (the caller's output length then sets the
+// sample count). It returns an error for ragged columns.
+func (b *Batch) Len() (int, error) {
+	n := -1
+	check := func(name string, col []float64) error {
+		if col == nil {
+			return nil
+		}
+		if n < 0 {
+			n = len(col)
+			return nil
+		}
+		if len(col) != n {
+			return fmt.Errorf("core: batch column %s has length %d, want %d", name, len(col), n)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		col  []float64
+	}{
+		{"NTT", b.NTT}, {"NUT", b.NUT}, {"D0", b.D0}, {"Rate", b.Rate},
+		{"FabLatency", b.FabLatency}, {"TAPLatency", b.TAPLatency},
+		{"Chips", b.Chips}, {"Global", b.Global},
+	} {
+		if err := check(c.name, c.col); err != nil {
+			return 0, err
+		}
+	}
+	for i, col := range b.Factor {
+		if err := check("Factor", col); err != nil {
+			return 0, fmt.Errorf("core: batch Factor[%d]: %w", i, err)
+		}
+	}
+	for i, col := range b.Queue {
+		if err := check("Queue", col); err != nil {
+			return 0, fmt.Errorf("core: batch Queue[%d]: %w", i, err)
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// BatchErrors is the compact per-sample error list of a batch call:
+// parallel slices of failing sample indices and their error values
+// (the exact errors the per-call path returns for those samples). The
+// indices follow the kernel's phase order, not ascending sample
+// order; First recovers the per-call "first failing sample".
+type BatchErrors struct {
+	Idx  []int
+	Errs []error
+}
+
+// Reset empties the list, retaining capacity for reuse.
+func (be *BatchErrors) Reset() {
+	be.Idx = be.Idx[:0]
+	be.Errs = be.Errs[:0]
+}
+
+// Len returns the number of failed samples.
+func (be *BatchErrors) Len() int { return len(be.Idx) }
+
+// First returns the failure with the lowest sample index — the error a
+// serial per-call loop over the batch would have stopped at — or
+// (-1, nil) when every sample succeeded.
+func (be *BatchErrors) First() (int, error) {
+	if len(be.Idx) == 0 {
+		return -1, nil
+	}
+	best := 0
+	for i := 1; i < len(be.Idx); i++ {
+		if be.Idx[i] < be.Idx[best] {
+			best = i
+		}
+	}
+	return be.Idx[best], be.Errs[best]
+}
+
+func (be *BatchErrors) add(i int, err error) {
+	be.Idx = append(be.Idx, i)
+	be.Errs = append(be.Errs, err)
+}
+
+// batchScratch is the per-sample accumulator state of one batch call.
+// It is lazily grown to the largest batch length seen and excluded
+// from Clone, so clones start with independent (empty) batch scratch.
+type batchScratch struct {
+	chips  []float64 // resolved per-sample chip count
+	global []float64 // resolved per-sample raw global capacity
+	failed []byte    // non-zero once a sample has failed
+
+	tapH   []float64 // accumulated tapeout hours
+	tapLat []float64 // max die TAP latency (weeks)
+	testW  []float64 // accumulated testing weeks
+	packW  []float64 // accumulated packaging weeks
+	fab    []float64 // slowest-node fabrication weeks
+	wafers []float64 // node-major wafer demand, len(nodes)·n
+
+	// CAS-only state, kept separate so the nested EvalBatch probes do
+	// not clobber it.
+	fUp, fDown []float64
+	up, down   []units.Weeks
+	sum        []float64
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func (sc *batchScratch) ensure(n, nodes int) {
+	sc.chips = grow(sc.chips, n)
+	sc.global = grow(sc.global, n)
+	if cap(sc.failed) < n {
+		sc.failed = make([]byte, n)
+	} else {
+		sc.failed = sc.failed[:n]
+	}
+	sc.tapH = grow(sc.tapH, n)
+	sc.tapLat = grow(sc.tapLat, n)
+	sc.testW = grow(sc.testW, n)
+	sc.packW = grow(sc.packW, n)
+	sc.fab = grow(sc.fab, n)
+	if cap(sc.wafers) < nodes*n {
+		sc.wafers = make([]float64, nodes*n)
+	} else {
+		sc.wafers = sc.wafers[:nodes*n]
+	}
+}
+
+func (sc *batchScratch) ensureCAS(n int) {
+	sc.fUp = grow(sc.fUp, n)
+	sc.fDown = grow(sc.fDown, n)
+	sc.sum = grow(sc.sum, n)
+	if cap(sc.up) < n {
+		sc.up = make([]units.Weeks, n)
+		sc.down = make([]units.Weeks, n)
+	} else {
+		sc.up, sc.down = sc.up[:n], sc.down[:n]
+	}
+}
+
+// NodeCount returns the number of compiled process nodes — the outer
+// length condition columns (Batch.Factor/Queue) must have.
+func (e *Evaluator) NodeCount() int { return len(e.nodes) }
+
+// NodeAt returns the process node at compiled index i.
+func (e *Evaluator) NodeAt(i int) technode.Node { return e.nodes[i].node }
+
+// NodeIndex returns the compiled index of a node, or -1 when the
+// design does not use it.
+func (e *Evaluator) NodeIndex(node technode.Node) int {
+	for i := range e.nodes {
+		if e.nodes[i].node == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// ResizeConditions sizes the batch's Global/Factor/Queue condition
+// columns for n samples of this evaluator, reusing their capacity, so
+// a pooled Batch can be refilled via SetConditions with no steady-state
+// allocations.
+func (e *Evaluator) ResizeConditions(b *Batch, n int) {
+	b.Global = grow(b.Global, n)
+	if cap(b.Factor) < len(e.nodes) {
+		b.Factor = make([][]float64, len(e.nodes))
+	} else {
+		b.Factor = b.Factor[:len(e.nodes)]
+	}
+	if cap(b.Queue) < len(e.nodes) {
+		b.Queue = make([][]float64, len(e.nodes))
+	} else {
+		b.Queue = b.Queue[:len(e.nodes)]
+	}
+	for i := range e.nodes {
+		b.Factor[i] = grow(b.Factor[i], n)
+		b.Queue[i] = grow(b.Queue[i], n)
+	}
+}
+
+// SetConditions writes market conditions c into sample s of the
+// batch's condition columns (sized beforehand via ResizeConditions),
+// resolving them exactly as Compile does: the raw global capacity, the
+// per-node capacity factor (1 when unset) and the queued-wafer count
+// fixed against the node's full-capacity rate. A batch filled this way
+// evaluates bit-for-bit like an evaluator compiled at c.
+func (e *Evaluator) SetConditions(b *Batch, s int, c market.Conditions) {
+	b.Global[s] = c.GlobalCapacity
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		b.Factor[i][s] = nodeFactor(c, nd.node)
+		qw := 0.0
+		if w, ok := c.QueueWeeks[nd.node]; ok && w > 0 {
+			qw = float64(w) * nd.waferRate
+		}
+		b.Queue[i][s] = qw
+	}
+}
+
+// colAt reads column col at sample s, defaulting to 0 (the unperturbed
+// sentinel) for a nil column.
+func colAt(col []float64, s int) float64 {
+	if col == nil {
+		return 0
+	}
+	return col[s]
+}
+
+// EvalBatch evaluates every sample of the batch at the compiled
+// conditions, writing TTM per sample into out. out sets the sample
+// count when every batch column is nil; otherwise its length must
+// match the batch's. Per-sample failures land in errs (required) with
+// the corresponding out entries zeroed; the returned error reports
+// structural misuse only.
+func (e *Evaluator) EvalBatch(b *Batch, out []units.Weeks, errs *BatchErrors) error {
+	n, err := e.batchSetup(b, len(out), errs)
+	if err != nil || n == 0 {
+		return err
+	}
+	e.evalBatchInto(b, n, -1, nil, out, errs)
+	e.zeroFailed(out, n)
+	return nil
+}
+
+// EvalBatchAtCapacity is EvalBatch with the global capacity fraction
+// overridden for every sample, the batch form of EvalAtCapacity. The
+// batch must not also carry a Global column.
+func (e *Evaluator) EvalBatchAtCapacity(b *Batch, global float64, out []units.Weeks, errs *BatchErrors) error {
+	if b.Global != nil {
+		return fmt.Errorf("core: batch has both a Global column and a scalar capacity override")
+	}
+	n, err := e.batchSetup(b, len(out), errs)
+	if err != nil || n == 0 {
+		return err
+	}
+	for s := 0; s < n; s++ {
+		e.batch.global[s] = global
+	}
+	e.evalBatchInto(b, n, -1, nil, out, errs)
+	e.zeroFailed(out, n)
+	return nil
+}
+
+// CASBatch computes the Chip Agility Score per sample at the compiled
+// conditions via the same per-node central differences as CAS, with
+// the two capacity probes of each node evaluated as nested batches.
+func (e *Evaluator) CASBatch(b *Batch, out []float64, errs *BatchErrors) error {
+	n, err := e.batchSetup(b, len(out), errs)
+	if err != nil || n == 0 {
+		return err
+	}
+	e.casBatchInto(b, n, out, errs)
+	return nil
+}
+
+// CASBatchAtCapacity is CASBatch with the global capacity fraction
+// overridden for every sample.
+func (e *Evaluator) CASBatchAtCapacity(b *Batch, global float64, out []float64, errs *BatchErrors) error {
+	if b.Global != nil {
+		return fmt.Errorf("core: batch has both a Global column and a scalar capacity override")
+	}
+	n, err := e.batchSetup(b, len(out), errs)
+	if err != nil || n == 0 {
+		return err
+	}
+	for s := 0; s < n; s++ {
+		e.batch.global[s] = global
+	}
+	e.casBatchInto(b, n, out, errs)
+	return nil
+}
+
+// batchSetup validates the batch against the output length, sizes the
+// scratch, resolves the per-sample chip count and raw global capacity,
+// resets the failure state and applies the per-call negative-chip
+// check per sample.
+func (e *Evaluator) batchSetup(b *Batch, outLen int, errs *BatchErrors) (int, error) {
+	if errs == nil {
+		return 0, fmt.Errorf("core: batch call needs a non-nil *BatchErrors")
+	}
+	n, err := b.Len()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		n = outLen
+	}
+	if outLen != n {
+		return 0, fmt.Errorf("core: batch output has length %d, want %d", outLen, n)
+	}
+	if b.Factor != nil && len(b.Factor) != len(e.nodes) {
+		return 0, fmt.Errorf("core: batch Factor has %d node columns, want %d", len(b.Factor), len(e.nodes))
+	}
+	if b.Queue != nil && len(b.Queue) != len(e.nodes) {
+		return 0, fmt.Errorf("core: batch Queue has %d node columns, want %d", len(b.Queue), len(e.nodes))
+	}
+	errs.Reset()
+	if e.batch == nil {
+		e.batch = &batchScratch{}
+	}
+	sc := e.batch
+	sc.ensure(n, len(e.nodes))
+	for s := 0; s < n; s++ {
+		sc.failed[s] = 0
+	}
+	if b.Chips != nil {
+		copy(sc.chips, b.Chips)
+		for s := 0; s < n; s++ {
+			if sc.chips[s] < 0 {
+				sc.failed[s] = 1
+				errs.add(s, fmt.Errorf("core: negative chip count %v", sc.chips[s]))
+			}
+		}
+	} else {
+		for s := 0; s < n; s++ {
+			sc.chips[s] = e.chips
+		}
+	}
+	if b.Global != nil {
+		copy(sc.global, b.Global)
+	} else {
+		for s := 0; s < n; s++ {
+			sc.global[s] = e.global
+		}
+	}
+	return n, nil
+}
+
+// zeroFailed zeroes the outputs of failed samples, matching the zero
+// value Eval returns alongside its error.
+func (e *Evaluator) zeroFailed(out []units.Weeks, n int) {
+	sc := e.batch
+	for s := 0; s < n; s++ {
+		if sc.failed[s] != 0 {
+			out[s] = 0
+		}
+	}
+}
+
+// evalBatchInto is the batch kernel body: the three phases of eval
+// (tapeout, per-die geometry/yield/wafer demand, per-node fabrication)
+// each run as a compiled-table-outer, sample-inner loop, so every
+// table row is resolved once per batch instead of once per sample.
+// overrideIdx/overrideCol replace one node's capacity factor per
+// sample (the CAS probes). Samples already marked failed are skipped;
+// new failures are recorded in errs.
+func (e *Evaluator) evalBatchInto(b *Batch, n int, overrideIdx int, overrideCol []float64, out []units.Weeks, errs *BatchErrors) {
+	sc := e.batch
+	failed := sc.failed
+
+	// Tapeout phase (Eq. 2): per-sample accumulation in node order.
+	for s := 0; s < n; s++ {
+		sc.tapH[s] = 0
+		sc.tapLat[s] = 0
+		sc.testW[s] = 0
+		sc.packW[s] = 0
+	}
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		nutCol := b.NUT
+		for s := 0; s < n; s++ {
+			nut := nd.nutBase * or1(colAt(nutCol, s))
+			sc.tapH[s] += nut / 1e6 * nd.tapeoutEffort
+		}
+	}
+
+	// Per-die geometry, yield and wafer demand (Eqs. 5–7), die order
+	// preserved per sample so each sample fails at its first failing
+	// die with the per-call error.
+	for i := range sc.wafers {
+		sc.wafers[i] = 0
+	}
+	for di := range e.dies {
+		die := &e.dies[di]
+		tapCol, nttCol, d0Col := b.TAPLatency, b.NTT, b.D0
+		base := die.nodeIdx * n
+		for s := 0; s < n; s++ {
+			if failed[s] != 0 {
+				continue
+			}
+			if tl := die.tapLatency * or1(colAt(tapCol, s)); tl > sc.tapLat[s] {
+				sc.tapLat[s] = tl
+			}
+
+			ntt := units.Transistors(die.nttBase * or1(colAt(nttCol, s)))
+			area := die.areaOverride
+			if area <= 0 {
+				area = die.density.Area(ntt)
+			}
+			if area < die.minArea {
+				area = die.minArea
+			}
+
+			y := die.yieldOverride
+			if y == 0 {
+				yp := yield.Params{
+					Area:  area,
+					D0:    units.DefectsPerCM2(die.d0Base * or1(colAt(d0Col, s))),
+					Alpha: e.alpha,
+					Model: e.yieldModel,
+				}
+				if die.salvage != nil {
+					var err error
+					y, err = yield.SalvageYield(yp, *die.salvage)
+					if err != nil {
+						failed[s] = 1
+						errs.add(s, fmt.Errorf("core: die %q: %w", die.name, err))
+						continue
+					}
+				} else {
+					y = yield.Yield(yp)
+				}
+			}
+
+			var gross float64
+			if e.noEdge {
+				gross = float64(die.wafer.NaiveDies(area))
+			} else {
+				gross = die.wafer.GrossDiesFrac(area)
+			}
+			if gross < 1 {
+				failed[s] = 1
+				errs.add(s, fmt.Errorf("core: die %q (%.0f mm² at %s): %w",
+					die.name, float64(area), die.node, geometry.ErrDieTooLarge))
+				continue
+			}
+
+			diesNeeded := yield.DiesNeeded(sc.chips[s]*die.countF, y)
+			sc.wafers[base+s] += diesNeeded / gross
+			if y > 0 {
+				sc.testW[s] += sc.chips[s] * die.countF / y * float64(ntt) * die.testingEffort
+			}
+			sc.packW[s] += sc.chips[s] * die.countF * float64(area) * die.packageEffort
+		}
+	}
+
+	// Eqs. 3–5 per node, synchronized at the slowest node.
+	if len(e.nodes) == 0 {
+		for s := 0; s < n; s++ {
+			sc.fab[s] = 0
+		}
+	}
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		var fcol []float64
+		if overrideIdx == i {
+			fcol = overrideCol
+		} else if b.Factor != nil {
+			fcol = b.Factor[i]
+		}
+		var qcol []float64
+		if b.Queue != nil {
+			qcol = b.Queue[i]
+		}
+		rateCol, flCol := b.Rate, b.FabLatency
+		wrow := sc.wafers[i*n : (i+1)*n]
+		for s := 0; s < n; s++ {
+			g := sc.global[s]
+			if g == 0 {
+				g = 1
+			}
+			if fcol != nil {
+				g *= fcol[s]
+			} else {
+				g *= nd.factor
+			}
+			if g < 0 {
+				g = 0
+			}
+			rate := nd.waferRate * g * or1(colAt(rateCol, s))
+			lfab := nd.fabLatency * or1(colAt(flCol, s))
+			wafers := wrow[s]
+			qw := nd.queueWafers
+			if qcol != nil {
+				qw = qcol[s]
+			}
+			var fabTotal float64
+			switch {
+			case rate > 0:
+				fabTotal = qw/rate + (wafers/rate + lfab) // Eqs. 4–5
+			case wafers > 0 || qw > 0:
+				fabTotal = math.Inf(1)
+			default:
+				fabTotal = lfab
+			}
+			if i == 0 || fabTotal > sc.fab[s] {
+				sc.fab[s] = fabTotal
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		tapeout := units.Weeks(sc.tapH[s] / (units.HoursPerWeek * e.team))
+		packaging := units.Weeks(sc.tapLat[s]) + units.Weeks(sc.testW[s]) + units.Weeks(sc.packW[s])
+		out[s] = e.designTime + tapeout + units.Weeks(sc.fab[s]) + packaging
+	}
+}
+
+// casBatchInto mirrors cas over the batch: for each node the two
+// capacity probes run as nested batch evaluations, then the
+// finite-difference derivatives accumulate per sample in node order.
+func (e *Evaluator) casBatchInto(b *Batch, n int, out []float64, errs *BatchErrors) {
+	sc := e.batch
+	sc.ensureCAS(n)
+	failed := sc.failed
+	const step = DefaultDerivativeStep
+	for s := 0; s < n; s++ {
+		sc.sum[s] = 0
+	}
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		var fcol []float64
+		if b.Factor != nil {
+			fcol = b.Factor[i]
+		}
+		for s := 0; s < n; s++ {
+			f0 := nd.factor
+			if fcol != nil {
+				f0 = fcol[s]
+			}
+			fUp, fDown := f0+step, f0-step
+			if fDown <= 0 {
+				fDown = f0
+			}
+			sc.fUp[s], sc.fDown[s] = fUp, fDown
+		}
+		e.evalBatchInto(b, n, i, sc.fUp, sc.up, errs)
+		e.evalBatchInto(b, n, i, sc.fDown, sc.down, errs)
+		for s := 0; s < n; s++ {
+			if failed[s] != 0 {
+				continue
+			}
+			up, down := sc.up[s], sc.down[s]
+			if math.IsInf(float64(up), 0) || math.IsInf(float64(down), 0) {
+				sc.sum[s] = math.Inf(1)
+				continue
+			}
+			g := sc.global[s]
+			if g == 0 {
+				g = 1
+			}
+			der := math.Abs(float64(up-down)) / ((sc.fUp[s] - sc.fDown[s]) * g * nd.waferRate)
+			sc.sum[s] += der
+		}
+	}
+	for s := 0; s < n; s++ {
+		if failed[s] != 0 {
+			out[s] = 0
+			continue
+		}
+		switch sum := sc.sum[s]; {
+		case sum <= 0:
+			out[s] = math.Inf(1)
+		case math.IsInf(sum, 1):
+			out[s] = 0
+		default:
+			out[s] = 1 / sum
+		}
+	}
+}

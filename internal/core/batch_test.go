@@ -1,0 +1,388 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"ttmcas/internal/core"
+	"ttmcas/internal/market"
+	"ttmcas/internal/scenario"
+	"ttmcas/internal/technode"
+	"ttmcas/internal/units"
+)
+
+// The batch kernel must be indistinguishable from the per-call compiled
+// path: same float64 bits per sample, and per-sample failures carrying
+// the exact error values Eval would return, reported through the
+// compact index list. These tests hold that across every design ×
+// scenario × model variant, for the condition-column path, and for the
+// degenerate batch shapes (empty, len-1, ragged).
+
+// columns converts a perturbation cloud to the structure-of-arrays form.
+func columns(perts []core.Perturbation) *core.Batch {
+	b := &core.Batch{
+		NTT:        make([]float64, len(perts)),
+		NUT:        make([]float64, len(perts)),
+		D0:         make([]float64, len(perts)),
+		Rate:       make([]float64, len(perts)),
+		FabLatency: make([]float64, len(perts)),
+		TAPLatency: make([]float64, len(perts)),
+	}
+	for i, p := range perts {
+		b.NTT[i], b.NUT[i], b.D0[i] = p.NTT, p.NUT, p.D0
+		b.Rate[i], b.FabLatency[i], b.TAPLatency[i] = p.Rate, p.FabLatency, p.TAPLatency
+	}
+	return b
+}
+
+// batchErrAt returns the recorded error for sample s, or nil.
+func batchErrAt(errs *core.BatchErrors, s int) error {
+	for i, idx := range errs.Idx {
+		if idx == s {
+			return errs.Errs[i]
+		}
+	}
+	return nil
+}
+
+func sameFloat(t *testing.T, ctx string, got, want float64, gotErr, wantErr error) {
+	t.Helper()
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s: batch err %v, per-call err %v", ctx, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: batch err %q, per-call err %q", ctx, gotErr, wantErr)
+		}
+		return
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: batch %v (%#x), per-call %v (%#x)", ctx,
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func TestEvalBatchMatchesEvalBitForBit(t *testing.T) {
+	perts := perturbations(11, 24)
+	b := columns(perts)
+	out := make([]units.Weeks, len(perts))
+	var errs core.BatchErrors
+	const chips = 10e6
+	for mname, m := range modelVariants() {
+		for dname, d := range registeredDesigns() {
+			for _, sc := range market.Scenarios() {
+				ev, err := m.Compile(d, chips, sc.Conditions)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: Compile: %v", mname, dname, sc.Name, err)
+				}
+				if err := ev.EvalBatch(b, out, &errs); err != nil {
+					t.Fatalf("%s/%s/%s: EvalBatch: %v", mname, dname, sc.Name, err)
+				}
+				ref := ev.Clone()
+				for i, p := range perts {
+					want, wantErr := ref.Eval(p)
+					sameWeeks(t, fmt.Sprintf("%s/%s/%s sample %d", mname, dname, sc.Name, i),
+						out[i], want, batchErrAt(&errs, i), wantErr)
+				}
+			}
+		}
+	}
+}
+
+func TestCASBatchMatchesCASBitForBit(t *testing.T) {
+	perts := perturbations(12, 12)
+	b := columns(perts)
+	out := make([]float64, len(perts))
+	var errs core.BatchErrors
+	const chips = 10e6
+	m := core.Model{}
+	for dname, d := range registeredDesigns() {
+		for _, sc := range market.Scenarios() {
+			ev, err := m.Compile(d, chips, sc.Conditions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ev.CASBatch(b, out, &errs); err != nil {
+				t.Fatal(err)
+			}
+			ref := ev.Clone()
+			for i, p := range perts {
+				want, wantErr := ref.CAS(p)
+				sameFloat(t, fmt.Sprintf("%s/%s sample %d", dname, sc.Name, i),
+					out[i], want, batchErrAt(&errs, i), wantErr)
+			}
+		}
+	}
+}
+
+func TestBatchAtCapacityMatchesPerCall(t *testing.T) {
+	perts := perturbations(13, 8)
+	b := columns(perts)
+	wout := make([]units.Weeks, len(perts))
+	cout := make([]float64, len(perts))
+	var errs core.BatchErrors
+	m := core.Model{}
+	for dname, d := range registeredDesigns() {
+		ev, err := m.Compile(d, 10e6, market.Full())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := ev.Clone()
+		for _, g := range []float64{0.05, 0.3, 0.75, 1.0} {
+			if err := ev.EvalBatchAtCapacity(b, g, wout, &errs); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range perts {
+				want, wantErr := ref.EvalAtCapacity(p, g)
+				sameWeeks(t, fmt.Sprintf("%s ttm@%v sample %d", dname, g, i),
+					wout[i], want, batchErrAt(&errs, i), wantErr)
+			}
+			if err := ev.CASBatchAtCapacity(b, g, cout, &errs); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range perts {
+				want, wantErr := ref.CASAtCapacity(p, g)
+				sameFloat(t, fmt.Sprintf("%s cas@%v sample %d", dname, g, i),
+					cout[i], want, batchErrAt(&errs, i), wantErr)
+			}
+		}
+	}
+}
+
+func TestBatchChipsColumnMatchesEvalChips(t *testing.T) {
+	m := core.Model{}
+	d := scenario.Zen2()
+	ev, err := m.Compile(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips := []float64{0, 1, 1e3, 5e6, 40e6, -3, 10e6}
+	b := &core.Batch{Chips: chips}
+	out := make([]units.Weeks, len(chips))
+	var errs core.BatchErrors
+	if err := ev.EvalBatch(b, out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	ref := ev.Clone()
+	for i, n := range chips {
+		want, wantErr := ref.EvalChips(core.Perturbation{}, n)
+		sameWeeks(t, fmt.Sprintf("chips %v", n), out[i], want, batchErrAt(&errs, i), wantErr)
+	}
+	if idx, err := errs.First(); idx != 5 || err == nil || !strings.Contains(err.Error(), "negative chip count") {
+		t.Fatalf("First() = (%d, %v), want the negative-chips failure at index 5", idx, err)
+	}
+}
+
+// TestSetConditionsMatchesCompile pins the condition-column path the
+// timeline driver uses: one evaluator compiled at the baseline, with
+// per-sample Global/Factor/Queue columns filled via SetConditions, must
+// reproduce an evaluator compiled directly at each sample's conditions.
+func TestSetConditionsMatchesCompile(t *testing.T) {
+	m := core.Model{}
+	scenarios := market.Scenarios()
+	perts := []core.Perturbation{{}, {Rate: 0.8, FabLatency: 1.3}}
+	for dname, d := range registeredDesigns() {
+		ev, err := m.Compile(d, 10e6, scenarios[0].Conditions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &core.Batch{}
+		ev.ResizeConditions(b, len(scenarios))
+		for s, sc := range scenarios {
+			ev.SetConditions(b, s, sc.Conditions)
+		}
+		for _, p := range perts {
+			b.NTT = nil // perturbation applied uniformly below
+			pb := *b
+			if p != (core.Perturbation{}) {
+				n := len(scenarios)
+				fill := func(v float64) []float64 {
+					col := make([]float64, n)
+					for i := range col {
+						col[i] = v
+					}
+					return col
+				}
+				pb.NTT, pb.NUT, pb.D0 = fill(p.NTT), fill(p.NUT), fill(p.D0)
+				pb.Rate, pb.FabLatency, pb.TAPLatency = fill(p.Rate), fill(p.FabLatency), fill(p.TAPLatency)
+			}
+			wout := make([]units.Weeks, len(scenarios))
+			cout := make([]float64, len(scenarios))
+			var werrs, cerrs core.BatchErrors
+			if err := ev.EvalBatch(&pb, wout, &werrs); err != nil {
+				t.Fatal(err)
+			}
+			if err := ev.CASBatch(&pb, cout, &cerrs); err != nil {
+				t.Fatal(err)
+			}
+			for s, sc := range scenarios {
+				ref, err := m.Compile(d, 10e6, sc.Conditions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantW, wErr := ref.Eval(p)
+				sameWeeks(t, fmt.Sprintf("%s/%s ttm", dname, sc.Name), wout[s], wantW, batchErrAt(&werrs, s), wErr)
+				wantC, cErr := ref.CAS(p)
+				sameFloat(t, fmt.Sprintf("%s/%s cas", dname, sc.Name), cout[s], wantC, batchErrAt(&cerrs, s), cErr)
+			}
+		}
+	}
+}
+
+// TestEvalBatchErrorIndices drives a mixed batch where some samples
+// blow the die past the wafer: the failing index set, the error values
+// and the zeroed outputs must all match the per-call path.
+func TestEvalBatchErrorIndices(t *testing.T) {
+	m := core.Model{}
+	d := scenario.A11At(technode.N7)
+	ev, err := m.Compile(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NTT multipliers: huge values push the die area past the wafer.
+	ntt := []float64{1, 1e6, 0.9, 5e5, 1.1, 1e6}
+	b := &core.Batch{NTT: ntt}
+	out := make([]units.Weeks, len(ntt))
+	var errs core.BatchErrors
+	if err := ev.EvalBatch(b, out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	ref := ev.Clone()
+	failWant := 0
+	for i, v := range ntt {
+		want, wantErr := ref.Eval(core.Perturbation{NTT: v})
+		sameWeeks(t, fmt.Sprintf("sample %d", i), out[i], want, batchErrAt(&errs, i), wantErr)
+		if wantErr != nil {
+			failWant++
+			if out[i] != 0 {
+				t.Errorf("sample %d: failed sample output = %v, want 0", i, out[i])
+			}
+		}
+	}
+	if failWant == 0 {
+		t.Fatal("test needs at least one failing sample; NTT blow-up did not fail")
+	}
+	if errs.Len() != failWant {
+		t.Fatalf("errs.Len() = %d, want %d", errs.Len(), failWant)
+	}
+	if idx, _ := errs.First(); idx != 1 {
+		t.Fatalf("First() index = %d, want 1", idx)
+	}
+}
+
+// TestBatchShapes fuzzes the degenerate batch shapes: empty, len-1,
+// ragged, mismatched outputs, and misuse of the at-capacity variants.
+func TestBatchShapes(t *testing.T) {
+	m := core.Model{}
+	ev, err := m.Compile(scenario.Zen2(), 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs core.BatchErrors
+
+	// Empty: all-nil batch with empty output is a no-op.
+	if err := ev.EvalBatch(&core.Batch{}, nil, &errs); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	// All-nil batch with a non-empty output evaluates the unperturbed
+	// point once per slot.
+	out := make([]units.Weeks, 3)
+	if err := ev.EvalBatch(&core.Batch{}, out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ev.Clone().Eval(core.Perturbation{})
+	for i, v := range out {
+		if v != want {
+			t.Fatalf("all-nil batch out[%d] = %v, want %v", i, v, want)
+		}
+	}
+
+	// Len-1.
+	one := &core.Batch{NTT: []float64{1.05}}
+	if err := ev.EvalBatch(one, out[:1], &errs); err != nil {
+		t.Fatal(err)
+	}
+	want, _ = ev.Clone().Eval(core.Perturbation{NTT: 1.05})
+	if out[0] != want {
+		t.Fatalf("len-1 batch = %v, want %v", out[0], want)
+	}
+
+	// Ragged columns are a structural error, not a panic.
+	ragged := &core.Batch{NTT: make([]float64, 4), D0: make([]float64, 5)}
+	if err := ev.EvalBatch(ragged, make([]units.Weeks, 4), &errs); err == nil {
+		t.Fatal("ragged batch: want error")
+	}
+	raggedF := &core.Batch{Global: make([]float64, 2), Factor: [][]float64{make([]float64, 3), nil}}
+	if ev.NodeCount() == 2 {
+		if err := ev.EvalBatch(raggedF, make([]units.Weeks, 2), &errs); err == nil {
+			t.Fatal("ragged Factor column: want error")
+		}
+	}
+
+	// Output length mismatch.
+	if err := ev.EvalBatch(one, make([]units.Weeks, 2), &errs); err == nil {
+		t.Fatal("output length mismatch: want error")
+	}
+	// Wrong Factor outer length.
+	badOuter := &core.Batch{Global: make([]float64, 2), Factor: make([][]float64, ev.NodeCount()+1)}
+	if err := ev.EvalBatch(badOuter, make([]units.Weeks, 2), &errs); err == nil {
+		t.Fatal("wrong Factor outer length: want error")
+	}
+	// Global column + scalar capacity override.
+	g := &core.Batch{Global: []float64{0.5}}
+	if err := ev.EvalBatchAtCapacity(g, 0.7, out[:1], &errs); err == nil {
+		t.Fatal("Global column with scalar override: want error")
+	}
+	if err := ev.CASBatchAtCapacity(g, 0.7, []float64{0}, &errs); err == nil {
+		t.Fatal("CAS Global column with scalar override: want error")
+	}
+	// A nil error sink is structural misuse.
+	if err := ev.EvalBatch(one, out[:1], nil); err == nil {
+		t.Fatal("nil errs: want error")
+	}
+}
+
+// TestBatchCloneIndependence: concurrent clones each grow their own
+// batch scratch; results match the parent bit for bit.
+func TestBatchCloneIndependence(t *testing.T) {
+	m := core.Model{}
+	ev, err := m.Compile(scenario.Zen2(), 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perts := perturbations(14, 16)
+	b := columns(perts)
+	wantOut := make([]units.Weeks, len(perts))
+	var errs core.BatchErrors
+	if err := ev.EvalBatch(b, wantOut, &errs); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			cl := ev.Clone()
+			out := make([]units.Weeks, len(perts))
+			var es core.BatchErrors
+			for r := 0; r < 50; r++ {
+				if err := cl.EvalBatch(b, out, &es); err != nil {
+					done <- err
+					return
+				}
+				for i := range out {
+					if out[i] != wantOut[i] {
+						done <- fmt.Errorf("clone out[%d] = %v, want %v", i, out[i], wantOut[i])
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

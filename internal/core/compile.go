@@ -52,8 +52,13 @@ type Evaluator struct {
 	dies  []evalDie
 
 	// scratch accumulates per-node wafer demand during one Eval; it is
-	// the only mutable state.
+	// the only per-call mutable state.
 	scratch []units.Wafers
+
+	// batch holds the per-sample accumulators of the structure-of-arrays
+	// entry points (EvalBatch/CASBatch); lazily allocated on first batch
+	// use and grown to the largest batch length seen. See batch.go.
+	batch *batchScratch
 }
 
 // evalNode is one distinct process node of the design with every
@@ -165,6 +170,7 @@ func (m Model) Compile(d design.Design, n float64, c market.Conditions) (*Evalua
 func (e *Evaluator) Clone() *Evaluator {
 	out := *e
 	out.scratch = make([]units.Wafers, len(e.nodes))
+	out.batch = nil // batch scratch is per-goroutine; clones grow their own
 	return &out
 }
 

@@ -18,6 +18,7 @@ import (
 	"ttmcas/internal/sweep"
 	"ttmcas/internal/technode"
 	"ttmcas/internal/timeline"
+	"ttmcas/internal/units"
 )
 
 // The job kinds: each wraps one of the repo's batch-evaluation engines.
@@ -555,18 +556,31 @@ func (s Spec) runSensitivity(ctx context.Context, pr Tracker) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sens.TotalEffectFrom(ctx, core.Inputs, cfg, func() (func([]float64) (float64, error), error) {
+	// The Saltelli columns feed the kernel's EvalBatch directly
+	// (core.Inputs order is the batch column order); progress advances
+	// once per sample so the tracker total stays N·(k+2).
+	res, err := sens.TotalEffectBatch(ctx, core.Inputs, cfg, func() (sens.BatchEval, error) {
 		w := ev.Clone()
-		return func(mult []float64) (float64, error) {
-			defer pr.Add(1)
-			var p core.Perturbation
-			for i, name := range core.Inputs {
-				if err := p.SetInput(name, mult[i]); err != nil {
-					return 0, err
-				}
+		var (
+			b    core.Batch
+			wout []units.Weeks
+			errs core.BatchErrors
+		)
+		return func(cols [][]float64, out []float64) error {
+			b.NTT, b.NUT, b.D0, b.Rate, b.FabLatency, b.TAPLatency = cols[0], cols[1], cols[2], cols[3], cols[4], cols[5]
+			if cap(wout) < len(out) {
+				wout = make([]units.Weeks, len(out))
 			}
-			t, err := w.Eval(p)
-			return float64(t), err
+			ws := wout[:len(out)]
+			if err := w.EvalBatch(&b, ws, &errs); err != nil {
+				return err
+			}
+			pr.Add(uint64(len(out)))
+			for j, t := range ws {
+				out[j] = float64(t)
+			}
+			_, err := errs.First()
+			return err
 		}, nil
 	})
 	if err != nil {

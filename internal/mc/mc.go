@@ -11,13 +11,15 @@ package mc
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"sort"
+	"sync"
 
 	"ttmcas/internal/core"
 	"ttmcas/internal/design"
 	"ttmcas/internal/market"
 	"ttmcas/internal/stats"
 	"ttmcas/internal/sweep"
+	"ttmcas/internal/units"
 )
 
 // DefaultSamples is the paper's sample count.
@@ -71,27 +73,70 @@ func (c Config) Perturbations() []core.Perturbation {
 
 // fillPerturbations draws len(dst) perturbations from the stream the
 // seed selects; every path that materializes a stream (Perturbations,
-// the band-curve walkers) goes through it so the draws stay bit-for-bit
-// identical across drivers.
+// the band-curve walkers, the column fills of the batch drivers) goes
+// through the same splitmix64 stream so the draws stay bit-for-bit
+// identical across drivers and layouts.
 func fillPerturbations(dst []core.Perturbation, seed int64, v float64) {
-	rng := rand.New(rand.NewSource(seed))
-	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
+	rng := perturbationStream(seed, 0)
 	for i := range dst {
 		dst[i] = core.Perturbation{
-			NTT: draw(), NUT: draw(), D0: draw(),
-			Rate: draw(), FabLatency: draw(), TAPLatency: draw(),
+			NTT: rng.draw(v), NUT: rng.draw(v), D0: rng.draw(v),
+			Rate: rng.draw(v), FabLatency: rng.draw(v), TAPLatency: rng.draw(v),
 		}
 	}
 }
+
+// fillPerturbationColumns is the column-major twin of fillPerturbations:
+// it draws samples [pos, pos+n) of the (seed, v) stream straight into
+// the batch's six parameter columns (each sized to exactly n by the
+// caller). Element i of each column carries the same bits as field i of
+// the row fillPerturbations would write at stream position pos+i — the
+// stream is seekable, so chunked batch drivers fill any sub-range
+// without replaying the prefix, and batch and per-call MC stay
+// seed-compatible.
+func fillPerturbationColumns(b *core.Batch, n int, seed int64, pos int, v float64) {
+	rng := perturbationStream(seed, pos)
+	for i := 0; i < n; i++ {
+		b.NTT[i] = rng.draw(v)
+		b.NUT[i] = rng.draw(v)
+		b.D0[i] = rng.draw(v)
+		b.Rate[i] = rng.draw(v)
+		b.FabLatency[i] = rng.draw(v)
+		b.TAPLatency[i] = rng.draw(v)
+	}
+}
+
+// golden64 is the SplitMix64 golden-gamma increment.
+const golden64 = 0x9e3779b97f4a7c15
 
 // splitmix64 is the SplitMix64 output mix: a strong 64-bit bijection
 // whose increments of the golden-gamma constant produce statistically
 // independent outputs even for adjacent inputs.
 func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
+	x += golden64
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// uniformSource is a counter-based splitmix64 uniform stream. Unlike
+// math/rand's Source (whose Seed call alone used to dominate the band
+// walkers' profile), constructing one is free, and the counter makes it
+// O(1)-seekable: draw t from seed s reads splitmix64(s + t·golden64),
+// so a chunk can start mid-stream without replaying the prefix.
+type uniformSource struct{ state uint64 }
+
+// perturbationStream positions a uniform stream at the first draw of
+// sample pos (six draws per sample).
+func perturbationStream(seed int64, pos int) uniformSource {
+	return uniformSource{state: uint64(seed) + uint64(6*pos)*golden64}
+}
+
+// draw returns the next uniform multiplier from [1−v, 1+v).
+func (r *uniformSource) draw(v float64) float64 {
+	u := float64(splitmix64(r.state)>>11) * 0x1p-53
+	r.state += golden64
+	return 1 - v + 2*v*u
 }
 
 // seedAt derives the RNG seed of x-position pos as the pos-th output of
@@ -163,10 +208,7 @@ func TTM(ctx context.Context, base core.Model, d design.Design, n float64, c mar
 	if err != nil {
 		return Estimate{}, err
 	}
-	return RunEval(ctx, ev, cfg, func(w *core.Evaluator, p core.Perturbation) (float64, error) {
-		t, err := w.Eval(p)
-		return float64(t), err
-	})
+	return RunBatch(ctx, ev, cfg, MetricTTM)
 }
 
 // CAS estimates the Chip Agility Score distribution of a design.
@@ -175,9 +217,7 @@ func CAS(ctx context.Context, base core.Model, d design.Design, n float64, c mar
 	if err != nil {
 		return Estimate{}, err
 	}
-	return RunEval(ctx, ev, cfg, func(w *core.Evaluator, p core.Perturbation) (float64, error) {
-		return w.CAS(p)
-	})
+	return RunBatch(ctx, ev, cfg, MetricCAS)
 }
 
 // Band is one x-position of a mean curve with its ±10% and ±25% CI
@@ -253,12 +293,10 @@ const (
 )
 
 // BandCurveEval is BandCurve on the compiled kernel: the design ×
-// conditions pair is compiled once, each x-position's two perturbation
-// streams (±10% and ±25%) are drawn from its splitmix64-derived seed,
-// and the x-positions are fanned out in chunks with a per-chunk
-// evaluator clone and reusable stream/sample buffers. The result is
-// bit-for-bit identical to BandCurve with the equivalent map-based
-// closure, at roughly an order of magnitude higher throughput.
+// conditions pair is compiled once and the curve rides BandCurveBatch.
+// The result is bit-for-bit identical to BandCurve with the equivalent
+// map-based closure, at roughly an order of magnitude higher
+// throughput.
 //
 // onEval, when non-nil, is called once per sample evaluation from
 // worker goroutines (it must be concurrency-safe); jobs use it for
@@ -269,58 +307,220 @@ func BandCurveEval(ctx context.Context, base core.Model, cfg Config, d design.De
 	if err != nil {
 		return nil, err
 	}
-	sample := func(w *core.Evaluator, p core.Perturbation, x float64) (float64, error) {
-		if onEval != nil {
-			onEval()
-		}
-		switch metric {
-		case MetricCAS:
-			return w.CASAtCapacity(p, x)
-		default:
-			t, err := w.EvalAtCapacity(p, x)
-			return float64(t), err
-		}
-	}
-
 	out := make([]Band, len(xs))
-	err = sweep.ForChunks(ctx, len(xs), 0, 1, func(lo, hi int) error {
-		w := ev.Clone()
-		perts10 := make([]core.Perturbation, cfg.samples())
-		perts25 := make([]core.Perturbation, cfg.samples())
-		buf10 := make([]float64, len(perts10))
-		buf25 := make([]float64, len(perts25))
-		for i := lo; i < hi; i++ {
-			x := xs[i]
-			seed := cfg.seedAt(i)
-			fillPerturbations(perts10, seed, 0.10)
-			fillPerturbations(perts25, seed, 0.25)
-			for j, p := range perts10 {
-				v, err := sample(w, p, x)
-				if err != nil {
-					return fmt.Errorf("mc: x=%v sample %d: %w", x, j, err)
-				}
-				buf10[j] = v
-			}
-			for j, p := range perts25 {
-				v, err := sample(w, p, x)
-				if err != nil {
-					return fmt.Errorf("mc: x=%v sample %d: %w", x, j, err)
-				}
-				buf25[j] = v
-			}
-			out[i] = Band{
-				X:    x,
-				Mean: stats.Mean(buf10),
-				CI10: stats.CI95(buf10),
-				CI25: stats.CI95(buf25),
-			}
-		}
-		return nil
-	})
-	if err != nil {
+	if err := BandCurveBatch(ctx, ev, cfg, xs, metric, out, onEval); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// mcWorker is the pooled per-goroutine state of the batch drivers: an
+// evaluator clone bound to its compiled source, the six perturbation
+// columns, and the sample buffers. Workers are reused across calls
+// through mcWorkerPool; the clone is rebuilt only when a pooled worker
+// last served a different evaluator, so steady-state chunk bodies
+// allocate nothing.
+type mcWorker struct {
+	src   *core.Evaluator
+	ev    *core.Evaluator
+	b     core.Batch
+	wout  []units.Weeks
+	buf10 []float64
+	buf25 []float64
+	errs  core.BatchErrors
+}
+
+var mcWorkerPool sync.Pool
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func getMCWorker(ev *core.Evaluator, n int) *mcWorker {
+	w, _ := mcWorkerPool.Get().(*mcWorker)
+	if w == nil {
+		w = &mcWorker{}
+	}
+	if w.src != ev {
+		w.src = ev
+		w.ev = ev.Clone()
+	}
+	w.b.NTT = growFloats(w.b.NTT, n)
+	w.b.NUT = growFloats(w.b.NUT, n)
+	w.b.D0 = growFloats(w.b.D0, n)
+	w.b.Rate = growFloats(w.b.Rate, n)
+	w.b.FabLatency = growFloats(w.b.FabLatency, n)
+	w.b.TAPLatency = growFloats(w.b.TAPLatency, n)
+	if cap(w.wout) < n {
+		w.wout = make([]units.Weeks, n)
+	}
+	w.wout = w.wout[:n]
+	w.buf10 = growFloats(w.buf10, n)
+	w.buf25 = growFloats(w.buf25, n)
+	return w
+}
+
+// bandCall carries one BandCurveBatch invocation's parameters to its
+// chunk bodies. Calls are pooled, and fn is bound to run once when the
+// object is first created, so re-dispatching a curve allocates neither
+// a call frame nor a closure.
+type bandCall struct {
+	ev     *core.Evaluator
+	cfg    Config
+	xs     []float64
+	metric Metric
+	out    []Band
+	onEval func()
+	fn     func(lo, hi int) error
+}
+
+var bandCallPool sync.Pool
+
+// BandCurveBatch is the batched core of BandCurveEval: it walks the
+// x-positions of an already-compiled evaluator and writes one Band per
+// x-position into out (len(out) must equal len(xs)). Each position's
+// ±10% and ±25% streams are drawn column-major into pooled batches and
+// evaluated through EvalBatchAtCapacity/CASBatchAtCapacity; all worker
+// state comes from package pools, so steady-state calls allocate
+// nothing. The bands are bit-for-bit those of the per-call walker.
+func BandCurveBatch(ctx context.Context, ev *core.Evaluator, cfg Config, xs []float64, metric Metric, out []Band, onEval func()) error {
+	if len(out) != len(xs) {
+		return fmt.Errorf("mc: band output length %d != x-position count %d", len(out), len(xs))
+	}
+	c, _ := bandCallPool.Get().(*bandCall)
+	if c == nil {
+		c = &bandCall{}
+		c.fn = c.run
+	}
+	c.ev, c.cfg, c.xs, c.metric, c.out, c.onEval = ev, cfg, xs, metric, out, onEval
+	err := sweep.ForChunks(ctx, len(xs), 0, 1, c.fn)
+	c.ev, c.xs, c.out, c.onEval = nil, nil, nil, nil
+	bandCallPool.Put(c)
+	return err
+}
+
+func (c *bandCall) run(lo, hi int) error {
+	n := c.cfg.samples()
+	w := getMCWorker(c.ev, n)
+	defer mcWorkerPool.Put(w)
+	for i := lo; i < hi; i++ {
+		x := c.xs[i]
+		seed := c.cfg.seedAt(i)
+		fillPerturbationColumns(&w.b, n, seed, 0, 0.10)
+		if err := w.stream(c.metric, x, w.buf10, c.onEval); err != nil {
+			return err
+		}
+		fillPerturbationColumns(&w.b, n, seed, 0, 0.25)
+		if err := w.stream(c.metric, x, w.buf25, c.onEval); err != nil {
+			return err
+		}
+		// Mean before the in-place sorts: it reads buf10 in stream order,
+		// which keeps the summation order — and therefore the bits — of
+		// the per-call walker.
+		mean := stats.Mean(w.buf10)
+		sort.Float64s(w.buf10)
+		sort.Float64s(w.buf25)
+		c.out[i] = Band{
+			X:    x,
+			Mean: mean,
+			CI10: stats.SortedCI95(w.buf10),
+			CI25: stats.SortedCI95(w.buf25),
+		}
+	}
+	return nil
+}
+
+// stream evaluates the batch currently in w.b at capacity x and writes
+// the metric into buf. The first per-sample error (lowest index, the
+// one a serial per-call loop would have hit first) is returned wrapped
+// the way the per-call walker wrapped it.
+func (w *mcWorker) stream(metric Metric, x float64, buf []float64, onEval func()) error {
+	switch metric {
+	case MetricCAS:
+		if err := w.ev.CASBatchAtCapacity(&w.b, x, buf, &w.errs); err != nil {
+			return err
+		}
+	default:
+		if err := w.ev.EvalBatchAtCapacity(&w.b, x, w.wout, &w.errs); err != nil {
+			return err
+		}
+		for j, t := range w.wout {
+			buf[j] = float64(t)
+		}
+	}
+	if onEval != nil {
+		for range buf {
+			onEval()
+		}
+	}
+	if j, err := w.errs.First(); err != nil {
+		return fmt.Errorf("mc: x=%v sample %d: %w", x, j, err)
+	}
+	return nil
+}
+
+// runCall is bandCall's counterpart for RunBatch.
+type runCall struct {
+	ev     *core.Evaluator
+	cfg    Config
+	metric Metric
+	xs     []float64
+	fn     func(lo, hi int) error
+}
+
+var runCallPool sync.Pool
+
+// RunBatch is Run/RunEval on the batch kernel: the sample stream is
+// drawn column-major into pooled batches chunk by chunk (the splitmix64
+// stream is seekable, so chunk [lo,hi) fills its columns without
+// replaying the prefix) and evaluated through EvalBatch/CASBatch. The
+// estimate carries the same bits RunEval would produce for the same
+// metric.
+func RunBatch(ctx context.Context, ev *core.Evaluator, cfg Config, metric Metric) (Estimate, error) {
+	n := cfg.samples()
+	xs := make([]float64, n)
+	c, _ := runCallPool.Get().(*runCall)
+	if c == nil {
+		c = &runCall{}
+		c.fn = c.run
+	}
+	c.ev, c.cfg, c.metric, c.xs = ev, cfg, metric, xs
+	err := sweep.ForChunks(ctx, n, 0, sweep.DefaultGrain, c.fn)
+	c.ev, c.xs = nil, nil
+	runCallPool.Put(c)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mean := stats.Mean(xs)
+	sort.Float64s(xs)
+	return Estimate{Mean: mean, CI: stats.SortedCI95(xs), Samples: n}, nil
+}
+
+func (c *runCall) run(lo, hi int) error {
+	n := hi - lo
+	w := getMCWorker(c.ev, n)
+	defer mcWorkerPool.Put(w)
+	fillPerturbationColumns(&w.b, n, c.cfg.Seed, lo, c.cfg.variation())
+	switch c.metric {
+	case MetricCAS:
+		if err := w.ev.CASBatch(&w.b, c.xs[lo:hi], &w.errs); err != nil {
+			return err
+		}
+	default:
+		if err := w.ev.EvalBatch(&w.b, w.wout, &w.errs); err != nil {
+			return err
+		}
+		for j, t := range w.wout {
+			c.xs[lo+j] = float64(t)
+		}
+	}
+	if j, err := w.errs.First(); err != nil {
+		return fmt.Errorf("mc: sample %d: %w", lo+j, err)
+	}
+	return nil
 }
 
 // BandCurveSerial is the serial reference implementation of BandCurve:

@@ -3,11 +3,13 @@ package mc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 	"testing"
 
 	"ttmcas/internal/core"
+	"ttmcas/internal/design"
 	"ttmcas/internal/market"
 	"ttmcas/internal/scenario"
 	"ttmcas/internal/technode"
@@ -287,6 +289,126 @@ func TestBandCurveCancelledMidRun(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestColumnFillMatchesRowFillBitForBit(t *testing.T) {
+	// The column-major fill must produce exactly the splitmix64 stream of
+	// the row-major path — same seed, same draw order, transposed layout —
+	// so batch and per-call MC remain seed-compatible. The offset form
+	// must equal the tail of the full stream, which is what lets chunked
+	// drivers fill [lo,hi) without replaying the prefix.
+	for _, v := range []float64{0.10, 0.25} {
+		for _, seed := range []int64{0, 1, 42, -7} {
+			const n = 97
+			rows := make([]core.Perturbation, n)
+			fillPerturbations(rows, seed, v)
+			b := &core.Batch{
+				NTT: make([]float64, n), NUT: make([]float64, n), D0: make([]float64, n),
+				Rate: make([]float64, n), FabLatency: make([]float64, n), TAPLatency: make([]float64, n),
+			}
+			fillPerturbationColumns(b, n, seed, 0, v)
+			for i, p := range rows {
+				got := core.Perturbation{
+					NTT: b.NTT[i], NUT: b.NUT[i], D0: b.D0[i],
+					Rate: b.Rate[i], FabLatency: b.FabLatency[i], TAPLatency: b.TAPLatency[i],
+				}
+				if got != p {
+					t.Fatalf("seed=%d v=%v sample %d: columns %+v != rows %+v", seed, v, i, got, p)
+				}
+			}
+			// Seek: filling [pos, n) directly must match rows[pos:].
+			for _, pos := range []int{1, 13, n - 1} {
+				m := n - pos
+				tail := &core.Batch{
+					NTT: make([]float64, m), NUT: make([]float64, m), D0: make([]float64, m),
+					Rate: make([]float64, m), FabLatency: make([]float64, m), TAPLatency: make([]float64, m),
+				}
+				fillPerturbationColumns(tail, m, seed, pos, v)
+				for i := 0; i < m; i++ {
+					p := rows[pos+i]
+					got := core.Perturbation{
+						NTT: tail.NTT[i], NUT: tail.NUT[i], D0: tail.D0[i],
+						Rate: tail.Rate[i], FabLatency: tail.FabLatency[i], TAPLatency: tail.TAPLatency[i],
+					}
+					if got != p {
+						t.Fatalf("seed=%d v=%v pos=%d sample %d: seeked fill %+v != rows %+v", seed, v, pos, i, got, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunBatchMatchesRunEvalBitForBit(t *testing.T) {
+	// RunBatch (column batches through EvalBatch/CASBatch) must carry the
+	// same bits as RunEval walking the same stream per call: same mean,
+	// same CI bounds, for both metrics.
+	var m core.Model
+	d := scenario.A11At(technode.N7)
+	ev, err := m.Compile(d, 10e6, market.Full().WithQueueAll(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Samples: 300, Seed: 5}
+	for metric, name := range map[Metric]string{MetricTTM: "TTM", MetricCAS: "CAS"} {
+		want, err := RunEval(context.Background(), ev, cfg, func(w *core.Evaluator, p core.Perturbation) (float64, error) {
+			if metric == MetricCAS {
+				return w.CAS(p)
+			}
+			v, err := w.Eval(p)
+			return float64(v), err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunBatch(context.Background(), ev, cfg, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: RunBatch %+v != RunEval %+v", name, got, want)
+		}
+	}
+}
+
+func TestBandCurveBatchErrorsMatchPerCall(t *testing.T) {
+	// A design whose dies blow past the reticle under some perturbations
+	// must surface the same wrapped error text through the batch walker
+	// as through per-call evaluation of the same stream: lowest failing
+	// sample index first, "mc: x=... sample %d: ..." formatting.
+	var m core.Model
+	// A die pinned to an area no wafer can hold fails every sample.
+	d := design.Design{
+		Name: "reticle-buster",
+		Dies: []design.Die{{Name: "huge", Node: technode.N7, NTT: 1e9, NUT: 1e8, AreaOverride: 1e6}},
+	}
+	ev, err := m.Compile(d, 10e6, market.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Samples: 40, Seed: 3}
+	xs := []float64{0.8}
+	out := make([]Band, 1)
+	batchErr := BandCurveBatch(context.Background(), ev, cfg, xs, MetricTTM, out, nil)
+	if batchErr == nil {
+		t.Fatal("expected the blown-up design to fail")
+	}
+	// Per-call oracle over the same ±10% stream.
+	perts := make([]core.Perturbation, cfg.samples())
+	fillPerturbations(perts, cfg.seedAt(0), 0.10)
+	var wantErr error
+	for j, p := range perts {
+		if _, err := ev.EvalAtCapacity(p, xs[0]); err != nil {
+			wantErr = fmt.Errorf("mc: x=%v sample %d: %w", xs[0], j, err)
+			break
+		}
+	}
+	if wantErr == nil {
+		t.Fatal("oracle did not fail; test design needs a bigger blow-up")
+	}
+	if batchErr.Error() != wantErr.Error() {
+		t.Errorf("batch error %q != per-call error %q", batchErr, wantErr)
 	}
 }
 

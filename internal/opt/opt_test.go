@@ -221,6 +221,58 @@ func TestCompiledPortfolioMatchesOracleBitForBit(t *testing.T) {
 	}
 }
 
+func TestBatchedSweepMatchesPerCallBitForBit(t *testing.T) {
+	// The batched fraction sweep (Chips column + Factor-override
+	// probes through EvalBatch) must reproduce the per-call cp.eval
+	// loop exactly: every point's TTM, cost and CAS bit-for-bit, and
+	// identical error strings where points fail.
+	study := ravenStudy(0.05)
+	pairs := [][2]technode.Node{
+		{technode.N250, technode.N180},
+		{technode.N28, technode.N40},
+		{technode.N28, technode.N28},
+		{technode.N28, technode.N20},
+	}
+	const n = 1e9
+	for _, pr := range pairs {
+		cp, err := study.compilePair(pr[0], pr[1])
+		if err != nil {
+			t.Fatalf("compile %v/%v: %v", pr[0], pr[1], err)
+		}
+		steps := int(math.Round(1 / study.step()))
+		sw, err := cp.sweep(n, steps)
+		if err != nil {
+			t.Fatalf("sweep %v/%v: %v", pr[0], pr[1], err)
+		}
+		for k := 1; k <= steps; k++ {
+			f := float64(k) / float64(steps)
+			want, wantErr := cp.eval(f, n)
+			got, gotErr := sw.point(k)
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("%v/%v@%v: err %v vs %v", pr[0], pr[1], f, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Errorf("%v/%v@%v: error %q != per-call %q", pr[0], pr[1], f, gotErr, wantErr)
+				}
+				continue
+			}
+			if math.Float64bits(float64(got.TTM)) != math.Float64bits(float64(want.TTM)) {
+				t.Errorf("%v/%v@%v: TTM %v != per-call %v", pr[0], pr[1], f, got.TTM, want.TTM)
+			}
+			if math.Float64bits(float64(got.Cost)) != math.Float64bits(float64(want.Cost)) {
+				t.Errorf("%v/%v@%v: cost %v != per-call %v", pr[0], pr[1], f, got.Cost, want.Cost)
+			}
+			if math.Float64bits(got.CAS) != math.Float64bits(want.CAS) {
+				t.Errorf("%v/%v@%v: CAS %v != per-call %v", pr[0], pr[1], f, got.CAS, want.CAS)
+			}
+			if got.FracPrimary != want.FracPrimary || got.Primary != want.Primary || got.Secondary != want.Secondary {
+				t.Errorf("%v/%v@%v: point identity mismatch: %+v vs %+v", pr[0], pr[1], f, got, want)
+			}
+		}
+	}
+}
+
 func TestBestSplitRequiresFactory(t *testing.T) {
 	var study SplitStudy
 	if _, err := study.BestSplit(technode.N28, technode.N40, 1e6); err == nil {

@@ -209,6 +209,241 @@ func (cp *compiledPair) ttm(frac, n float64, node technode.Node, f float64, over
 	return worst, nil
 }
 
+// sweepCol is one (variant, capacity-probe) column of a batched
+// fraction sweep: the TTM per fraction index plus the per-call error
+// of each failing fraction (nil where the evaluation succeeded).
+type sweepCol struct {
+	vals []units.Weeks
+	errs []error
+}
+
+// Probe column indices of pairSweep: the baseline TTM and the four CAS
+// finite-difference probes, one per (node, direction).
+const (
+	probeBase = iota
+	probePrimaryUp
+	probePrimaryDown
+	probeSecondaryUp
+	probeSecondaryDown
+	probeCount
+)
+
+// pairSweep holds one compiled pair's whole fraction sweep evaluated
+// as structure-of-arrays batches: the fraction-dependent chip counts
+// form the Chips column and each CAS probe becomes a Factor-column
+// override, so the sweep costs six batch calls instead of up to ten
+// evaluator calls per fraction. point reassembles SplitPoints — values
+// and error order — exactly as the per-call cp.eval loop would.
+type pairSweep struct {
+	cp    *compiledPair
+	n     float64
+	steps int
+	// p[k-1] and s[k-1] are the variants' results at frac = k/steps;
+	// the secondary columns are one short (frac=1 has no secondary
+	// part, exactly as the per-call path skips it).
+	p, s [probeCount]sweepCol
+}
+
+// constCols fills the batch's perturbation columns with the study's
+// scalar Model.Perturb, one constant per sample, so the batch sees the
+// same or1-resolved factors as the per-call EvalChips path.
+func constCols(b *core.Batch, p core.Perturbation, m int) {
+	if p == (core.Perturbation{}) {
+		return // nil columns already mean "unperturbed"
+	}
+	fill := func(v float64) []float64 {
+		col := make([]float64, m)
+		for i := range col {
+			col[i] = v
+		}
+		return col
+	}
+	b.NTT = fill(p.NTT)
+	b.NUT = fill(p.NUT)
+	b.D0 = fill(p.D0)
+	b.Rate = fill(p.Rate)
+	b.FabLatency = fill(p.FabLatency)
+	b.TAPLatency = fill(p.TAPLatency)
+}
+
+// runSweepBatch evaluates one variant across the chip-count column
+// under an optional single-node capacity override. A node the variant
+// does not fabricate on leaves the batch unchanged, mirroring
+// EvalChipsNodeCapacity's no-op path.
+func (cp *compiledPair) runSweepBatch(ev *core.Evaluator, chips []float64, node technode.Node, f float64, override bool) (sweepCol, error) {
+	m := len(chips)
+	col := sweepCol{vals: make([]units.Weeks, m), errs: make([]error, m)}
+	if m == 0 {
+		return col, nil
+	}
+	b := core.Batch{Chips: chips}
+	constCols(&b, cp.study.Model.Perturb, m)
+	if override {
+		if idx := ev.NodeIndex(node); idx >= 0 {
+			b.Factor = make([][]float64, ev.NodeCount())
+			fcol := make([]float64, m)
+			for i := range fcol {
+				fcol[i] = f
+			}
+			b.Factor[idx] = fcol
+		}
+	}
+	var be core.BatchErrors
+	if err := ev.EvalBatch(&b, col.vals, &be); err != nil {
+		return col, err
+	}
+	for i, s := range be.Idx {
+		col.errs[s] = be.Errs[i]
+	}
+	return col, nil
+}
+
+// sweep batch-evaluates every fraction k/steps (k = 1..steps) of the
+// pair. Probes on a node a variant does not use share the baseline
+// column — the per-call path evaluates them unchanged, so the values
+// and errors are identical either way.
+func (cp *compiledPair) sweep(n float64, steps int) (*pairSweep, error) {
+	sw := &pairSweep{cp: cp, n: n, steps: steps}
+	pChips := make([]float64, steps)
+	for k := 1; k <= steps; k++ {
+		f := float64(k) / float64(steps)
+		pChips[k-1] = f * n
+	}
+	if cp.primary == cp.secondary {
+		// Degenerate pair: one variant at the full volume, primary
+		// probes only (the per-call nodes list never adds the
+		// secondary).
+		for i := range pChips {
+			pChips[i] = n
+		}
+	}
+	const h = core.DefaultDerivativeStep
+	probes := [probeCount]struct {
+		node technode.Node
+		f    float64
+	}{
+		probePrimaryUp:     {cp.primary, 1 + h},
+		probePrimaryDown:   {cp.primary, 1 - h},
+		probeSecondaryUp:   {cp.secondary, 1 + h},
+		probeSecondaryDown: {cp.secondary, 1 - h},
+	}
+	run := func(out *[probeCount]sweepCol, ev *core.Evaluator, chips []float64) error {
+		base, err := cp.runSweepBatch(ev, chips, 0, 0, false)
+		if err != nil {
+			return err
+		}
+		out[probeBase] = base
+		for cfg := probePrimaryUp; cfg < probeCount; cfg++ {
+			if cp.primary == cp.secondary && cfg >= probeSecondaryUp {
+				continue
+			}
+			if ev.NodeIndex(probes[cfg].node) < 0 {
+				out[cfg] = base
+				continue
+			}
+			col, err := cp.runSweepBatch(ev, chips, probes[cfg].node, probes[cfg].f, true)
+			if err != nil {
+				return err
+			}
+			out[cfg] = col
+		}
+		return nil
+	}
+	if err := run(&sw.p, cp.pe, pChips); err != nil {
+		return nil, err
+	}
+	if cp.primary != cp.secondary {
+		sChips := make([]float64, steps-1)
+		for k := 1; k < steps; k++ {
+			f := float64(k) / float64(steps)
+			sChips[k-1] = (1 - f) * n
+		}
+		if err := run(&sw.s, cp.se, sChips); err != nil {
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+// ttmAt is cp.ttm read off the precomputed columns: the max of the
+// variants' TTM at fraction k/steps, with the primary checked before
+// the secondary so the first error matches the per-call order.
+func (sw *pairSweep) ttmAt(k, cfg int) (units.Weeks, error) {
+	var worst units.Weeks
+	p := &sw.p[cfg]
+	if err := p.errs[k-1]; err != nil {
+		return 0, err
+	}
+	if t := p.vals[k-1]; t > worst {
+		worst = t
+	}
+	if sw.cp.primary != sw.cp.secondary && k < sw.steps {
+		s := &sw.s[cfg]
+		if err := s.errs[k-1]; err != nil {
+			return 0, err
+		}
+		if t := s.vals[k-1]; t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// point assembles the SplitPoint at fraction k/steps from the batched
+// columns, mirroring cp.eval operation for operation — baseline TTM,
+// per-part cost, then the per-node central differences — so values and
+// first-error behavior are bit-for-bit those of the per-call sweep.
+func (sw *pairSweep) point(k int) (SplitPoint, error) {
+	cp := sw.cp
+	s := cp.study
+	frac := float64(k) / float64(sw.steps)
+	pt := SplitPoint{Primary: cp.primary, Secondary: cp.secondary, FracPrimary: frac}
+
+	ttm, err := sw.ttmAt(k, probeBase)
+	if err != nil {
+		return pt, err
+	}
+	pt.TTM = ttm
+
+	var total units.USD
+	for _, part := range cp.parts(frac, sw.n) {
+		c, err := s.CostModel.Total(part.d, part.n)
+		if err != nil {
+			return pt, err
+		}
+		total += c
+	}
+	pt.Cost = total
+
+	nodes := []technode.Node{cp.primary}
+	if frac < 1 && cp.secondary != cp.primary {
+		nodes = append(nodes, cp.secondary)
+	}
+	sum := 0.0
+	for ni, node := range nodes {
+		p, err := s.Model.Nodes.Lookup(node)
+		if err != nil {
+			return pt, err
+		}
+		const h = core.DefaultDerivativeStep
+		up, err := sw.ttmAt(k, probePrimaryUp+2*ni)
+		if err != nil {
+			return pt, err
+		}
+		down, err := sw.ttmAt(k, probePrimaryDown+2*ni)
+		if err != nil {
+			return pt, err
+		}
+		sum += math.Abs(float64(up-down)) / (2 * h * float64(p.WaferRate))
+	}
+	if sum > 0 {
+		pt.CAS = 1 / sum
+	} else {
+		pt.CAS = math.Inf(1)
+	}
+	return pt, nil
+}
+
 type part struct {
 	d design.Design
 	n float64
@@ -267,11 +502,15 @@ func (s SplitStudy) BestSplit(primary, secondary technode.Node, n float64) (Spli
 	if steps < 1 {
 		steps = 1
 	}
+	sw, err := cp.sweep(n, steps)
+	if err != nil {
+		return SplitPoint{}, fmt.Errorf("opt: split %s/%s: %w", primary, secondary, err)
+	}
 	for k := 1; k <= steps; k++ {
 		// Integer stepping so the final iteration is exactly the
 		// single-process point frac = 1.
 		f := float64(k) / float64(steps)
-		pt, err := cp.eval(f, n)
+		pt, err := sw.point(k)
 		if err != nil {
 			return SplitPoint{}, fmt.Errorf("opt: split %s/%s@%.2f: %w", primary, secondary, f, err)
 		}

@@ -48,3 +48,38 @@ func BenchmarkSobolParallel(b *testing.B) {
 		return TotalEffect(context.Background(), []string{"a", "b", "c", "d", "e", "f"}, cfg, m)
 	})
 }
+
+// BenchmarkSobolBatch runs the same estimator through TotalEffectBatch
+// with a column-consuming model of per-row cost equal to the scalar
+// benchmarks', so the delta against SobolSerial/SobolParallel is pure
+// driver overhead (row assembly, dispatch, closures).
+func BenchmarkSobolBatch(b *testing.B) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	factory := func() (BatchEval, error) {
+		return func(cols [][]float64, out []float64) error {
+			for j := range out {
+				s := 0.0
+				for i, col := range cols {
+					v := col[j]
+					s += math.Sin(float64(i+1)*v) + v*v
+				}
+				out[j] = s
+			}
+			return nil
+		}, nil
+	}
+	cfg := Config{N: 128, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := TotalEffectBatch(context.Background(), names, cfg, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluations == 0 {
+			b.Fatal("no evaluations")
+		}
+	}
+	evalsPerOp := float64(cfg.n() * (len(names) + 2))
+	b.ReportMetric(evalsPerOp*float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}

@@ -98,6 +98,33 @@ func saltelliMatrices(cfg Config, k int) (A, B [][]float64) {
 	return A, B
 }
 
+// saltelliColumns draws the same A and B sample streams as
+// saltelliMatrices, transposed: one length-n column per input rather
+// than one length-k row per sample. Column j of input i carries exactly
+// the bits A[j][i]/B[j][i] of the row-major path, so the batch and
+// per-call estimators consume identical samples. The column shape is
+// what the batch kernel wants: an AB_i batch is A's columns with column
+// i swapped for B's — a pointer substitution, no copying.
+func saltelliColumns(cfg Config, k int) (A, B [][]float64) {
+	n := cfg.n()
+	v := cfg.variation()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draw := func() float64 { return 1 - v + 2*v*rng.Float64() }
+	A = make([][]float64, k)
+	B = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		A[i] = make([]float64, n)
+		B[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < k; i++ {
+			A[i][j] = draw()
+			B[i][j] = draw()
+		}
+	}
+	return A, B
+}
+
 // TotalEffect estimates Sobol first-order and total-effect indices for
 // a model over k inputs, each an independent multiplier drawn uniformly
 // from [1−v, 1+v]. The model callback receives one multiplier per
@@ -133,21 +160,23 @@ func TotalEffectFrom(ctx context.Context, names []string, cfg Config, factory fu
 	n := cfg.n()
 	A, B := saltelliMatrices(cfg, k)
 
-	// f(A) and f(B) over the pooled 2n rows.
+	// f(A) and f(B) over the pooled 2n rows. The two matrices get their
+	// own dense sub-loops so the hot path carries no per-row branch.
 	pooled := make([]float64, 2*n)
 	err := sweep.ForChunks(ctx, 2*n, 0, sweep.DefaultGrain, func(lo, hi int) error {
 		eval, err := factory()
 		if err != nil {
 			return err
 		}
-		for m := lo; m < hi; m++ {
-			var row []float64
-			if m < n {
-				row = A[m]
-			} else {
-				row = B[m-n]
+		for m := lo; m < hi && m < n; m++ {
+			y, err := eval(A[m])
+			if err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
 			}
-			y, err := eval(row)
+			pooled[m] = y
+		}
+		for m := max(lo, n); m < hi; m++ {
+			y, err := eval(B[m-n])
 			if err != nil {
 				return fmt.Errorf("sens: model eval: %w", err)
 			}
@@ -174,7 +203,9 @@ func TotalEffectFrom(ctx context.Context, names []string, cfg Config, factory fu
 
 	// f(AB_i) for every input, fused: index m encodes (input i = m/n,
 	// row j = m%n). Each chunk reuses one scratch row for the column
-	// substitution instead of allocating a fresh row per sample.
+	// substitution instead of allocating a fresh row per sample, and
+	// walks per-input segments so the index decomposition is one
+	// division per segment rather than one per sample.
 	fAB := make([]float64, k*n)
 	err = sweep.ForChunks(ctx, k*n, 0, sweep.DefaultGrain, func(lo, hi int) error {
 		eval, err := factory()
@@ -182,15 +213,21 @@ func TotalEffectFrom(ctx context.Context, names []string, cfg Config, factory fu
 			return err
 		}
 		x := make([]float64, k)
-		for m := lo; m < hi; m++ {
+		for m := lo; m < hi; {
 			i, j := m/n, m%n
-			copy(x, A[j])
-			x[i] = B[j][i]
-			y, err := eval(x)
-			if err != nil {
-				return fmt.Errorf("sens: model eval: %w", err)
+			end := (i + 1) * n
+			if end > hi {
+				end = hi
 			}
-			fAB[m] = y
+			for ; m < end; m, j = m+1, j+1 {
+				copy(x, A[j])
+				x[i] = B[j][i]
+				y, err := eval(x)
+				if err != nil {
+					return fmt.Errorf("sens: model eval: %w", err)
+				}
+				fAB[m] = y
+			}
 		}
 		return nil
 	})
@@ -209,6 +246,118 @@ func TotalEffectFrom(ctx context.Context, names []string, cfg Config, factory fu
 			// around the pooled mean leaves the expectation intact
 			// (E[fABi − fA] = 0) but removes the huge mean-product
 			// noise term for models far from zero.
+			sumS += (fB[j] - meanY) * (fABi[j] - fA[j])
+		}
+		res.Total[i] = clamp01(sumT / (2 * float64(n) * varY))
+		res.First[i] = clamp01(sumS / (float64(n) * varY))
+	}
+	res.Evaluations = n * (k + 2)
+	return res, nil
+}
+
+// BatchEval evaluates a whole batch of parameter vectors in one call:
+// cols holds one column per input, in the order of the names slice,
+// each of length len(out); out receives one model output per row. On a
+// per-sample failure the BatchEval must return the error of its
+// lowest-index failing row (what a serial per-row loop would have hit
+// first), so batch and per-call drivers report identical errors.
+type BatchEval func(cols [][]float64, out []float64) error
+
+// TotalEffectBatch is TotalEffectFrom on a batch evaluator. The
+// Saltelli matrices are drawn column-shaped and fed to the BatchEval
+// whole chunks at a time: an f(A) or f(B) chunk is a plain column-slice
+// view, and an AB_i chunk substitutes B's column i into A's view by
+// pointer — no per-sample row assembly at all. Factories run once per
+// chunk, exactly like TotalEffectFrom's, and the estimator sums run in
+// index order over the same stream, so the result is bit-for-bit that
+// of TotalEffect/TotalEffectFrom on the equivalent per-call model.
+func TotalEffectBatch(ctx context.Context, names []string, cfg Config, factory func() (BatchEval, error)) (Result, error) {
+	k := len(names)
+	if k == 0 {
+		return Result{}, errors.New("sens: no inputs")
+	}
+	n := cfg.n()
+	A, B := saltelliColumns(cfg, k)
+
+	// f(A) and f(B) over the pooled 2n rows; a chunk spanning the A/B
+	// boundary becomes one dense call per side.
+	pooled := make([]float64, 2*n)
+	err := sweep.ForChunks(ctx, 2*n, 0, sweep.DefaultGrain, func(lo, hi int) error {
+		eval, err := factory()
+		if err != nil {
+			return err
+		}
+		cols := make([][]float64, k)
+		if aLo, aHi := lo, min(hi, n); aLo < aHi {
+			for i := range cols {
+				cols[i] = A[i][aLo:aHi]
+			}
+			if err := eval(cols, pooled[aLo:aHi]); err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
+			}
+		}
+		if bLo, bHi := max(lo, n)-n, hi-n; bLo < bHi {
+			for i := range cols {
+				cols[i] = B[i][bLo:bHi]
+			}
+			if err := eval(cols, pooled[n+bLo:n+bHi]); err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	fA, fB := pooled[:n], pooled[n:]
+
+	varY := stats.Variance(pooled)
+	res := Result{
+		Inputs: append([]string(nil), names...),
+		Total:  make([]float64, k),
+		First:  make([]float64, k),
+		VarY:   varY,
+	}
+	if varY <= 0 || math.IsNaN(varY) {
+		res.Evaluations = 2 * n
+		return res, ErrDegenerate
+	}
+
+	// f(AB_i) fused over k·n, chunked per-input segments; each segment
+	// is one batch call on A's columns with column i swapped to B's.
+	fAB := make([]float64, k*n)
+	err = sweep.ForChunks(ctx, k*n, 0, sweep.DefaultGrain, func(lo, hi int) error {
+		eval, err := factory()
+		if err != nil {
+			return err
+		}
+		cols := make([][]float64, k)
+		for m := lo; m < hi; {
+			i, j := m/n, m%n
+			end := min((i+1)*n, hi)
+			cnt := end - m
+			for c := range cols {
+				cols[c] = A[c][j : j+cnt]
+			}
+			cols[i] = B[i][j : j+cnt]
+			if err := eval(cols, fAB[m:end]); err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
+			}
+			m = end
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	meanY := stats.Mean(pooled)
+	for i := 0; i < k; i++ {
+		fABi := fAB[i*n : (i+1)*n]
+		var sumT, sumS float64
+		for j := 0; j < n; j++ {
+			dT := fA[j] - fABi[j]
+			sumT += dT * dT
 			sumS += (fB[j] - meanY) * (fABi[j] - fA[j])
 		}
 		res.Total[i] = clamp01(sumT / (2 * float64(n) * varY))

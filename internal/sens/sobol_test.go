@@ -218,6 +218,124 @@ func TestTotalEffectMatchesSerialBitForBit(t *testing.T) {
 	}
 }
 
+func TestSaltelliColumnsTransposeMatrices(t *testing.T) {
+	// The column draw must be the row draw transposed, bit for bit, so
+	// batch and per-call estimators consume identical samples.
+	cfg := Config{N: 37, Variation: 0.25, Seed: 99}
+	const k = 6
+	A, B := saltelliMatrices(cfg, k)
+	Ac, Bc := saltelliColumns(cfg, k)
+	for j := 0; j < cfg.n(); j++ {
+		for i := 0; i < k; i++ {
+			if Ac[i][j] != A[j][i] || Bc[i][j] != B[j][i] {
+				t.Fatalf("sample %d input %d: columns (%v, %v) != rows (%v, %v)",
+					j, i, Ac[i][j], Bc[i][j], A[j][i], B[j][i])
+			}
+		}
+	}
+}
+
+// batchOf adapts a per-call model to the BatchEval shape, reporting the
+// lowest-index failing row like the contract requires.
+func batchOf(model func([]float64) (float64, error)) BatchEval {
+	return func(cols [][]float64, out []float64) error {
+		x := make([]float64, len(cols))
+		for j := range out {
+			for i, col := range cols {
+				x[i] = col[j]
+			}
+			y, err := model(x)
+			if err != nil {
+				return err
+			}
+			out[j] = y
+		}
+		return nil
+	}
+}
+
+func TestTotalEffectBatchMatchesPerCallBitForBit(t *testing.T) {
+	// The batched estimator must be indistinguishable from TotalEffect:
+	// same samples, same estimator order, same bits in every index.
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	model := func(x []float64) (float64, error) {
+		s := 0.0
+		for i, v := range x {
+			s += math.Sin(float64(i+1)*v) + v*v + 0.3*v*x[(i+1)%len(x)]
+		}
+		return s, nil
+	}
+	for _, seed := range []int64{0, 1, 42} {
+		cfg := Config{N: 192, Seed: seed}
+		want, err := TotalEffect(context.Background(), names, cfg, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TotalEffectBatch(context.Background(), names, cfg, func() (BatchEval, error) {
+			return batchOf(model), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.VarY != want.VarY || got.Evaluations != want.Evaluations {
+			t.Fatalf("seed %d: VarY/Evaluations (%v, %d) != (%v, %d)", seed, got.VarY, got.Evaluations, want.VarY, want.Evaluations)
+		}
+		for i := range names {
+			if math.Float64bits(got.Total[i]) != math.Float64bits(want.Total[i]) ||
+				math.Float64bits(got.First[i]) != math.Float64bits(want.First[i]) {
+				t.Errorf("seed %d input %s: batch (%v, %v) != per-call (%v, %v)",
+					seed, names[i], got.Total[i], got.First[i], want.Total[i], want.First[i])
+			}
+		}
+	}
+}
+
+func TestTotalEffectBatchErrorMatchesPerCall(t *testing.T) {
+	// A failing model must surface the same wrapped error through both
+	// drivers: first failing row, "sens: model eval: ..." formatting.
+	names := []string{"a", "b"}
+	boom := errors.New("boom at row")
+	model := func(x []float64) (float64, error) {
+		if x[0] > 1.05 {
+			return 0, boom
+		}
+		return x[0] + x[1], nil
+	}
+	cfg := Config{N: 64, Seed: 5}
+	_, wantErr := TotalEffect(context.Background(), names, cfg, model)
+	if wantErr == nil {
+		t.Fatal("per-call driver did not fail; pick a different seed")
+	}
+	_, gotErr := TotalEffectBatch(context.Background(), names, cfg, func() (BatchEval, error) {
+		return batchOf(model), nil
+	})
+	if gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Errorf("batch error %q != per-call error %q", gotErr, wantErr)
+	}
+	if !errors.Is(gotErr, boom) {
+		t.Errorf("batch error %v does not wrap the model error", gotErr)
+	}
+}
+
+func TestTotalEffectBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	_, err := TotalEffectBatch(ctx, []string{"a", "b", "c"}, Config{N: 512}, func() (BatchEval, error) {
+		return func(cols [][]float64, out []float64) error {
+			if evals.Add(int64(len(out))) >= 32 {
+				cancel()
+			}
+			return nil
+		}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if total := int64(512 * 5); evals.Load() >= total {
+		t.Errorf("all %d evaluations ran despite cancellation", total)
+	}
+}
+
 func TestTotalEffectCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var evals atomic.Int64

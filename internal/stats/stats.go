@@ -63,6 +63,14 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
+	return sortedPercentile(cp, p)
+}
+
+// sortedPercentile is Percentile on data already sorted ascending.
+func sortedPercentile(cp []float64, p float64) float64 {
+	if len(cp) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return cp[0]
 	}
@@ -122,6 +130,16 @@ func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
 // are the faithful estimator (the outputs are not Gaussian).
 func CI95(xs []float64) Interval {
 	return Interval{Lo: Percentile(xs, 2.5), Hi: Percentile(xs, 97.5)}
+}
+
+// SortedCI95 is CI95 for a sample slice the caller has already sorted
+// ascending (with sort.Float64s or equivalent): it reads the
+// interpolated percentile bounds in place, skipping Percentile's
+// copy-and-sort, and returns exactly the bits CI95 would. The batched
+// Monte-Carlo drivers take the mean first, then sort their sample
+// buffers in place and call this on the hot path.
+func SortedCI95(sorted []float64) Interval {
+	return Interval{Lo: sortedPercentile(sorted, 2.5), Hi: sortedPercentile(sorted, 97.5)}
 }
 
 // MeanCI95 returns a normal-approximation 95% confidence interval for

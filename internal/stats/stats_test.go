@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -49,6 +50,32 @@ func TestPercentileDoesNotMutate(t *testing.T) {
 	Percentile(xs, 50)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
 		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSortedCI95MatchesCI95BitForBit(t *testing.T) {
+	// SortedCI95 is the in-place fast path of the batched MC drivers;
+	// on a pre-sorted copy it must return exactly the bits CI95 returns
+	// on the unsorted original, for every sample size including the
+	// len-1 and len-2 edge ranks.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 7, 64, 1024} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		want := CI95(xs)
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		got := SortedCI95(cp)
+		if math.Float64bits(got.Lo) != math.Float64bits(want.Lo) ||
+			math.Float64bits(got.Hi) != math.Float64bits(want.Hi) {
+			t.Errorf("n=%d: SortedCI95 = %+v, CI95 = %+v", n, got, want)
+		}
+	}
+	empty := SortedCI95(nil)
+	if !math.IsNaN(empty.Lo) || !math.IsNaN(empty.Hi) {
+		t.Errorf("SortedCI95(nil) = %+v, want NaN bounds", empty)
 	}
 }
 

@@ -160,14 +160,19 @@ func ForChunks(ctx context.Context, n, workers, grain int, f func(lo, hi int) er
 	}
 	if workers <= 1 {
 		// Serial fallback: below the threshold (or on one CPU) the
-		// fan-out is pure overhead. Chunk boundaries still honor
-		// cancellation.
+		// fan-out is pure overhead. Chunks are sized like the parallel
+		// path's (n/4 rather than the minimum grain), since per-chunk
+		// setup — a factory call, an evaluator clone — costs the same
+		// either way; boundaries still honor cancellation, and the ≥4
+		// chunks keep the same promptness bound as one worker's share
+		// of the parallel fan-out.
+		chunk := ChunkSize(n, 1, grain)
 		var firstErr error
-		for lo := 0; lo < n; lo += grain {
+		for lo := 0; lo < n; lo += chunk {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			hi := lo + grain
+			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}

@@ -3,11 +3,14 @@ package timeline
 import (
 	"context"
 	"math"
+	"sync"
 
 	"ttmcas/internal/core"
 	"ttmcas/internal/cost"
 	"ttmcas/internal/design"
+	"ttmcas/internal/market"
 	"ttmcas/internal/sweep"
+	"ttmcas/internal/units"
 )
 
 // Options tune an evaluation run.
@@ -104,6 +107,51 @@ type Result struct {
 	InFlight *InFlightSummary `json:"in_flight,omitempty"`
 }
 
+// stepWorker is the pooled per-goroutine state of the batched step
+// fan-out: an evaluator clone bound to its compiled source, a batch
+// whose condition columns are refilled per chunk, the TTM/CAS output
+// slices and a conditions scratch for the per-step summary strings.
+// Workers are reused across Evaluate calls through stepWorkerPool; the
+// clone is rebuilt only when a pooled worker last served a different
+// evaluator, so steady-state chunk bodies allocate nothing beyond the
+// per-step Conditions composition itself.
+type stepWorker struct {
+	src   *core.Evaluator
+	ev    *core.Evaluator
+	b     core.Batch
+	ttm   []units.Weeks
+	cas   []float64
+	conds []market.Conditions
+	errs  core.BatchErrors
+}
+
+var stepWorkerPool sync.Pool
+
+func getStepWorker(ev *core.Evaluator, n int) *stepWorker {
+	w, _ := stepWorkerPool.Get().(*stepWorker)
+	if w == nil {
+		w = &stepWorker{}
+	}
+	if w.src != ev {
+		w.src = ev
+		w.ev = ev.Clone()
+	}
+	w.ev.ResizeConditions(&w.b, n)
+	if cap(w.ttm) < n {
+		w.ttm = make([]units.Weeks, n)
+	}
+	w.ttm = w.ttm[:n]
+	if cap(w.cas) < n {
+		w.cas = make([]float64, n)
+	}
+	w.cas = w.cas[:n]
+	if cap(w.conds) < n {
+		w.conds = make([]market.Conditions, n)
+	}
+	w.conds = w.conds[:n]
+	return w
+}
+
 func finiteWeeks(v float64) *float64 {
 	if math.IsInf(v, 0) || math.IsNaN(v) {
 		return nil
@@ -126,55 +174,72 @@ func Evaluate(ctx context.Context, m core.Model, d design.Design, n float64, tl 
 		HorizonWeeks: tl.spec.HorizonWeeks,
 	}
 
-	evalStep := func(i int) (Step, error) {
-		c := tl.ConditionsAt(i)
-		ev, err := m.Compile(d, n, c)
-		if err != nil {
-			return Step{}, err
+	// Compile once: the tables only depend on design × model (Compile
+	// errors are conditions-independent), and per-step market state is
+	// fed through the batch kernel's condition columns instead — the
+	// per-step Compile was where the old path spent its allocations.
+	ev, err := m.Compile(d, n, tl.ConditionsAt(0))
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = make([]Step, steps)
+
+	// body evaluates steps [lo, hi) as one structure-of-arrays batch:
+	// sample s of the pooled worker's batch is step lo+s with its own
+	// composed conditions, all perturbation columns nil (unperturbed,
+	// exactly core.Perturbation{}). Results land at disjoint index
+	// ranges of res.Steps, so chunk bodies need no synchronization.
+	body := func(lo, hi int) error {
+		cnt := hi - lo
+		w := getStepWorker(ev, cnt)
+		defer stepWorkerPool.Put(w)
+		for s := 0; s < cnt; s++ {
+			c := tl.ConditionsAt(lo + s)
+			w.conds[s] = c
+			w.ev.SetConditions(&w.b, s, c)
 		}
-		ttm, err := ev.Eval(core.Perturbation{})
-		if err != nil {
-			return Step{}, err
+		if err := w.ev.EvalBatch(&w.b, w.ttm, &w.errs); err != nil {
+			return err
 		}
-		cas, err := ev.CAS(core.Perturbation{})
-		if err != nil {
-			return Step{}, err
+		if _, err := w.errs.First(); err != nil {
+			return err
 		}
-		if opt.OnStep != nil {
-			opt.OnStep()
+		if err := w.ev.CASBatch(&w.b, w.cas, &w.errs); err != nil {
+			return err
 		}
-		w := finiteWeeks(float64(ttm))
-		return Step{
-			Week:       tl.WeekAt(i),
-			TTMWeeks:   w,
-			Stalled:    w == nil,
-			CAS:        cas,
-			Conditions: c.String(),
-		}, nil
+		if _, err := w.errs.First(); err != nil {
+			return err
+		}
+		for s := 0; s < cnt; s++ {
+			i := lo + s
+			wk := finiteWeeks(float64(w.ttm[s]))
+			res.Steps[i] = Step{
+				Week:       tl.WeekAt(i),
+				TTMWeeks:   wk,
+				Stalled:    wk == nil,
+				CAS:        w.cas[s],
+				Conditions: w.conds[s].String(),
+			}
+			if opt.OnStep != nil {
+				opt.OnStep()
+			}
+		}
+		return nil
 	}
 
 	if opt.Serial {
-		res.Steps = make([]Step, steps)
 		for i := 0; i < steps; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			st, err := evalStep(i)
-			if err != nil {
+			if err := body(i, i+1); err != nil {
 				return nil, err
 			}
-			res.Steps[i] = st
 		}
 	} else {
-		idx := make([]int, steps)
-		for i := range idx {
-			idx[i] = i
-		}
-		out, err := sweep.Map(ctx, idx, opt.Workers, evalStep)
-		if err != nil {
+		if err := sweep.ForChunks(ctx, steps, opt.Workers, 1, body); err != nil {
 			return nil, err
 		}
-		res.Steps = out
 	}
 
 	res.Summary = summarize(res.Steps, tl.StepWeeks())

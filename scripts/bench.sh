@@ -19,11 +19,28 @@
 #                # defaults: BENCH_jobs.json BENCH_serve.json
 #                #           BENCH_cluster.json BENCH_timeline.json
 #   BENCHTIME=5s scripts/bench.sh     # longer kernel runs for stabler numbers
+#   BENCHCOUNT=5 scripts/bench.sh     # more repetitions per benchmark
 #   SERVE_DURATION=10s scripts/bench.sh   # longer load-test scenarios
 #   BENCH_STRICT=1 scripts/bench.sh   # exit non-zero when a guard fails
 #
-# Guards (loud warning, failing the run when BENCH_STRICT=1):
+# The kernel and timeline benchmark suites run BENCHCOUNT times each
+# (default 3) and the recorded figure per benchmark is the best
+# repetition: on a shared or 1-vCPU runner the dominant error is
+# external load arriving in waves, which penalizes whichever benchmark
+# happens to be running — taking the per-benchmark minimum ns/op
+# compares serial and parallel drivers on their quiet-machine behavior
+# instead of on scheduler luck. Repetitions are whole-suite reruns
+# rather than `go test -count` (which repeats each benchmark
+# back-to-back, so one load wave can sink every repetition of a single
+# benchmark): rerunning the suite keeps paired serial/parallel
+# repetitions seconds apart and spreads the repetitions of each
+# benchmark across the full wall-clock span of the run.
+#
+# Guards (loud warning, failing the run when BENCH_STRICT=1 — CI runs
+# with BENCH_STRICT=1 now that the SobolParallel regression is fixed):
 #   - parallel drivers slower than their serial baselines
+#   - batched band curve below 2x the pre-batch compiled driver
+#     (3.68M evals/s) or allocating on its steady-state path
 #   - cached-hit p99 latency not below uncached p99
 #   - cached-hit RPS below 5x uncached RPS
 #   - 4-node cluster RPS below 0.8 x 4 x single-node RPS
@@ -35,48 +52,86 @@ serveout="${2:-BENCH_serve.json}"
 clusterout="${3:-BENCH_cluster.json}"
 timelineout="${4:-BENCH_timeline.json}"
 tmp="$(mktemp)"
+tmpbest="$(mktemp)"
 tmptl="$(mktemp)"
+tmptlbest="$(mktemp)"
 tmpbin="$(mktemp -d)"
-trap 'rm -f "$tmp" "$tmptl"; rm -rf "$tmpbin"' EXIT
+trap 'rm -f "$tmp" "$tmpbest" "$tmptl" "$tmptlbest"; rm -rf "$tmpbin"' EXIT
 
-go test -run '^$' -bench 'BandCurve|Sobol|ModelEvaluate|Evaluator' -benchmem \
-    -benchtime "${BENCHTIME:-2s}" \
-    ./internal/core ./internal/mc ./internal/sens | tee "$tmp"
+# best_of reduces repeated benchmark lines to one line per benchmark —
+# the repetition with the lowest ns/op — as "name ns allocs metric"
+# rows, where metric is the benchmark's reported rate (evals/s or
+# steps/s, "null" when absent).
+best_of() {
+    awk -v metric="$1" '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = ""; rate = "null"; allocs = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op")     ns = $i
+                if ($(i+1) == metric)      rate = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            if (ns == "") next
+            if (!(name in best)) { order[++cnt] = name }
+            if (!(name in best) || ns + 0 < best[name] + 0) {
+                best[name] = ns; brate[name] = rate; ballocs[name] = allocs
+            }
+        }
+        END {
+            for (i = 1; i <= cnt; i++) {
+                n = order[i]
+                print n, best[n], ballocs[n], brate[n]
+            }
+        }'
+}
 
-{
+# emit_json turns a best-of table into the recorded JSON document.
+emit_json() {
     printf '{\n'
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "benchmarks": [\n'
-    awk '
-        /^Benchmark/ {
+    awk -v field="$2" '
+        {
             name = $1
             sub(/^Benchmark/, "", name)
-            sub(/-[0-9]+$/, "", name)
-            ns = "null"; evals = "null"; allocs = "null"
-            for (i = 2; i < NF; i++) {
-                if ($(i+1) == "ns/op")     ns = $i
-                if ($(i+1) == "evals/s")   evals = $i
-                if ($(i+1) == "allocs/op") allocs = $i
-            }
             if (n++) printf ",\n"
-            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"evals_per_s\": %s}", name, ns, allocs, evals
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"%s\": %s}", name, $2, $3, field, $4
         }
         END { printf "\n" }
-    ' "$tmp"
+    ' "$1"
     printf '  ]\n'
     printf '}\n'
-} > "$out"
+}
 
+: > "$tmp"
+rep=0
+while [ "$rep" -lt "${BENCHCOUNT:-3}" ]; do
+    go test -run '^$' -bench 'BandCurve|Sobol|ModelEvaluate|Evaluator' -benchmem \
+        -benchtime "${BENCHTIME:-2s}" \
+        ./internal/core ./internal/mc ./internal/sens | tee -a "$tmp"
+    rep=$((rep + 1))
+done
+best_of "evals/s" < "$tmp" > "$tmpbest"
+
+emit_json "$tmpbest" evals_per_s > "$out"
 echo "wrote $out"
 
 # Parallel-vs-serial guard: the chunked drivers must not lose to their
-# serial baselines (10% tolerance for measurement noise).
+# serial baselines (10% tolerance for measurement noise), comparing
+# best-of-BENCHCOUNT repetitions.
 guard_status=0
+best_field() {
+    # $1 = benchmark name (without the Benchmark prefix), $2 = table,
+    # $3 = column: 2 ns/op, 3 allocs/op, 4 rate.
+    awk -v n="Benchmark$1" -v c="$3" '$1 == n { print $c; exit }' "$2"
+}
 check_pair() {
     par_name="$1"; ser_name="$2"
-    par=$(awk -v n="Benchmark$par_name" '$1 ~ "^"n"(-[0-9]+)?$" { print $3; exit }' "$tmp")
-    ser=$(awk -v n="Benchmark$ser_name" '$1 ~ "^"n"(-[0-9]+)?$" { print $3; exit }' "$tmp")
+    par=$(best_field "$par_name" "$tmpbest" 2)
+    ser=$(best_field "$ser_name" "$tmpbest" 2)
     if [ -z "$par" ] || [ -z "$ser" ]; then
         echo "WARNING: missing benchmark pair $par_name/$ser_name" >&2
         guard_status=1
@@ -91,6 +146,30 @@ check_pair() {
 }
 check_pair BandCurveParallel BandCurveSerial
 check_pair SobolParallel SobolSerial
+
+# Batch-kernel guard: the structure-of-arrays band-curve driver must
+# hold at least 2x the pre-batch compiled driver's 1.84M evals/s and
+# stay allocation-free in steady state.
+batch_evals="$(best_field BandCurveBatch "$tmpbest" 4)"
+batch_allocs="$(best_field BandCurveBatch "$tmpbest" 3)"
+[ "$batch_evals" = "null" ] && batch_evals=""
+if [ -z "$batch_evals" ] || [ -z "$batch_allocs" ]; then
+    echo "WARNING: missing BandCurveBatch benchmark" >&2
+    guard_status=1
+else
+    if awk -v e="$batch_evals" 'BEGIN { exit !(e < 3680000) }'; then
+        echo "WARNING: BandCurveBatch (${batch_evals} evals/s) below 2x the pre-batch compiled baseline (3.68M)" >&2
+        guard_status=1
+    else
+        echo "ok: BandCurveBatch ${batch_evals} evals/s >= 3.68M (2x pre-batch compiled)"
+    fi
+    if [ "$batch_allocs" != "0" ]; then
+        echo "WARNING: BandCurveBatch allocates (${batch_allocs} allocs/op), want 0" >&2
+        guard_status=1
+    else
+        echo "ok: BandCurveBatch steady state allocation-free"
+    fi
+fi
 
 # ---- serving-layer load test ---------------------------------------
 # Three in-process scenarios: every request a response-cache hit, every
@@ -176,43 +255,22 @@ echo "wrote $clusterout"
 # step count, where the fan-out has the most work to amortise (same
 # 10% noise tolerance as the kernel pairs — on a single-core runner
 # the two paths are equal up to scheduling noise).
-go test -run '^$' -bench 'Timeline' -benchmem \
-    -benchtime "${BENCHTIME:-2s}" ./internal/timeline | tee "$tmptl"
+: > "$tmptl"
+rep=0
+while [ "$rep" -lt "${BENCHCOUNT:-3}" ]; do
+    go test -run '^$' -bench 'Timeline' -benchmem \
+        -benchtime "${BENCHTIME:-2s}" ./internal/timeline | tee -a "$tmptl"
+    rep=$((rep + 1))
+done
+best_of "steps/s" < "$tmptl" > "$tmptlbest"
 
-{
-    printf '{\n'
-    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-    printf '  "go": "%s",\n' "$(go env GOVERSION)"
-    printf '  "benchmarks": [\n'
-    awk '
-        /^Benchmark/ {
-            name = $1
-            sub(/^Benchmark/, "", name)
-            sub(/-[0-9]+$/, "", name)
-            ns = "null"; sps = "null"; allocs = "null"
-            for (i = 2; i < NF; i++) {
-                if ($(i+1) == "ns/op")     ns = $i
-                if ($(i+1) == "steps/s")   sps = $i
-                if ($(i+1) == "allocs/op") allocs = $i
-            }
-            if (n++) printf ",\n"
-            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"steps_per_s\": %s}", name, ns, allocs, sps
-        }
-        END { printf "\n" }
-    ' "$tmptl"
-    printf '  ]\n'
-    printf '}\n'
-} > "$timelineout"
+emit_json "$tmptlbest" steps_per_s > "$timelineout"
 echo "wrote $timelineout"
 
-tl_steps_per_s() {
-    awk -v n="BenchmarkTimeline$1/steps=$2" '
-        $1 ~ "^"n"(-[0-9]+)?$" {
-            for (i = 2; i < NF; i++) if ($(i+1) == "steps/s") { print $i; exit }
-        }' "$tmptl"
-}
-tl_par="$(tl_steps_per_s Parallel 512)"
-tl_ser="$(tl_steps_per_s Serial 512)"
+tl_par="$(best_field 'TimelineParallel/steps=512' "$tmptlbest" 4)"
+tl_ser="$(best_field 'TimelineSerial/steps=512' "$tmptlbest" 4)"
+[ "$tl_par" = "null" ] && tl_par=""
+[ "$tl_ser" = "null" ] && tl_ser=""
 if [ -z "$tl_par" ] || [ -z "$tl_ser" ]; then
     echo "WARNING: missing timeline benchmark pair (steps=512)" >&2
     guard_status=1
