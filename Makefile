@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke
+.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke distjobssmoke
 
-check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke
+check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke distjobssmoke
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,14 @@ clustersmoke:
 # sheds.
 timelinesmoke:
 	$(GO) run ./cmd/ttmcas-loadgen -scenario timeline -d 2s -c 4 -check
+
+# A 4-node in-process cluster running heavy mc-band batch jobs sharded
+# across the ring, with a mid-run node kill and rejoin; -check runs a
+# single-node baseline first and asserts zero lost jobs, remotely
+# completed shards, a reconverged ring, and >= 0.7 x 4 x baseline
+# jobs/s.
+distjobssmoke:
+	$(GO) run ./cmd/ttmcas-loadgen -scenario distjobs -nodes 4 -kill -d 2s -c 3 -check
 
 # Full measurement runs (kernel, band curves, Sobol) with allocation
 # counts and a parallel-vs-serial guard; writes BENCH_jobs.json.

@@ -37,6 +37,20 @@
 //     cached:uncached — the hit side measures the response cache on
 //     composed-timeline bodies, the miss side the compile-every-step
 //     evaluation. Requires in-process mode.
+//   - distjobs: the distributed-job harness. -nodes full server stacks
+//     run in-process (as in cluster); nodes×-c closed-loop workers
+//     drive heavy mc-band batch jobs end to end (submit, poll, fetch)
+//     with distinct seeds so ownership spreads across the ring. Each
+//     job is sharded across the alive peers by the distributed
+//     executor, with a synthetic per-evaluation latency floor
+//     (jobs.PaceShard) so job wall time is sleep-bound and sharding is
+//     a genuine ~P× speedup on one CPU. -kill kills one node a quarter
+//     into the run and restarts it at three quarters; shard dispatches
+//     to the dead peer hedge to the next-alive node and fall back to
+//     local compute, so no job is lost. With -check, a single-node
+//     baseline runs first and the run must lose zero jobs, complete
+//     shards remotely, reconverge after the kill, and sustain at least
+//     0.7 × nodes × baseline jobs/s.
 //   - cluster: the scaling-contract harness. -nodes full server stacks
 //     run in-process, each on a real loopback listener so peer forwards
 //     travel over actual HTTP; clients dispatch straight into the node
@@ -106,7 +120,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ttmcas-loadgen", flag.ContinueOnError)
 	target := fs.String("target", "", "base URL of a live server; empty runs the server in-process")
-	scenario := fs.String("scenario", "cached", "request mix: cached, uncached, mixed, chaos, timeline or cluster")
+	scenario := fs.String("scenario", "cached", "request mix: cached, uncached, mixed, chaos, timeline, cluster or distjobs")
 	concurrency := fs.Int("c", 8, "closed-loop worker count")
 	duration := fs.Duration("d", 5*time.Second, "measured run duration")
 	design := fs.String("design", "a11", "design name the requests evaluate")
@@ -121,12 +135,19 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *scenario == "cluster" {
+	if *scenario == "cluster" || *scenario == "distjobs" {
 		if *target != "" {
-			return fmt.Errorf("scenario cluster drives an in-process fleet; -target is not supported")
+			return fmt.Errorf("scenario %s drives an in-process fleet; -target is not supported", *scenario)
 		}
 		if *nodes < 1 {
 			return fmt.Errorf("-nodes must be at least 1")
+		}
+		if *scenario == "distjobs" {
+			return runDistjobs(distjobsOpts{
+				nodes: *nodes, kill: *kill, concurrency: *concurrency, duration: *duration,
+				design: *design, node: *node, chips: *chips, seed: *seed,
+				asJSON: *asJSON, check: *check,
+			})
 		}
 		return runCluster(clusterOpts{
 			nodes: *nodes, kill: *kill, concurrency: *concurrency, duration: *duration,

@@ -1,0 +1,425 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loopback is an in-process Distributor: Dispatch runs the shard
+// locally through the same RunShard a remote peer would, so gathered
+// results exercise the real scatter/gather surface without a network.
+// Targets can be marked transport-dead to drive hedging and fallback.
+type loopback struct {
+	targets []string
+	lim     Limits
+
+	mu         sync.Mutex
+	dispatched map[string]int
+	dead       map[string]bool
+}
+
+func newLoopback(n int) *loopback {
+	d := &loopback{
+		dispatched: make(map[string]int),
+		dead:       make(map[string]bool),
+	}
+	for i := 0; i < n; i++ {
+		d.targets = append(d.targets, fmt.Sprintf("peer-%d", i))
+	}
+	return d
+}
+
+func (d *loopback) Targets() []string { return d.targets }
+
+func (d *loopback) kill(target string) {
+	d.mu.Lock()
+	d.dead[target] = true
+	d.mu.Unlock()
+}
+
+func (d *loopback) calls() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, c := range d.dispatched {
+		n += c
+	}
+	return n
+}
+
+func (d *loopback) Dispatch(ctx context.Context, target string, req ShardRequest) (ShardResult, error) {
+	d.mu.Lock()
+	d.dispatched[target]++
+	dead := d.dead[target]
+	d.mu.Unlock()
+	if dead {
+		return ShardResult{}, errors.New("loopback: connection refused")
+	}
+	return RunShard(ctx, d.lim, req, nil)
+}
+
+// runJobOn submits the spec to a fresh manager wired with d (nil for
+// single-node) and returns the finished view plus raw result JSON.
+func runJobOn(t *testing.T, d Distributor, spec Spec) (View, json.RawMessage) {
+	t.Helper()
+	cfg := quietConfig()
+	cfg.Distributor = d
+	cfg.DistMinEvaluations = 1
+	m := New(cfg)
+	defer m.Close()
+	v, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFinished(t, m, v.ID)
+	if fin.Status != StatusSucceeded {
+		return fin, nil
+	}
+	raw, _, err := m.Result(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fin, raw
+}
+
+func oracleSpecs() map[string]Spec {
+	xs := make([]float64, 9)
+	for i := range xs {
+		xs[i] = 0.5 + 0.05*float64(i)
+	}
+	return map[string]Spec{
+		"mc-band": {Kind: KindMCBand, Design: "a11", Samples: 48, Seed: 11, Xs: xs},
+		"mc-band-cas": {Kind: KindMCBand, Design: "zen2", Metric: "cas",
+			Samples: 32, Seed: 3, Xs: xs[:5]},
+		"sensitivity": {Kind: KindSensitivity, Design: "zen2", Samples: 24,
+			Seed: 7, Variation: 0.25},
+		"sweep": {Kind: KindSweep, Design: "a11",
+			Quantities: []float64{1e6, 5e6, 20e6}},
+		"timeline": {Kind: KindTimeline, Design: "zen2",
+			Episode: "export-control-shock", InFlight: true},
+	}
+}
+
+// TestDistributedOracleBitForBit is the tentpole guarantee: for every
+// shardable kind, the sharded scatter/gather result is byte-for-byte
+// the single-node result. Byte equality of the JSON is strictly
+// stronger than per-value math.Float64bits equality — Go renders each
+// distinct float64 bit pattern as a distinct shortest-round-trip
+// string — and additionally pins field order and structure.
+func TestDistributedOracleBitForBit(t *testing.T) {
+	for name, spec := range oracleSpecs() {
+		t.Run(name, func(t *testing.T) {
+			_, serial := runJobOn(t, nil, spec)
+			d := newLoopback(2)
+			fin, dist := runJobOn(t, d, spec)
+			if fin.Status != StatusSucceeded {
+				t.Fatalf("distributed job: %s (%s)", fin.Status, fin.Error)
+			}
+			if d.calls() == 0 {
+				t.Fatal("job never dispatched a shard — distribution did not engage")
+			}
+			if !bytes.Equal(serial, dist) {
+				t.Fatalf("distributed result differs from serial:\nserial: %s\ndist:   %s", serial, dist)
+			}
+		})
+	}
+}
+
+// TestDistributedOracleBandBits re-checks the mc-band oracle at the
+// float64 bit level after decoding, independent of JSON rendering.
+func TestDistributedOracleBandBits(t *testing.T) {
+	spec := oracleSpecs()["mc-band"]
+	_, serialRaw := runJobOn(t, nil, spec)
+	_, distRaw := runJobOn(t, newLoopback(3), spec)
+	var serial, dist BandResult
+	if err := json.Unmarshal(serialRaw, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(distRaw, &dist); err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Points) != len(dist.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(dist.Points))
+	}
+	bits := func(p *float64) uint64 {
+		if p == nil {
+			return 0
+		}
+		return math.Float64bits(*p)
+	}
+	for i := range serial.Points {
+		s, g := serial.Points[i], dist.Points[i]
+		if bits(s.Mean) != bits(g.Mean) || bits(s.CI10Lo) != bits(g.CI10Lo) ||
+			bits(s.CI10Hi) != bits(g.CI10Hi) || bits(s.CI25Lo) != bits(g.CI25Lo) ||
+			bits(s.CI25Hi) != bits(g.CI25Hi) {
+			t.Fatalf("point %d differs at the bit level: %+v vs %+v", i, s, g)
+		}
+	}
+}
+
+// TestDistributedErrorSurfaceMatchesSerial: a deterministic compute
+// error (degenerate Sobol variance from a vanishing variation) must
+// fail the distributed job with exactly the serial job's error string.
+func TestDistributedErrorSurfaceMatchesSerial(t *testing.T) {
+	spec := Spec{Kind: KindSensitivity, Design: "a11", Samples: 16,
+		Seed: 5, Variation: 1e-300}
+	serial, _ := runJobOn(t, nil, spec)
+	if serial.Status != StatusFailed {
+		t.Fatalf("serial job: %s (%s), want failed", serial.Status, serial.Error)
+	}
+	dist, _ := runJobOn(t, newLoopback(2), spec)
+	if dist.Status != StatusFailed {
+		t.Fatalf("distributed job: %s (%s), want failed", dist.Status, dist.Error)
+	}
+	if serial.Error != dist.Error {
+		t.Fatalf("error surfaces differ:\nserial: %q\ndist:   %q", serial.Error, dist.Error)
+	}
+}
+
+// TestDistributedShardErrorLowestIndexWins: when several shards carry
+// compute errors, the coordinator must surface the lowest-index one —
+// the error the serial run would have hit first.
+func TestDistributedShardErrorLowestIndexWins(t *testing.T) {
+	cfg := quietConfig().withDefaults()
+	m := New(cfg)
+	defer m.Close()
+	j := &Job{id: "job-000001", spec: validSpec().normalized()}
+	parts := []ShardResult{
+		{Index: 0},
+		{Index: 1, Err: "boom at shard 1"},
+		{Index: 2, Err: "boom at shard 2"},
+	}
+	d := &errInjector{parts: parts}
+	targets := []string{"p0", "p1"}
+	reqs := []ShardRequest{
+		{Index: 0, Lo: 0, Hi: 1, Spec: j.spec},
+		{Index: 1, Lo: 1, Hi: 2, Spec: j.spec},
+		{Index: 2, Lo: 2, Hi: 3, Spec: j.spec},
+	}
+	_, err := m.runDistributed(context.Background(), j, d, targets, reqs)
+	if err == nil || err.Error() != "boom at shard 1" {
+		t.Fatalf("err = %v, want the lowest-index shard error", err)
+	}
+}
+
+// errInjector returns pre-built shard results, including for shard 0's
+// local slot — runDistributed runs shard 0 itself, so the injector only
+// serves indices ≥ 1.
+type errInjector struct{ parts []ShardResult }
+
+func (d *errInjector) Targets() []string { return []string{"p0", "p1"} }
+func (d *errInjector) Dispatch(ctx context.Context, target string, req ShardRequest) (ShardResult, error) {
+	return d.parts[req.Index], nil
+}
+
+// TestDistributedHedgesToNextPeer: a transport-dead first target must
+// not fail the shard — it re-dispatches to the next peer and the job
+// still matches the serial result.
+func TestDistributedHedgesToNextPeer(t *testing.T) {
+	spec := oracleSpecs()["mc-band"]
+	_, serial := runJobOn(t, nil, spec)
+	d := newLoopback(2)
+	d.kill("peer-0")
+	fin, dist := runJobOn(t, d, spec)
+	if fin.Status != StatusSucceeded {
+		t.Fatalf("job with one dead peer: %s (%s)", fin.Status, fin.Error)
+	}
+	if !bytes.Equal(serial, dist) {
+		t.Fatalf("hedged result differs from serial:\nserial: %s\ndist:   %s", serial, dist)
+	}
+	d.mu.Lock()
+	alive := d.dispatched["peer-1"]
+	d.mu.Unlock()
+	if alive == 0 {
+		t.Fatal("surviving peer never received a hedged dispatch")
+	}
+}
+
+// TestDistributedFallsBackWhenRingDead: every peer transport-dead — the
+// coordinator computes all shards locally and the job still succeeds
+// with the serial bits. A dead ring degrades throughput, never
+// correctness.
+func TestDistributedFallsBackWhenRingDead(t *testing.T) {
+	spec := oracleSpecs()["sweep"]
+	_, serial := runJobOn(t, nil, spec)
+	d := newLoopback(2)
+	d.kill("peer-0")
+	d.kill("peer-1")
+	fin, dist := runJobOn(t, d, spec)
+	if fin.Status != StatusSucceeded {
+		t.Fatalf("job on dead ring: %s (%s)", fin.Status, fin.Error)
+	}
+	if !bytes.Equal(serial, dist) {
+		t.Fatalf("fallback result differs from serial:\nserial: %s\ndist:   %s", serial, dist)
+	}
+}
+
+// TestDistributedProgressAggregates: the coordinator's done/total must
+// cover the whole job — local shard streaming plus remote bulk adds —
+// so the existing ETA math keeps working unchanged.
+func TestDistributedProgressAggregates(t *testing.T) {
+	spec := oracleSpecs()["mc-band"]
+	fin, _ := runJobOn(t, newLoopback(2), spec)
+	want := uint64(spec.EstimatedEvaluations())
+	if fin.Total != want || fin.Done != want {
+		t.Fatalf("progress = %d/%d, want %d/%d", fin.Done, fin.Total, want, want)
+	}
+}
+
+// TestDistributedCancelFansOut: cancelling the coordinator cancels the
+// dispatch contexts; the job ends cancelled, not hung.
+func TestDistributedCancelFansOut(t *testing.T) {
+	started := make(chan struct{})
+	d := &blockingDistributor{started: started, release: make(chan struct{})}
+	defer close(d.release)
+	cfg := quietConfig()
+	cfg.Distributor = d
+	cfg.DistMinEvaluations = 1
+	m := New(cfg)
+	defer m.Close()
+	spec := oracleSpecs()["mc-band"]
+	spec.Samples = 512 // keep the local shard busy long enough to cancel
+	v, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFinished(t, m, v.ID)
+	if fin.Status != StatusCancelled {
+		t.Fatalf("status = %s (%s), want cancelled", fin.Status, fin.Error)
+	}
+}
+
+// blockingDistributor parks every dispatch until its context dies,
+// signalling the first arrival — a stand-in for a hung peer.
+type blockingDistributor struct {
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func (d *blockingDistributor) Targets() []string { return []string{"p0"} }
+func (d *blockingDistributor) Dispatch(ctx context.Context, target string, req ShardRequest) (ShardResult, error) {
+	d.once.Do(func() { close(d.started) })
+	select {
+	case <-ctx.Done():
+		return ShardResult{}, ctx.Err()
+	case <-d.release:
+		return ShardResult{}, errors.New("released")
+	}
+}
+
+// TestPlanShards pins the planner's gating and balance.
+func TestPlanShards(t *testing.T) {
+	s := Spec{Kind: KindMCBand, Design: "a11", Samples: 64,
+		Xs: []float64{0.3, 0.4, 0.5, 0.6, 0.7}}.normalized()
+	if got := planShards(s, "j", 0, 1); got != nil {
+		t.Fatalf("no targets: planned %d shards", len(got))
+	}
+	if got := planShards(s, "j", 2, 1<<30); got != nil {
+		t.Fatal("below min evaluations: plan should be nil")
+	}
+	reqs := planShards(s, "j", 2, 1)
+	if len(reqs) != 3 {
+		t.Fatalf("planned %d shards, want 3", len(reqs))
+	}
+	covered := 0
+	for i, r := range reqs {
+		if r.Index != i || r.Lo >= r.Hi {
+			t.Fatalf("shard %d malformed: %+v", i, r)
+		}
+		if i > 0 && r.Lo != reqs[i-1].Hi {
+			t.Fatalf("shards not contiguous at %d", i)
+		}
+		covered += r.Hi - r.Lo
+	}
+	if covered != 5 || reqs[0].Lo != 0 || reqs[len(reqs)-1].Hi != 5 {
+		t.Fatalf("shards cover %d of 5 positions", covered)
+	}
+	// More peers than work: capped at one index per shard.
+	if reqs := planShards(s, "j", 16, 1); len(reqs) != 5 {
+		t.Fatalf("oversubscribed ring planned %d shards, want 5", len(reqs))
+	}
+	// Pareto does not shard.
+	p := Spec{Kind: KindPareto, Design: "a11"}.normalized()
+	if got := planShards(p, "j", 4, 1); got != nil {
+		t.Fatal("pareto planned shards; kind is not shardable")
+	}
+}
+
+// TestRunShardRejectsBadRange: malformed ranges are invalid-spec
+// errors, not crashes or silent truncation.
+func TestRunShardRejectsBadRange(t *testing.T) {
+	s := validSpec().normalized()
+	for _, r := range [][2]int{{-1, 1}, {1, 1}, {2, 1}, {0, 100}} {
+		req := ShardRequest{Job: "j", Lo: r[0], Hi: r[1], Spec: s}
+		if _, err := RunShard(context.Background(), Limits{}, req, nil); !errors.Is(err, ErrInvalidSpec) {
+			t.Fatalf("range [%d,%d): err = %v, want ErrInvalidSpec", r[0], r[1], err)
+		}
+	}
+	req := ShardRequest{Job: "j", Lo: 0, Hi: 1, Spec: Spec{Kind: KindPareto, Design: "a11"}.normalized()}
+	if _, err := RunShard(context.Background(), Limits{}, req, nil); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("pareto shard: err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+// TestMidFlightSnapshotRestoresClean: a snapshot persisted while a
+// (distributed) run was mid-flight — status running, progress counters
+// non-zero — must restore as a clean pending job with no orphan
+// done/total, then re-run from the spec. Companion to the truncated
+// `.corrupt` quarantine case in TestCorruptSnapshotQuarantined.
+func TestMidFlightSnapshotRestoresClean(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now().UTC()
+	sf := snapshotFile{View: View{
+		ID:      "job-000003",
+		Kind:    KindMCBand,
+		Status:  StatusRunning,
+		Spec:    validSpec().normalized(),
+		Created: now,
+		Started: &now,
+		Done:    17,
+		Total:   96,
+	}}
+	data, err := json.Marshal(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "job-000003.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quietConfig()
+	cfg.SnapshotDir = dir
+	m := New(cfg)
+	defer m.Close()
+	fin := waitFinished(t, m, "job-000003")
+	if fin.Status != StatusSucceeded {
+		t.Fatalf("re-run of mid-flight job: %s (%s)", fin.Status, fin.Error)
+	}
+	if !fin.Restored {
+		t.Fatal("job lost its restored mark")
+	}
+	// The re-run owns the progress counters outright: the spec's own
+	// totals, no orphan units from the dead coordinator.
+	want := uint64(validSpec().normalized().EstimatedEvaluations())
+	if fin.Total != want || fin.Done != want {
+		t.Fatalf("progress after re-run = %d/%d, want %d/%d", fin.Done, fin.Total, want, want)
+	}
+	if strings.Contains(fin.Error, "orphan") {
+		t.Fatal(fin.Error)
+	}
+}

@@ -14,6 +14,31 @@
 // memory until a TTL and, when a snapshot directory is configured,
 // persisted as JSON so a restarted manager lists completed results and
 // resumes interrupted runs.
+//
+// # Distributed execution
+//
+// When a Distributor is configured (in the server, the cluster peer
+// layer) and a job's estimated evaluation count reaches
+// Config.DistMinEvaluations, the manager shards the job across alive
+// peers instead of running it serially: mc-band by x-position range,
+// sensitivity by flattened Saltelli evaluation-index range (merged by
+// sens.Reduce, the serial reducer), sweep by grid-cell range and
+// timeline by step range. Because the underlying sample streams are
+// counter-based (O(1)-seekable by position), a shard computing
+// [lo,hi) draws exactly the values the serial run would have drawn
+// there, and the gathered result — values and error surface alike —
+// is byte-identical to the single-node answer; dist_test.go holds the
+// oracle tests.
+//
+// Distribution is an optimization, never a correctness dependency.
+// Each shard runs under Config.ShardTimeout; transport failures and
+// timeouts hedge to the next alive peer and finally fall back to
+// local execution on the coordinator, so a dead ring never fails a
+// job a single node could finish. Compute errors inside a shard are
+// the job's answer and are not retried. Progress aggregates across
+// shards through the job's Tracker, cancellation fans out to every
+// in-flight shard, and a ShardObserver (the server's metrics
+// registry) sees every dispatch, completion, hedge and fallback.
 package jobs
 
 import (
@@ -87,7 +112,25 @@ type Config struct {
 	// Logger receives job lifecycle logs (default log.Default()).
 	Logger *log.Logger
 	// Observer receives lifecycle callbacks for metrics; nil disables.
+	// An observer that also implements ShardObserver receives shard
+	// lifecycle events from distributed runs.
 	Observer Observer
+
+	// Distributor, when non-nil, shards heavy jobs across cluster
+	// peers (see dist.go); nil runs every job single-node.
+	Distributor Distributor
+	// ShardTimeout is the per-attempt deadline of one remote shard
+	// dispatch; past it the shard hedges to the next peer (default 1m).
+	ShardTimeout time.Duration
+	// DistMinEvaluations is the minimum estimated evaluation count for
+	// a job to be worth distributing (default 4096); smaller jobs run
+	// locally regardless of ring size.
+	DistMinEvaluations int
+	// EvalDelay, when positive, stretches every shardable compute by
+	// shardUnits × EvalDelay of sleep — the benchmark harness's
+	// latency-bound compute floor (see PaceShard). Zero (the default)
+	// disables pacing; production configs never set it.
+	EvalDelay time.Duration
 
 	// now is the test seam for time.
 	now func() time.Time
@@ -119,6 +162,12 @@ func (c Config) withDefaults() Config {
 		c.DefaultTimeout = 10 * time.Minute
 	}
 	c.Limits = c.Limits.withDefaults()
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = time.Minute
+	}
+	if c.DistMinEvaluations <= 0 {
+		c.DistMinEvaluations = 4096
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -361,6 +410,31 @@ func (m *Manager) Get(id string) (View, bool) {
 	return j.view(m.cfg.now()), true
 }
 
+// SpecLimits returns the manager's effective spec limits — the clamp
+// shard executors apply so a scattered spec is vetted exactly as a
+// local submission would be.
+func (m *Manager) SpecLimits() Limits { return m.cfg.Limits }
+
+// Counts returns the instantaneous number of queued (pending) and
+// running jobs — the queue-depth and running-jobs gauges. Unlike a
+// counter derived from lifecycle events, a direct scan cannot drift
+// when a job is cancelled before it ever starts.
+func (m *Manager) Counts() (pending, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case StatusPending:
+			pending++
+		case StatusRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return pending, running
+}
+
 // List returns every stored job, newest first.
 func (m *Manager) List() []View {
 	m.mu.Lock()
@@ -488,7 +562,7 @@ func (m *Manager) runJob(j *Job) {
 				m.log.Printf("jobs: %s panicked: %v\n%s", j.id, rec, debug.Stack())
 			}
 		}()
-		result, err = j.spec.run(ctx, Tracker{j})
+		result, err = m.runSpec(ctx, j)
 	}()
 
 	drained := m.ctx.Err() != nil

@@ -160,13 +160,18 @@ func (m *Manager) loadSnapshots() []*Job {
 			j.finished = *v.Finished
 		}
 		if !j.status.Finished() {
-			// Interrupted before completing: re-run from scratch.
+			// Interrupted before completing: re-run from scratch. Both
+			// progress counters reset — a mid-flight snapshot (e.g. a
+			// distributed coordinator that persisted while scattering)
+			// must not leave orphan done/total from the dead run; the
+			// re-run's SetTotal re-establishes the denominator.
 			j.status = StatusPending
 			j.started = time.Time{}
 			j.finished = time.Time{}
 			j.err = ""
 			j.result = nil
 			j.done.Store(0)
+			j.total.Store(0)
 			resume = append(resume, j)
 		}
 		m.insertLocked(j) // no concurrency yet: New has not started workers

@@ -559,7 +559,24 @@ func (s Spec) runSensitivity(ctx context.Context, pr Tracker) (any, error) {
 	// The Saltelli columns feed the kernel's EvalBatch directly
 	// (core.Inputs order is the batch column order); progress advances
 	// once per sample so the tracker total stays N·(k+2).
-	res, err := sens.TotalEffectBatch(ctx, core.Inputs, cfg, func() (sens.BatchEval, error) {
+	res, err := sens.TotalEffectBatch(ctx, core.Inputs, cfg, sensBatchFactory(ev, pr.Add))
+	if err != nil {
+		return nil, err
+	}
+	return SensitivityResult{
+		Design: d.Name, Chips: n,
+		Inputs: res.Inputs, TotalEffect: res.Total, FirstOrder: res.First,
+		VarY: res.VarY, Evaluations: res.Evaluations,
+	}, nil
+}
+
+// sensBatchFactory adapts a compiled evaluator to the sens.BatchEval
+// shape: each call clones the evaluator for its goroutine, binds the
+// Saltelli columns as batch inputs, and reports progress per completed
+// sample (before surfacing the first per-sample error, so the count
+// matches what was actually evaluated).
+func sensBatchFactory(ev *core.Evaluator, onEval func(uint64)) func() (sens.BatchEval, error) {
+	return func() (sens.BatchEval, error) {
 		w := ev.Clone()
 		var (
 			b    core.Batch
@@ -575,22 +592,16 @@ func (s Spec) runSensitivity(ctx context.Context, pr Tracker) (any, error) {
 			if err := w.EvalBatch(&b, ws, &errs); err != nil {
 				return err
 			}
-			pr.Add(uint64(len(out)))
+			if onEval != nil {
+				onEval(uint64(len(out)))
+			}
 			for j, t := range ws {
 				out[j] = float64(t)
 			}
 			_, err := errs.First()
 			return err
 		}, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return SensitivityResult{
-		Design: d.Name, Chips: n,
-		Inputs: res.Inputs, TotalEffect: res.Total, FirstOrder: res.First,
-		VarY: res.VarY, Evaluations: res.Evaluations,
-	}, nil
 }
 
 // ---- sweep ---------------------------------------------------------
@@ -640,10 +651,25 @@ func (s Spec) runSweep(ctx context.Context, pr Tracker) (any, error) {
 		return nil, err
 	}
 	pr.SetTotal(uint64(len(cells)))
-	var m core.Model
-	var cm ttmcas.CostModel
+	eval := sweepCellEval(d, c)
 	out, err := sweep.Map(ctx, cells, 0, func(cell gridCell) (SweepCell, error) {
 		defer pr.Add(1)
+		return eval(cell)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return SweepResult{Design: d.Name, Cells: out}, nil
+}
+
+// sweepCellEval returns the per-cell evaluator of the sweep kind:
+// retarget the design to the cell's node and report TTM, CAS and cost
+// at the cell's quantity. Shared by the serial runner and the shard
+// runner so both produce identical cells.
+func sweepCellEval(d ttmcas.Design, c ttmcas.Conditions) func(gridCell) (SweepCell, error) {
+	var m core.Model
+	var cm ttmcas.CostModel
+	return func(cell gridCell) (SweepCell, error) {
 		rd := d.Retarget(cell.node)
 		ttm, err := m.TTM(rd, cell.q, c)
 		if err != nil {
@@ -663,11 +689,7 @@ func (s Spec) runSweep(ctx context.Context, pr Tracker) (any, error) {
 			TTMWeeks: w, Stalled: w == nil,
 			CAS: cas.CAS, CostUSD: float64(total),
 		}, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return SweepResult{Design: d.Name, Cells: out}, nil
 }
 
 // ---- pareto --------------------------------------------------------

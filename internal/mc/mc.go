@@ -371,6 +371,7 @@ type bandCall struct {
 	ev     *core.Evaluator
 	cfg    Config
 	xs     []float64
+	pos0   int
 	metric Metric
 	out    []Band
 	onEval func()
@@ -387,6 +388,17 @@ var bandCallPool sync.Pool
 // state comes from package pools, so steady-state calls allocate
 // nothing. The bands are bit-for-bit those of the per-call walker.
 func BandCurveBatch(ctx context.Context, ev *core.Evaluator, cfg Config, xs []float64, metric Metric, out []Band, onEval func()) error {
+	return BandCurveBatchAt(ctx, ev, cfg, xs, 0, metric, out, onEval)
+}
+
+// BandCurveBatchAt is BandCurveBatch for a contiguous slice of a larger
+// curve: xs holds positions [pos0, pos0+len(xs)) of the full walk, and
+// each position i derives its streams from seedAt(pos0+i). Because the
+// per-position streams are pure functions of (Seed, absolute position),
+// a curve split into range shards — possibly computed on different
+// machines — concatenates into exactly the bands the unsplit walk
+// produces, bit for bit. Distributed job sharding depends on this.
+func BandCurveBatchAt(ctx context.Context, ev *core.Evaluator, cfg Config, xs []float64, pos0 int, metric Metric, out []Band, onEval func()) error {
 	if len(out) != len(xs) {
 		return fmt.Errorf("mc: band output length %d != x-position count %d", len(out), len(xs))
 	}
@@ -395,7 +407,7 @@ func BandCurveBatch(ctx context.Context, ev *core.Evaluator, cfg Config, xs []fl
 		c = &bandCall{}
 		c.fn = c.run
 	}
-	c.ev, c.cfg, c.xs, c.metric, c.out, c.onEval = ev, cfg, xs, metric, out, onEval
+	c.ev, c.cfg, c.xs, c.pos0, c.metric, c.out, c.onEval = ev, cfg, xs, pos0, metric, out, onEval
 	err := sweep.ForChunks(ctx, len(xs), 0, 1, c.fn)
 	c.ev, c.xs, c.out, c.onEval = nil, nil, nil, nil
 	bandCallPool.Put(c)
@@ -408,7 +420,7 @@ func (c *bandCall) run(lo, hi int) error {
 	defer mcWorkerPool.Put(w)
 	for i := lo; i < hi; i++ {
 		x := c.xs[i]
-		seed := c.cfg.seedAt(i)
+		seed := c.cfg.seedAt(c.pos0 + i)
 		fillPerturbationColumns(&w.b, n, seed, 0, 0.10)
 		if err := w.stream(c.metric, x, w.buf10, c.onEval); err != nil {
 			return err

@@ -367,6 +367,120 @@ func TotalEffectBatch(ctx context.Context, names []string, cfg Config, factory f
 	return res, nil
 }
 
+// EvalRange evaluates the contiguous range [lo, hi) of the flattened
+// Saltelli index space [0, (k+2)·n): index m < n is pooled row f(A_m),
+// n ≤ m < 2n is f(B_{m−n}), and m ≥ 2n is the fused AB region where
+// m−2n encodes (input i = (m−2n)/n, row j = (m−2n)%n). out[m−lo]
+// receives the model output of index m. The samples are the exact
+// column-shaped streams TotalEffectBatch draws (the full matrices are
+// redrawn locally — drawing is ~ns per sample, negligible next to the
+// model evaluations), so assembling every range's outputs into one
+// (k+2)·n vector and handing it to Reduce reproduces TotalEffectBatch
+// bit for bit. This is the sharding surface of distributed jobs: peers
+// evaluate disjoint ranges, the coordinator reduces.
+//
+// Error surface: a chunk stops at its first failing row, errors are
+// wrapped exactly like TotalEffectBatch's, and the lowest-index error
+// of the range wins — so the minimum-index error across disjoint
+// ranges is the error the unsplit run would have reported.
+func EvalRange(ctx context.Context, k int, cfg Config, lo, hi int, out []float64, factory func() (BatchEval, error)) error {
+	if k <= 0 {
+		return errors.New("sens: no inputs")
+	}
+	n := cfg.n()
+	total := (k + 2) * n
+	if lo < 0 || hi > total || lo > hi {
+		return fmt.Errorf("sens: range [%d,%d) outside [0,%d]", lo, hi, total)
+	}
+	if len(out) != hi-lo {
+		return fmt.Errorf("sens: output length %d != range length %d", len(out), hi-lo)
+	}
+	A, B := saltelliColumns(cfg, k)
+	return sweep.ForChunks(ctx, hi-lo, 0, sweep.DefaultGrain, func(clo, chi int) error {
+		eval, err := factory()
+		if err != nil {
+			return err
+		}
+		cols := make([][]float64, k)
+		for m := lo + clo; m < lo+chi; {
+			var seg int // global end of the current dense segment
+			switch {
+			case m < n: // f(A)
+				seg = min(n, lo+chi)
+				j, cnt := m, seg-m
+				for c := range cols {
+					cols[c] = A[c][j : j+cnt]
+				}
+			case m < 2*n: // f(B)
+				seg = min(2*n, lo+chi)
+				j, cnt := m-n, seg-m
+				for c := range cols {
+					cols[c] = B[c][j : j+cnt]
+				}
+			default: // f(AB_i): A's columns with column i swapped to B's
+				i, j := (m-2*n)/n, (m-2*n)%n
+				seg = min(2*n+(i+1)*n, lo+chi)
+				cnt := seg - m
+				for c := range cols {
+					cols[c] = A[c][j : j+cnt]
+				}
+				cols[i] = B[i][j : j+cnt]
+			}
+			if err := eval(cols, out[m-lo:seg-lo]); err != nil {
+				return fmt.Errorf("sens: model eval: %w", err)
+			}
+			m = seg
+		}
+		return nil
+	})
+}
+
+// Reduce folds a full flattened output vector ys — length (k+2)·n, the
+// concatenation of EvalRange outputs covering the whole index space —
+// into the Result TotalEffectBatch computes. The variance, mean, and
+// estimator sums run in the same index order as the fused estimators,
+// so the reduced Result carries identical bits; the degenerate-variance
+// path mirrors the short-circuiting serial accounting (Evaluations=2n,
+// ErrDegenerate) even though the AB region was already evaluated.
+func Reduce(names []string, cfg Config, ys []float64) (Result, error) {
+	k := len(names)
+	if k == 0 {
+		return Result{}, errors.New("sens: no inputs")
+	}
+	n := cfg.n()
+	if len(ys) != (k+2)*n {
+		return Result{}, fmt.Errorf("sens: reduce over %d outputs, want %d", len(ys), (k+2)*n)
+	}
+	pooled := ys[:2*n]
+	fA, fB := pooled[:n], pooled[n:]
+	fAB := ys[2*n:]
+	varY := stats.Variance(pooled)
+	res := Result{
+		Inputs: append([]string(nil), names...),
+		Total:  make([]float64, k),
+		First:  make([]float64, k),
+		VarY:   varY,
+	}
+	if varY <= 0 || math.IsNaN(varY) {
+		res.Evaluations = 2 * n
+		return res, ErrDegenerate
+	}
+	meanY := stats.Mean(pooled)
+	for i := 0; i < k; i++ {
+		fABi := fAB[i*n : (i+1)*n]
+		var sumT, sumS float64
+		for j := 0; j < n; j++ {
+			dT := fA[j] - fABi[j]
+			sumT += dT * dT
+			sumS += (fB[j] - meanY) * (fABi[j] - fA[j])
+		}
+		res.Total[i] = clamp01(sumT / (2 * float64(n) * varY))
+		res.First[i] = clamp01(sumS / (float64(n) * varY))
+	}
+	res.Evaluations = n * (k + 2)
+	return res, nil
+}
+
 func clamp01(x float64) float64 {
 	switch {
 	case math.IsNaN(x), x < 0:

@@ -364,3 +364,50 @@ func TestNaiveTotalEffectCancelled(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestEvalRangeReduceMatchesBatchBitForBit(t *testing.T) {
+	// Disjoint EvalRange shards assembled into one vector and handed to
+	// Reduce must reproduce the fused TotalEffectBatch result exactly —
+	// the invariant distributed sensitivity jobs depend on.
+	names := []string{"a", "b", "c", "d"}
+	model := func(x []float64) (float64, error) {
+		s := 0.0
+		for i, v := range x {
+			s += math.Cos(float64(i+1)*v) + 0.5*v*x[(i+2)%len(x)]
+		}
+		return s, nil
+	}
+	factory := func() (BatchEval, error) { return batchOf(model), nil }
+	for _, seed := range []int64{0, 9} {
+		cfg := Config{N: 96, Seed: seed}
+		want, err := TotalEffectBatch(context.Background(), names, cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, n := len(names), cfg.n()
+		total := (k + 2) * n
+		ys := make([]float64, total)
+		// Uneven cuts that straddle the A/B and AB_i region boundaries.
+		cuts := []int{0, n / 3, n + 7, 2*n + 5, 2*n + n + n/2, total}
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			if err := EvalRange(context.Background(), k, cfg, lo, hi, ys[lo:hi], factory); err != nil {
+				t.Fatalf("range [%d,%d): %v", lo, hi, err)
+			}
+		}
+		got, err := Reduce(names, cfg, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.VarY) != math.Float64bits(want.VarY) || got.Evaluations != want.Evaluations {
+			t.Fatalf("seed %d: VarY/Evaluations (%v, %d) != (%v, %d)", seed, got.VarY, got.Evaluations, want.VarY, want.Evaluations)
+		}
+		for i := range names {
+			if math.Float64bits(got.Total[i]) != math.Float64bits(want.Total[i]) ||
+				math.Float64bits(got.First[i]) != math.Float64bits(want.First[i]) {
+				t.Errorf("seed %d input %s: reduced (%v, %v) != fused (%v, %v)",
+					seed, names[i], got.Total[i], got.First[i], want.Total[i], want.First[i])
+			}
+		}
+	}
+}

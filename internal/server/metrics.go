@@ -39,6 +39,17 @@ type Metrics struct {
 	jobsRunning    int64
 	jobEvaluations uint64
 
+	shardsDispatched map[string]uint64
+	shardsCompleted  map[string]uint64
+	shardsHedged     map[string]uint64
+	shardsFallback   map[string]uint64
+	shardLatency     latencySummary
+
+	// jobCounts, when set, reads the job manager's instantaneous
+	// pending/running counts for the queue-depth and running-jobs
+	// gauges (set once, at Server construction).
+	jobCounts func() (pending, running int)
+
 	// cacheStats, evalStats, limiterStats and faultStats, when set
 	// (once, at Server construction), snapshot the response cache, the
 	// compiled-evaluator cache, the admission limiters and the fault
@@ -75,10 +86,14 @@ type latencySummary struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:      make(map[routeCode]uint64),
-		latency:       make(map[string]*latencySummary),
-		jobsSubmitted: make(map[string]uint64),
-		jobsFinished:  make(map[jobStatusKey]uint64),
+		requests:         make(map[routeCode]uint64),
+		latency:          make(map[string]*latencySummary),
+		jobsSubmitted:    make(map[string]uint64),
+		jobsFinished:     make(map[jobStatusKey]uint64),
+		shardsDispatched: make(map[string]uint64),
+		shardsCompleted:  make(map[string]uint64),
+		shardsHedged:     make(map[string]uint64),
+		shardsFallback:   make(map[string]uint64),
 	}
 }
 
@@ -227,6 +242,90 @@ func (m *Metrics) JobEvaluations() uint64 {
 	return m.jobEvaluations
 }
 
+// Metrics also implements jobs.ShardObserver: distributed job shard
+// lifecycle, by kind.
+
+// ShardDispatched records one remote shard dispatch attempt.
+func (m *Metrics) ShardDispatched(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardsDispatched[kind]++
+}
+
+// ShardCompleted records a remote shard that returned, with its
+// round-trip latency.
+func (m *Metrics) ShardCompleted(kind string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardsCompleted[kind]++
+	m.shardLatency.count++
+	m.shardLatency.sum += d
+	if d > m.shardLatency.max {
+		m.shardLatency.max = d
+	}
+}
+
+// ShardHedged records a shard re-dispatched to the next peer after a
+// failed or expired attempt.
+func (m *Metrics) ShardHedged(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardsHedged[kind]++
+}
+
+// ShardFallback records a shard computed locally after every peer
+// attempt failed.
+func (m *Metrics) ShardFallback(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardsFallback[kind]++
+}
+
+// ShardsCompleted returns completed remote shards summed over kinds,
+// for tests and acceptance checks.
+func (m *Metrics) ShardsCompleted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.shardsCompleted {
+		n += v
+	}
+	return n
+}
+
+// ShardsFallback returns locally-recovered shards summed over kinds.
+func (m *Metrics) ShardsFallback() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.shardsFallback {
+		n += v
+	}
+	return n
+}
+
+// ShardsDispatched returns remote dispatch attempts summed over kinds.
+func (m *Metrics) ShardsDispatched() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.shardsDispatched {
+		n += v
+	}
+	return n
+}
+
+// ShardsHedged returns hedged re-dispatches summed over kinds.
+func (m *Metrics) ShardsHedged() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, v := range m.shardsHedged {
+		n += v
+	}
+	return n
+}
+
 // scalar is one single-valued series of the exposition.
 type scalar struct {
 	name, help, typ string
@@ -314,6 +413,34 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
+	for _, sc := range []struct {
+		name, help string
+		counts     map[string]uint64
+	}{
+		{"ttmcas_jobs_shards_dispatched_total", "Distributed job shards dispatched to peers, by kind.", m.shardsDispatched},
+		{"ttmcas_jobs_shards_completed_total", "Distributed job shards completed by peers, by kind.", m.shardsCompleted},
+		{"ttmcas_jobs_shards_hedged_total", "Distributed job shards re-dispatched after a failed or expired attempt, by kind.", m.shardsHedged},
+		{"ttmcas_jobs_shards_fallback_total", "Distributed job shards computed locally after every peer attempt failed, by kind.", m.shardsFallback},
+	} {
+		if err := emit("# HELP %s %s\n# TYPE %s counter\n", sc.name, sc.help, sc.name); err != nil {
+			return total, err
+		}
+		skinds := make([]string, 0, len(sc.counts))
+		for k := range sc.counts {
+			skinds = append(skinds, k)
+		}
+		sort.Strings(skinds)
+		for _, k := range skinds {
+			if err := emit("%s{kind=%q} %d\n", sc.name, k, sc.counts[k]); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := emit("# HELP ttmcas_jobs_shard_seconds Round-trip latency summary of completed remote shards.\n# TYPE ttmcas_jobs_shard_seconds summary\nttmcas_jobs_shard_seconds_count %d\nttmcas_jobs_shard_seconds_sum %g\nttmcas_jobs_shard_seconds_max %g\n",
+		m.shardLatency.count, m.shardLatency.sum.Seconds(), m.shardLatency.max.Seconds()); err != nil {
+		return total, err
+	}
+
 	scalars := []scalar{
 		{"ttmcas_jobs_running", "Batch jobs currently running.", "gauge", m.jobsRunning},
 		{"ttmcas_job_evaluations_total", "Evaluation units completed by finished batch jobs.", "counter", m.jobEvaluations},
@@ -325,6 +452,13 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"ttmcas_stale_refreshes_total", "Background recomputations started after a stale serve.", "counter", m.staleRefreshes},
 		{"ttmcas_stale_refresh_failures_total", "Background stale refreshes that failed.", "counter", m.staleRefreshFailures},
 		{"ttmcas_inflight_requests", "Requests currently being served.", "gauge", m.inflight.Load()},
+	}
+	if m.jobCounts != nil {
+		pending, running := m.jobCounts()
+		scalars = append(scalars,
+			scalar{"ttmcas_jobs_queue_depth", "Batch jobs queued awaiting a worker.", "gauge", pending},
+			scalar{"ttmcas_jobs_active", "Batch jobs currently executing, from a direct store scan.", "gauge", running},
+		)
 	}
 	if m.cacheStats != nil {
 		cs := m.cacheStats()

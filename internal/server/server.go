@@ -113,6 +113,12 @@ type Config struct {
 	// MaxJobEvaluations caps the estimated evaluation units of one job
 	// (default 2,000,000).
 	MaxJobEvaluations int
+	// JobEvalDelay, when positive, stretches every shardable job
+	// compute — serial runs, local shards, and shards executed here on
+	// behalf of peers — by shardUnits × JobEvalDelay of sleep. It is
+	// the loadtest harness's latency-bound compute floor (see
+	// jobs.PaceShard); production deployments leave it zero.
+	JobEvalDelay time.Duration
 
 	// NodeID identifies this process in /healthz and cluster state
 	// (default: ClusterSelfURL without its scheme, or "single").
@@ -280,7 +286,7 @@ func New(cfg Config) *Server {
 		return []resilience.LimiterStats{s.cheap.Stats(), s.heavy.Stats()}
 	}
 	s.metrics.faultStats = s.faults.Stats
-	s.jobs = jobs.New(jobs.Config{
+	jcfg := jobs.Config{
 		Workers:        cfg.JobWorkers,
 		MaxActive:      cfg.MaxJobs,
 		ResultTTL:      cfg.JobTTL,
@@ -291,9 +297,17 @@ func New(cfg Config) *Server {
 			MaxPoints:      cfg.MaxCurvePoints,
 			MaxEvaluations: cfg.MaxJobEvaluations,
 		},
-		Logger:   cfg.Logger,
-		Observer: s.metrics,
-	})
+		Logger:    cfg.Logger,
+		Observer:  s.metrics,
+		EvalDelay: cfg.JobEvalDelay,
+	}
+	if s.cluster != nil {
+		// Heavy jobs shard across alive peers; a lone node (or an
+		// all-dead ring) runs every job single-node as before.
+		jcfg.Distributor = clusterDistributor{s}
+	}
+	s.jobs = jobs.New(jcfg)
+	s.metrics.jobCounts = s.jobs.Counts
 	s.handler = s.routes()
 	return s
 }
@@ -364,6 +378,9 @@ func (s *Server) routes() http.Handler {
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 	handle("GET /v1/cluster", s.handleCluster)
+	// Internal peer-to-peer route: distributed job shards arrive over
+	// the cluster transport, never from clients.
+	handle("POST /v1/internal/shards", s.handleShardExec)
 	return mux
 }
 

@@ -2,6 +2,7 @@ package timeline
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
@@ -184,48 +185,7 @@ func Evaluate(ctx context.Context, m core.Model, d design.Design, n float64, tl 
 	}
 	res.Steps = make([]Step, steps)
 
-	// body evaluates steps [lo, hi) as one structure-of-arrays batch:
-	// sample s of the pooled worker's batch is step lo+s with its own
-	// composed conditions, all perturbation columns nil (unperturbed,
-	// exactly core.Perturbation{}). Results land at disjoint index
-	// ranges of res.Steps, so chunk bodies need no synchronization.
-	body := func(lo, hi int) error {
-		cnt := hi - lo
-		w := getStepWorker(ev, cnt)
-		defer stepWorkerPool.Put(w)
-		for s := 0; s < cnt; s++ {
-			c := tl.ConditionsAt(lo + s)
-			w.conds[s] = c
-			w.ev.SetConditions(&w.b, s, c)
-		}
-		if err := w.ev.EvalBatch(&w.b, w.ttm, &w.errs); err != nil {
-			return err
-		}
-		if _, err := w.errs.First(); err != nil {
-			return err
-		}
-		if err := w.ev.CASBatch(&w.b, w.cas, &w.errs); err != nil {
-			return err
-		}
-		if _, err := w.errs.First(); err != nil {
-			return err
-		}
-		for s := 0; s < cnt; s++ {
-			i := lo + s
-			wk := finiteWeeks(float64(w.ttm[s]))
-			res.Steps[i] = Step{
-				Week:       tl.WeekAt(i),
-				TTMWeeks:   wk,
-				Stalled:    wk == nil,
-				CAS:        w.cas[s],
-				Conditions: w.conds[s].String(),
-			}
-			if opt.OnStep != nil {
-				opt.OnStep()
-			}
-		}
-		return nil
-	}
+	body := stepRangeBody(ev, tl, 0, res.Steps, opt.OnStep)
 
 	if opt.Serial {
 		for i := 0; i < steps; i++ {
@@ -242,6 +202,59 @@ func Evaluate(ctx context.Context, m core.Model, d design.Design, n float64, tl 
 		}
 	}
 
+	return finishResult(ctx, m, d, n, tl, res, opt)
+}
+
+// stepRangeBody builds the chunk body shared by Evaluate and
+// EvaluateSteps: it evaluates steps [base+lo, base+hi) of the timeline
+// as one structure-of-arrays batch — sample s of the pooled worker's
+// batch is step base+lo+s with its own composed conditions, all
+// perturbation columns nil (unperturbed, exactly core.Perturbation{}) —
+// and writes them into out[lo:hi]. Results land at disjoint index
+// ranges of out, so chunk bodies need no synchronization.
+func stepRangeBody(ev *core.Evaluator, tl *Timeline, base int, out []Step, onStep func()) func(lo, hi int) error {
+	return func(lo, hi int) error {
+		cnt := hi - lo
+		w := getStepWorker(ev, cnt)
+		defer stepWorkerPool.Put(w)
+		for s := 0; s < cnt; s++ {
+			c := tl.ConditionsAt(base + lo + s)
+			w.conds[s] = c
+			w.ev.SetConditions(&w.b, s, c)
+		}
+		if err := w.ev.EvalBatch(&w.b, w.ttm, &w.errs); err != nil {
+			return err
+		}
+		if _, err := w.errs.First(); err != nil {
+			return err
+		}
+		if err := w.ev.CASBatch(&w.b, w.cas, &w.errs); err != nil {
+			return err
+		}
+		if _, err := w.errs.First(); err != nil {
+			return err
+		}
+		for s := 0; s < cnt; s++ {
+			i := base + lo + s
+			wk := finiteWeeks(float64(w.ttm[s]))
+			out[lo+s] = Step{
+				Week:       tl.WeekAt(i),
+				TTMWeeks:   wk,
+				Stalled:    wk == nil,
+				CAS:        w.cas[s],
+				Conditions: w.conds[s].String(),
+			}
+			if onStep != nil {
+				onStep()
+			}
+		}
+		return nil
+	}
+}
+
+// finishResult fills in the summary, cost, and optional in-flight study
+// of a Result whose Steps are already evaluated.
+func finishResult(ctx context.Context, m core.Model, d design.Design, n float64, tl *Timeline, res *Result, opt Options) (*Result, error) {
 	res.Summary = summarize(res.Steps, tl.StepWeeks())
 
 	// Cost mirrors the TTM model's manufacturing configuration so the
@@ -261,6 +274,51 @@ func Evaluate(ctx context.Context, m core.Model, d design.Design, n float64, tl 
 		res.InFlight = inf
 	}
 	return res, nil
+}
+
+// EvaluateSteps evaluates the contiguous step range [lo, hi) of the
+// timeline exactly as Evaluate evaluates it, writing step lo+s into
+// out[s]. Because every step's conditions and outputs depend only on
+// the step index, concatenating disjoint ranges reproduces Evaluate's
+// step curve bit for bit — the sharding surface distributed timeline
+// jobs scatter over. Error surface: a failing batch reports the error
+// of its lowest-index step, and the error of the lowest range wins, so
+// the first erroring shard in index order carries exactly the error the
+// unsplit run would have returned.
+func EvaluateSteps(ctx context.Context, m core.Model, d design.Design, n float64, tl *Timeline, lo, hi int, out []Step, opt Options) error {
+	steps := tl.StepCount()
+	if lo < 0 || hi > steps || lo > hi {
+		return fmt.Errorf("timeline: step range [%d,%d) outside [0,%d]", lo, hi, steps)
+	}
+	if len(out) != hi-lo {
+		return fmt.Errorf("timeline: step output length %d != range length %d", len(out), hi-lo)
+	}
+	ev, err := m.Compile(d, n, tl.ConditionsAt(0))
+	if err != nil {
+		return err
+	}
+	return sweep.ForChunks(ctx, hi-lo, opt.Workers, 1, stepRangeBody(ev, tl, lo, out, opt.OnStep))
+}
+
+// AssembleResult is the gather half of a sharded Evaluate: given the
+// full step curve (the concatenation of EvaluateSteps ranges covering
+// [0, StepCount)), it computes the summary, cost, and optional
+// in-flight study exactly as Evaluate would, so a scattered run's
+// Result equals the single-machine Result field for field.
+func AssembleResult(ctx context.Context, m core.Model, d design.Design, n float64, tl *Timeline, steps []Step, opt Options) (*Result, error) {
+	if len(steps) != tl.StepCount() {
+		return nil, fmt.Errorf("timeline: assembled %d steps, want %d", len(steps), tl.StepCount())
+	}
+	res := &Result{
+		Name:         tl.spec.Name,
+		Base:         tl.baseName,
+		Design:       d.Name,
+		Chips:        n,
+		StepWeeks:    tl.StepWeeks(),
+		HorizonWeeks: tl.spec.HorizonWeeks,
+		Steps:        steps,
+	}
+	return finishResult(ctx, m, d, n, tl, res, opt)
 }
 
 // summarize computes the headline stats from the step curve.

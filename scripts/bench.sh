@@ -11,13 +11,21 @@
 # and records RPS and p50/p95/p99/max latency as BENCH_serve.json,
 # followed by the cluster scaling sweep (N in 1, 2, 4 in-process nodes
 # under the latency-bound cluster scenario) recorded as
-# BENCH_cluster.json with per-N RPS and the forward-hop p99, and the
+# BENCH_cluster.json with per-N RPS and the forward-hop p99, the
 # timeline step-sweep (serial vs parallel per-step evaluation at 64 and
-# 512 steps) recorded as BENCH_timeline.json in steps/s.
+# 512 steps) recorded as BENCH_timeline.json in steps/s, and the
+# distributed-job sweep (heavy mc-band batch jobs sharded across a
+# 4-node in-process ring with a mid-run node kill, vs the same workload
+# single-node) recorded as BENCH_distjobs.json in jobs/s.
 #
-#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json] [timeline_out.json]
+# After the measurement runs, a delta table against the committed
+# BENCH_*.json baselines is printed (% change per benchmark/scenario)
+# so perf movement is visible in PR logs even when every guard passes.
+#
+#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json] [timeline_out.json] [distjobs_out.json]
 #                # defaults: BENCH_jobs.json BENCH_serve.json
 #                #           BENCH_cluster.json BENCH_timeline.json
+#                #           BENCH_distjobs.json
 #   BENCHTIME=5s scripts/bench.sh     # longer kernel runs for stabler numbers
 #   BENCHCOUNT=5 scripts/bench.sh     # more repetitions per benchmark
 #   SERVE_DURATION=10s scripts/bench.sh   # longer load-test scenarios
@@ -45,18 +53,24 @@
 #   - cached-hit RPS below 5x uncached RPS
 #   - 4-node cluster RPS below 0.8 x 4 x single-node RPS
 #   - parallel timeline steps/s below serial at the largest step count
+#   - 4-node distributed jobs/s below 0.7 x 4 x single-node jobs/s
+#   - distjobs sweep losing jobs, completing no remote shards at N=4,
+#     or failing to reconverge the ring after the mid-run kill
 set -eu
 
 out="${1:-BENCH_jobs.json}"
 serveout="${2:-BENCH_serve.json}"
 clusterout="${3:-BENCH_cluster.json}"
 timelineout="${4:-BENCH_timeline.json}"
+distjobsout="${5:-BENCH_distjobs.json}"
 tmp="$(mktemp)"
 tmpbest="$(mktemp)"
 tmptl="$(mktemp)"
 tmptlbest="$(mktemp)"
+tmpkvnew="$(mktemp)"
+tmpkvold="$(mktemp)"
 tmpbin="$(mktemp -d)"
-trap 'rm -f "$tmp" "$tmpbest" "$tmptl" "$tmptlbest"; rm -rf "$tmpbin"' EXIT
+trap 'rm -f "$tmp" "$tmpbest" "$tmptl" "$tmptlbest" "$tmpkvnew" "$tmpkvold"; rm -rf "$tmpbin"' EXIT
 
 # best_of reduces repeated benchmark lines to one line per benchmark —
 # the repetition with the lowest ns/op — as "name ns allocs metric"
@@ -281,6 +295,65 @@ else
     echo "ok: parallel timeline ${tl_par} steps/s >= serial ${tl_ser} steps/s at 512 steps"
 fi
 
+# ---- distributed-job sweep -----------------------------------------
+# Heavy mc-band batch jobs (paced so each job is latency-bound, like
+# the cluster scenario's per-request 5ms floor) run single-node, then
+# sharded across a 4-node in-process ring with a mid-run node kill and
+# rejoin. Distribution must deliver >= 0.7 x 4 x the single-node
+# jobs/s with zero lost jobs, remotely completed shards, and a
+# reconverged ring.
+distjobs_1="$("$tmpbin/ttmcas-loadgen" -scenario distjobs -nodes 1 -d "$servedur" -c 3 -json)"
+distjobs_4="$("$tmpbin/ttmcas-loadgen" -scenario distjobs -nodes 4 -kill -d "$servedur" -c 3 -json)"
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "runs": [\n'
+    printf '    %s,\n' "$distjobs_1"
+    printf '    %s\n' "$distjobs_4"
+    printf '  ]\n'
+    printf '}\n'
+} > "$distjobsout"
+echo "wrote $distjobsout"
+
+# The distjobs JSON is one compact line per run, so take the first
+# occurrence of each key (keys are unambiguous prefixes when quoted).
+djfield() { printf '%s' "$1" | grep -o "\"$2\":[0-9.eE+-]*" | head -n 1 | cut -d: -f2; }
+djps1="$(djfield "$distjobs_1" jobs_per_sec)"
+djps4="$(djfield "$distjobs_4" jobs_per_sec)"
+dfail1="$(djfield "$distjobs_1" jobs_failed)"
+dfail4="$(djfield "$distjobs_4" jobs_failed)"
+dshards4="$(djfield "$distjobs_4" shards_completed)"
+dconv4="$(printf '%s' "$distjobs_4" | grep -o '"converged":[a-z]*' | cut -d: -f2)"
+
+if [ -z "$djps1" ] || [ -z "$djps4" ]; then
+    echo "WARNING: distjobs sweep produced no jobs/s figures" >&2
+    guard_status=1
+elif awk -v d="$djps4" -v s="$djps1" 'BEGIN { exit !(d < 0.7 * 4 * s) }'; then
+    echo "WARNING: 4-node distributed jobs/s (${djps4}) below 0.7 x 4 x single-node jobs/s (${djps1})" >&2
+    guard_status=1
+else
+    echo "ok: 4-node distributed jobs/s ${djps4} >= 0.7 x 4 x single-node ${djps1}"
+fi
+if [ "${dfail1:-1}" != "0" ] || [ "${dfail4:-1}" != "0" ]; then
+    echo "WARNING: distjobs sweep lost jobs (single-node failed=${dfail1:-?}, 4-node failed=${dfail4:-?})" >&2
+    guard_status=1
+else
+    echo "ok: distjobs sweep lost zero jobs"
+fi
+if [ -z "$dshards4" ] || [ "$dshards4" = "0" ]; then
+    echo "WARNING: 4-node distjobs run completed no remote shards (shards_completed=${dshards4:-?})" >&2
+    guard_status=1
+else
+    echo "ok: 4-node distjobs run completed ${dshards4} shards remotely"
+fi
+if [ "${dconv4:-}" != "true" ]; then
+    echo "WARNING: ring did not reconverge after the distjobs mid-run kill (converged=${dconv4:-?})" >&2
+    guard_status=1
+else
+    echo "ok: ring reconverged after the distjobs mid-run kill"
+fi
+
 if [ -n "$cluster_rps_1" ] && [ -n "$cluster_rps_4" ]; then
     if awk -v r4="$cluster_rps_4" -v r1="$cluster_rps_1" 'BEGIN { exit !(r4 < 0.8 * 4 * r1) }'; then
         echo "WARNING: 4-node cluster RPS (${cluster_rps_4}) below 0.8 x 4 x single-node RPS (${cluster_rps_1})" >&2
@@ -292,6 +365,65 @@ else
     echo "WARNING: cluster sweep produced no RPS figures" >&2
     guard_status=1
 fi
+
+# ---- delta vs committed baselines ----------------------------------
+# Informational only (never flips guard_status): % change for every
+# benchmark/scenario against the BENCH_*.json committed at HEAD, so
+# perf movement is visible in run logs even when every guard passes.
+# For ns/op tables negative is faster; for rate tables (RPS, jobs/s)
+# positive is faster. A table is skipped when HEAD carries no baseline
+# for it (first run, or git unavailable).
+kv_ns() { sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": \([0-9.eE+-]*\).*/\1 \2/p'; }
+kv_cluster() { sed -n 's/.*{"nodes": \([0-9]*\), "rps": \([0-9.eE+-]*\).*/nodes=\1 \2/p'; }
+kv_rate() {
+    # One "label rate" row per line bearing a "scenario" tag; the first
+    # occurrence of the rate key on the line is the aggregate figure.
+    awk -v key="$1" '
+        match($0, /"scenario":"[^"]*"/) {
+            label = substr($0, RSTART + 12, RLENGTH - 13)
+            if (match($0, /"nodes":[0-9]+/))
+                label = label "-nodes=" substr($0, RSTART + 8, RLENGTH - 8)
+            if (match($0, "\"" key "\":[0-9.eE+-]+"))
+                print label, substr($0, RSTART + length(key) + 3, RLENGTH - length(key) - 3)
+        }'
+}
+baseline_of() { git show "HEAD:$1" 2>/dev/null || true; }
+delta_section() {
+    # $1 = table title; reads the freshly extracted "label value" rows
+    # from $tmpkvnew and the committed baseline rows from $tmpkvold.
+    if [ ! -s "$tmpkvold" ]; then
+        echo "delta: $1 -- no committed baseline at HEAD, skipped"
+        return
+    fi
+    echo "delta: $1 (new vs committed baseline)"
+    awk 'NR == FNR { old[$1] = $2; next }
+         {
+             if (($1 in old) && old[$1] + 0 != 0)
+                 printf "  %-44s %14s %14s %+7.1f%%\n", $1, $2, old[$1], ($2 - old[$1]) / old[$1] * 100
+             else
+                 printf "  %-44s %14s %14s %8s\n", $1, $2, "-", "n/a"
+         }' "$tmpkvold" "$tmpkvnew"
+}
+
+kv_ns < "$out" > "$tmpkvnew"
+baseline_of BENCH_jobs.json | kv_ns > "$tmpkvold"
+delta_section "kernel ns/op (negative = faster)"
+
+kv_rate rps < "$serveout" > "$tmpkvnew"
+baseline_of BENCH_serve.json | kv_rate rps > "$tmpkvold"
+delta_section "serving RPS (positive = faster)"
+
+kv_cluster < "$clusterout" > "$tmpkvnew"
+baseline_of BENCH_cluster.json | kv_cluster > "$tmpkvold"
+delta_section "cluster RPS by node count (positive = faster)"
+
+kv_ns < "$timelineout" > "$tmpkvnew"
+baseline_of BENCH_timeline.json | kv_ns > "$tmpkvold"
+delta_section "timeline ns/op (negative = faster)"
+
+kv_rate jobs_per_sec < "$distjobsout" > "$tmpkvnew"
+baseline_of BENCH_distjobs.json | kv_rate jobs_per_sec > "$tmpkvold"
+delta_section "distributed jobs/s (positive = faster)"
 
 if [ "$guard_status" -ne 0 ] && [ "${BENCH_STRICT:-0}" = "1" ]; then
     echo "FAIL: benchmark guards failed (see warnings above)" >&2
