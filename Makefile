@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke distjobssmoke
+.PHONY: check vet build test race serve bench benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke distjobssmoke netsplitsmoke
 
-check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke distjobssmoke
+check: vet build race benchsmoke loadsmoke chaossmoke clustersmoke timelinesmoke distjobssmoke netsplitsmoke
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,15 @@ timelinesmoke:
 # jobs/s.
 distjobssmoke:
 	$(GO) run ./cmd/ttmcas-loadgen -scenario distjobs -nodes 4 -kill -d 2s -c 3 -check
+
+# A 4-node in-process cluster with a mid-run asymmetric partition
+# (majority -> victim traffic blackholed, victim outbound intact) that
+# heals before the run ends; -check asserts the partition-tolerance
+# contract: zero client-visible errors in every phase, zero lost jobs,
+# breakers open and re-close, the ring reconverges, and partitioned
+# throughput >= 0.5 x healthy.
+netsplitsmoke:
+	$(GO) run ./cmd/ttmcas-loadgen -scenario netsplit -nodes 4 -d 2s -c 2 -check
 
 # Full measurement runs (kernel, band curves, Sobol) with allocation
 # counts and a parallel-vs-serial guard; writes BENCH_jobs.json.

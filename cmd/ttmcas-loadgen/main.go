@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	ttmcas-loadgen [-target http://host:8080] [-scenario cached|uncached|mixed|chaos|timeline|cluster]
+//	ttmcas-loadgen [-target http://host:8080]
+//	               [-scenario cached|uncached|mixed|chaos|timeline|cluster|distjobs|netsplit]
 //	               [-c 8] [-d 5s] [-design a11] [-node 28nm] [-n 10e6]
 //	               [-nodes 4] [-kill] [-seed 1] [-fault-spec "..."] [-json] [-check]
 //
@@ -51,6 +52,20 @@
 //     baseline runs first and the run must lose zero jobs, complete
 //     shards remotely, reconverge after the kill, and sustain at least
 //     0.7 × nodes × baseline jobs/s.
+//   - netsplit: the partition-tolerance harness. -nodes full server
+//     stacks (at least 3) run in-process with paused network-fault
+//     injectors armed with an asymmetric partition: every majority
+//     node's traffic to the last node blackholed, the victim's own
+//     outbound untouched. The run drives three phases — healthy (d/4),
+//     partitioned (d/2), healed (d/4) — flips the injectors live at the
+//     partition boundary, and submits one batch job per node while the
+//     split is open. With -check, the partition-tolerance contract must
+//     hold: zero transport errors and zero non-2xx responses in every
+//     phase (forwards that hit the partition retry, trip the breaker,
+//     and fall back to local compute), zero lost jobs, at least one
+//     breaker opened and none still open after the heal, the ring
+//     reconverged, and partitioned-phase throughput at least half the
+//     healthy phase's.
 //   - cluster: the scaling-contract harness. -nodes full server stacks
 //     run in-process, each on a real loopback listener so peer forwards
 //     travel over actual HTTP; clients dispatch straight into the node
@@ -120,7 +135,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ttmcas-loadgen", flag.ContinueOnError)
 	target := fs.String("target", "", "base URL of a live server; empty runs the server in-process")
-	scenario := fs.String("scenario", "cached", "request mix: cached, uncached, mixed, chaos, timeline, cluster or distjobs")
+	scenario := fs.String("scenario", "cached", "request mix: cached, uncached, mixed, chaos, timeline, cluster, distjobs or netsplit")
 	concurrency := fs.Int("c", 8, "closed-loop worker count")
 	duration := fs.Duration("d", 5*time.Second, "measured run duration")
 	design := fs.String("design", "a11", "design name the requests evaluate")
@@ -135,12 +150,22 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *scenario == "cluster" || *scenario == "distjobs" {
+	if *scenario == "cluster" || *scenario == "distjobs" || *scenario == "netsplit" {
 		if *target != "" {
 			return fmt.Errorf("scenario %s drives an in-process fleet; -target is not supported", *scenario)
 		}
 		if *nodes < 1 {
 			return fmt.Errorf("-nodes must be at least 1")
+		}
+		if *scenario == "netsplit" {
+			if *nodes < 3 {
+				return fmt.Errorf("scenario netsplit needs at least 3 nodes (a majority side)")
+			}
+			return runNetsplit(netsplitOpts{
+				nodes: *nodes, concurrency: *concurrency, duration: *duration,
+				design: *design, node: *node, chips: *chips, seed: *seed,
+				asJSON: *asJSON, check: *check,
+			})
 		}
 		if *scenario == "distjobs" {
 			return runDistjobs(distjobsOpts{

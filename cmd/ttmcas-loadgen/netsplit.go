@@ -1,0 +1,353 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ttmcas/internal/loadtest"
+	"ttmcas/internal/server"
+)
+
+// The netsplit scenario: an in-process fleet under an asymmetric
+// network partition. Mid-run the last node is cut off — every majority
+// node's traffic TO it is blackholed while its own outbound still
+// works, the nastiest gossip case — then the partition heals. The
+// -check contract is the partition-tolerance gate: zero client-visible
+// errors, zero lost jobs, breakers open and re-close, the ring
+// reconverges, and majority-side throughput holds a floor.
+
+type netsplitOpts struct {
+	nodes       int
+	concurrency int // per-node workers; the fleet runs nodes×concurrency
+	duration    time.Duration
+	design      string
+	node        string
+	chips       float64
+	seed        int64
+	asJSON      bool
+	check       bool
+}
+
+// netsplitOutcome carries the three phase reports plus the cluster-side
+// resilience counters and the end-to-end job fates.
+type netsplitOutcome struct {
+	healthy     loadtest.Report
+	partitioned loadtest.Report
+	healed      loadtest.Report
+	stats       loadtest.ClusterStats
+	jobsTotal   int
+	jobsOK      int
+	converged   bool
+	recovery    time.Duration // heal → every ring complete again
+}
+
+func runNetsplit(o netsplitOpts) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	out, err := netsplitRun(ctx, o)
+	if err != nil {
+		return err
+	}
+
+	if o.asJSON {
+		if err := writeNetsplitJSON(os.Stdout, o, out); err != nil {
+			return err
+		}
+	} else {
+		writeNetsplitText(os.Stdout, o, out)
+	}
+
+	if o.check {
+		return checkNetsplit(out)
+	}
+	return nil
+}
+
+// netsplitSpec builds the asymmetric partition: every majority node's
+// traffic to the victim is dropped, the victim's outbound untouched.
+// All nodes share the spec — each injector is bound to its own self
+// URL, so only the majority sides match the directional rules.
+func netsplitSpec(urls []string, victim int) string {
+	var rules []string
+	for k, u := range urls {
+		if k != victim {
+			rules = append(rules, fmt.Sprintf("partition=%s->%s", u, urls[victim]))
+		}
+	}
+	return strings.Join(rules, ";")
+}
+
+// netsplitRun boots the fleet with paused injectors, drives three load
+// phases — healthy (d/4), partitioned (d/2), healed (d/4) — and
+// submits one batch job per node while the partition is live.
+func netsplitRun(ctx context.Context, o netsplitOpts) (netsplitOutcome, error) {
+	victim := o.nodes - 1
+	tc, err := loadtest.StartCluster(o.nodes, loadtest.ClusterConfig{
+		Configure: func(i int, cfg *server.Config) {
+			// Same shaping as the cluster scenario: generous admission,
+			// 5ms injected compute floor so throughput is latency-bound
+			// and phase RPS comparisons are meaningful on one CPU.
+			cfg.CheapConcurrent = 256
+			cfg.MaxConcurrent = 64
+			cfg.FaultSpec = clusterFaultSpec
+			cfg.FaultSeed = o.seed
+			// Reconstruct the node-ordered URL list (peers is urls minus
+			// self, order preserved) and arm the injector paused; the
+			// scenario flips it live at the partition boundary.
+			urls := make([]string, 0, len(cfg.ClusterPeers)+1)
+			urls = append(urls, cfg.ClusterPeers[:i]...)
+			urls = append(urls, cfg.ClusterSelfURL)
+			urls = append(urls, cfg.ClusterPeers[i:]...)
+			cfg.NetFaultSpec = netsplitSpec(urls, victim)
+			cfg.NetFaultSeed = o.seed
+			cfg.NetFaultPaused = true
+		},
+	})
+	if err != nil {
+		return netsplitOutcome{}, err
+	}
+	defer tc.Close()
+
+	// Distinct chip counts per request spread ownership and defeat the
+	// response cache; a per-phase offset keeps the healed phase from
+	// riding the healthy phase's cache entries.
+	bodyFor := func(offset float64) func(uint64) []byte {
+		return func(seq uint64) []byte {
+			return []byte(fmt.Sprintf(`{"design":%q,"node":%q,"n":%.17g}`,
+				o.design, o.node, o.chips+offset+float64(seq)))
+		}
+	}
+	ownerOf := func(body []byte) int {
+		var req server.EvalRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return 0
+		}
+		key, err := server.CacheKey("POST /v1/ttm", req)
+		if err != nil {
+			return 0
+		}
+		return tc.OwnerIndex(key)
+	}
+	phase := func(d time.Duration, offset float64) (loadtest.Report, error) {
+		bf := bodyFor(offset)
+		return loadtest.Run(ctx, loadtest.Config{
+			Targets: []loadtest.Target{
+				{Name: "ttm-owner", Path: "/v1/ttm", BodyFunc: bf, Weight: 9},
+				// The misroute share forces a forward hop — the traffic
+				// that actually crosses the partition.
+				{Name: "ttm-forward", Path: "/v1/ttm", BodyFunc: bf, Weight: 1},
+			},
+			Concurrency: o.concurrency * o.nodes,
+			Duration:    d,
+			Seed:        o.seed,
+			Router: func(ti int, body []byte) http.Handler {
+				idx := ownerOf(body)
+				if ti == 1 {
+					idx = (idx + 1) % o.nodes
+				}
+				return tc.Handler(idx)
+			},
+		})
+	}
+
+	var out netsplitOutcome
+	if out.healthy, err = phase(o.duration/4, 0); err != nil {
+		return netsplitOutcome{}, err
+	}
+
+	// Partition: every majority node loses its path to the victim.
+	for _, cn := range tc.Nodes {
+		if nf := cn.Srv.NetFault(); nf != nil {
+			nf.Resume()
+		}
+	}
+	// One small batch job per node while the split is live: submits
+	// landing anywhere must survive — forwarded when the owner is
+	// reachable, run locally when it is not — and finish correct.
+	jobIDs := make([]string, o.nodes)
+	for i := range jobIDs {
+		id, err := netsplitSubmitJob(tc, i, o, i)
+		if err != nil {
+			return netsplitOutcome{}, err
+		}
+		jobIDs[i] = id
+	}
+	out.jobsTotal = len(jobIDs)
+
+	if out.partitioned, err = phase(o.duration/2, 1e9); err != nil {
+		return netsplitOutcome{}, err
+	}
+
+	// Heal: the injectors pause atomically; probes start succeeding,
+	// breakers probe half-open and close, the victim rejoins.
+	healedAt := time.Now()
+	for _, cn := range tc.Nodes {
+		if nf := cn.Srv.NetFault(); nf != nil {
+			nf.Pause()
+		}
+	}
+	out.converged = tc.WaitConverged(10 * time.Second)
+	out.recovery = time.Since(healedAt)
+
+	if out.healed, err = phase(o.duration/4, 2e9); err != nil {
+		return netsplitOutcome{}, err
+	}
+
+	for i, id := range jobIDs {
+		if netsplitAwaitJob(tc, i, id, 30*time.Second) {
+			out.jobsOK++
+		}
+	}
+	out.stats = tc.Stats()
+	return out, nil
+}
+
+// netsplitSubmitJob posts one small mc-band batch job into node i's
+// handler and returns its ID.
+func netsplitSubmitJob(tc *loadtest.TestCluster, i int, o netsplitOpts, seq int) (string, error) {
+	spec := fmt.Sprintf(`{"kind":"mc-band","design":%q,"node":%q,"n":%g,"samples":8,"seed":%d}`,
+		o.design, o.node, o.chips, o.seed+int64(seq))
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader([]byte(spec)))
+	rec := httptest.NewRecorder()
+	tc.Handler(i).ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		return "", fmt.Errorf("netsplit job submit on node %d: status %d: %s",
+			i, rec.Code, bytes.TrimSpace(rec.Body.Bytes()))
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		return "", fmt.Errorf("netsplit job submit: %w", err)
+	}
+	return v.ID, nil
+}
+
+// netsplitAwaitJob polls node i until the job succeeds or the deadline
+// passes. The poll rides the scatter path when the job lives elsewhere.
+func netsplitAwaitJob(tc *loadtest.TestCluster, i int, id string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil)
+		rec := httptest.NewRecorder()
+		tc.Handler(i).ServeHTTP(rec, req)
+		var v struct {
+			Status string `json:"status"`
+		}
+		if rec.Code == http.StatusOK && json.Unmarshal(rec.Body.Bytes(), &v) == nil {
+			switch v.Status {
+			case "succeeded":
+				return true
+			case "failed", "cancelled":
+				return false
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// checkNetsplit asserts the partition-tolerance contract.
+func checkNetsplit(out netsplitOutcome) error {
+	for _, ph := range []struct {
+		name string
+		rep  loadtest.Report
+	}{{"healthy", out.healthy}, {"partitioned", out.partitioned}, {"healed", out.healed}} {
+		switch {
+		case ph.rep.Requests == 0:
+			return fmt.Errorf("netsplit check failed: %s phase completed no requests", ph.name)
+		case ph.rep.Errors > 0:
+			return fmt.Errorf("netsplit check failed: %d transport errors in the %s phase", ph.rep.Errors, ph.name)
+		case ph.rep.Status2xx != ph.rep.Requests:
+			return fmt.Errorf("netsplit check failed: %d/%d requests lost in the %s phase (4xx=%d 5xx=%d)",
+				ph.rep.Requests-ph.rep.Status2xx, ph.rep.Requests, ph.name, ph.rep.Status4xx, ph.rep.Status5xx)
+		}
+	}
+	floor := 0.5 * out.healthy.RPS
+	switch {
+	case out.jobsOK != out.jobsTotal:
+		return fmt.Errorf("netsplit check failed: %d/%d jobs lost across the partition",
+			out.jobsTotal-out.jobsOK, out.jobsTotal)
+	case out.stats.BreakerOpens == 0:
+		return fmt.Errorf("netsplit check failed: no breaker ever opened — the partition was not felt")
+	case out.stats.OpenBreakers > 0:
+		return fmt.Errorf("netsplit check failed: %d breakers still open after the heal", out.stats.OpenBreakers)
+	case !out.converged:
+		return fmt.Errorf("netsplit check failed: ring did not reconverge after the heal")
+	case out.partitioned.RPS < floor:
+		return fmt.Errorf("netsplit check failed: partitioned %.1f req/s < 0.5 × healthy %.1f = %.1f req/s",
+			out.partitioned.RPS, out.healthy.RPS, floor)
+	}
+	return nil
+}
+
+func writeNetsplitJSON(w io.Writer, o netsplitOpts, out netsplitOutcome) error {
+	doc := struct {
+		Scenario       string      `json:"scenario"`
+		Nodes          int         `json:"nodes"`
+		Concurrency    int         `json:"concurrency"`
+		Converged      bool        `json:"converged"`
+		RecoveryMs     float64     `json:"recovery_ms"`
+		JobsTotal      int         `json:"jobs_total"`
+		JobsOK         int         `json:"jobs_ok"`
+		Retries        uint64      `json:"cluster_retries"`
+		BreakerOpens   uint64      `json:"breaker_opens"`
+		ShortCircuits  uint64      `json:"breaker_short_circuits"`
+		OpenBreakers   int         `json:"open_breakers"`
+		ForwardErrs    uint64      `json:"cluster_forward_errors"`
+		HealthyRPS     float64     `json:"healthy_rps"`
+		PartitionedRPS float64     `json:"partitioned_rps"`
+		HealedRPS      float64     `json:"healed_rps"`
+		Phases         []jsonStats `json:"phases"`
+	}{
+		Scenario:       "netsplit",
+		Nodes:          o.nodes,
+		Concurrency:    out.healthy.Concurrency,
+		Converged:      out.converged,
+		RecoveryMs:     float64(out.recovery.Nanoseconds()) / 1e6,
+		JobsTotal:      out.jobsTotal,
+		JobsOK:         out.jobsOK,
+		Retries:        out.stats.Retries,
+		BreakerOpens:   out.stats.BreakerOpens,
+		ShortCircuits:  out.stats.BreakerShortCircuits,
+		OpenBreakers:   out.stats.OpenBreakers,
+		ForwardErrs:    out.stats.ForwardErrors,
+		HealthyRPS:     out.healthy.RPS,
+		PartitionedRPS: out.partitioned.RPS,
+		HealedRPS:      out.healed.RPS,
+		Phases: []jsonStats{
+			toJSONStats("healthy", out.healthy.Stats),
+			toJSONStats("partitioned", out.partitioned.Stats),
+			toJSONStats("healed", out.healed.Stats),
+		},
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+func writeNetsplitText(w io.Writer, o netsplitOpts, out netsplitOutcome) {
+	fmt.Fprintf(w, "scenario=netsplit nodes=%d concurrency=%d converged=%t recovery=%s jobs=%d/%d\n",
+		o.nodes, out.healthy.Concurrency, out.converged, out.recovery.Round(time.Millisecond),
+		out.jobsOK, out.jobsTotal)
+	fmt.Fprintf(w, "cluster: forward_errors=%d retries=%d breaker_opens=%d short_circuits=%d open_at_end=%d\n",
+		out.stats.ForwardErrors, out.stats.Retries, out.stats.BreakerOpens,
+		out.stats.BreakerShortCircuits, out.stats.OpenBreakers)
+	for _, ph := range []struct {
+		name string
+		rep  loadtest.Report
+	}{{"healthy", out.healthy}, {"partitioned", out.partitioned}, {"healed", out.healed}} {
+		writeText(w, "netsplit/"+ph.name, ph.rep, nil)
+	}
+}

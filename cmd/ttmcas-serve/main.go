@@ -14,7 +14,8 @@
 //	             [-max-timeline-steps 256]
 //	             [-fault-spec ""] [-fault-seed 1] [-pprof-addr localhost:6060]
 //	             [-peers URL,URL] [-cluster-addr http://host:port] [-node-id ID]
-//	             [-vnodes 64] [-forward] [-probe-interval 1s]
+//	             [-vnodes 64] [-forward] [-probe-interval 1s] [-probe-timeout 0]
+//	             [-net-fault-spec ""] [-net-fault-seed 1]
 //
 // Endpoints:
 //
@@ -85,6 +86,52 @@
 // successful probe. Forwarding failures never lose requests — the node
 // computes locally instead. Batch jobs route to the owner of their spec
 // so snapshots never collide. See README.md "Running a cluster".
+//
+// # Failure model
+//
+// The cluster transport assumes peers can fail arbitrarily — crash,
+// hang, or be partitioned away asymmetrically — and promises that none
+// of it becomes a client-visible error:
+//
+//   - Every peer gets a circuit breaker. Enough consecutive transport
+//     failures (or a high failure rate over a rolling window) opens it;
+//     while open, forwards to that peer fail instantly instead of
+//     burning their deadline, and the node computes locally. Health
+//     probes keep flowing regardless — they are the recovery detector —
+//     and probe successes walk the breaker through half-open back to
+//     closed. Breaker state is exported per peer on /metrics
+//     (ttmcas_cluster_breaker_state) and in /v1/cluster.
+//
+//   - Retries spend a bounded budget. Only idempotent traffic retries
+//     (evaluation forwards; never job submission), with full-jitter
+//     exponential backoff, honoring Retry-After on 503s, and drawing on
+//     a per-class token budget that refills as a fraction of request
+//     volume — so a down peer costs a trickle of retries, not a storm.
+//     ttmcas_cluster_retries_total and _retries_denied_total count the
+//     spend.
+//
+//   - What cannot retry falls back. A failed job-submit forward runs
+//     the job locally; a failed shard dispatch hedges to the next-alive
+//     peer and finally computes locally; a partitioned owner's key
+//     range redistributes once gossip evicts it. A partition therefore
+//     degrades locality and throughput, never correctness.
+//
+//   - Probes are bounded separately. -probe-timeout caps one probe
+//     independently of -probe-interval, so a hung peer (accepting
+//     connections, never answering) is suspected on schedule instead of
+//     wedging the prober.
+//
+// -net-fault-spec injects deterministic network faults into this exact
+// machinery for drills (empty disables; seeded by -net-fault-seed).
+// Rules are ';'-separated, fields space-separated:
+//
+//	-net-fault-spec "partition=a:8080,b:8080"          # symmetric split
+//	-net-fault-spec "partition=a:8080->b:8080"         # one direction only
+//	-net-fault-spec "to=b:8080 drop-rate=0.3 delay=50ms"
+//
+// See ttmcas-loadgen -scenario netsplit for the matching
+// partition-tolerance check, and README.md "Failure model" for the
+// full contract.
 package main
 
 import (
@@ -101,6 +148,7 @@ import (
 	"time"
 
 	"ttmcas/internal/resilience/faultinject"
+	"ttmcas/internal/resilience/netfault"
 	"ttmcas/internal/server"
 )
 
@@ -142,11 +190,17 @@ func run(args []string) error {
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default 64)")
 	forward := fs.Bool("forward", true, "forward mis-owned requests to the owner (false answers 307 redirects instead)")
 	probeInterval := fs.Duration("probe-interval", time.Second, "peer health-probe period")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe deadline, decoupled from -probe-interval (0 = the interval, capped at 2s)")
+	netFaultSpec := fs.String("net-fault-spec", "", "network-fault spec on the cluster transport (empty disables), e.g. \"partition=a:8080,b:8080;drop-rate=0.1\"")
+	netFaultSeed := fs.Int64("net-fault-seed", 1, "deterministic seed for the network-fault draw stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := faultinject.Parse(*faultSpec, *faultSeed); err != nil {
 		return fmt.Errorf("-fault-spec: %w", err)
+	}
+	if _, err := netfault.Parse(*netFaultSpec, *netFaultSeed); err != nil {
+		return fmt.Errorf("-net-fault-spec: %w", err)
 	}
 	var peerList []string
 	if *peers != "" {
@@ -215,6 +269,9 @@ func run(args []string) error {
 		ClusterVNodes:        *vnodes,
 		ClusterRedirect:      !*forward,
 		ClusterProbeInterval: *probeInterval,
+		ClusterProbeTimeout:  *probeTimeout,
+		NetFaultSpec:         *netFaultSpec,
+		NetFaultSeed:         *netFaultSeed,
 	})
 	return srv.ListenAndServe(ctx)
 }

@@ -9,9 +9,12 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ttmcas/internal/resilience"
 )
 
 // ForwardHeader is the single-hop guard: a request carrying it is
@@ -85,8 +88,22 @@ type Options struct {
 	// and evicts it from the ring (default 3).
 	SuspectAfter int
 	EvictAfter   int
-	// Client issues probes and forwards (default: a pooled transport).
+	// Client issues forwards (default: a pooled transport).
 	Client *http.Client
+	// ProbeClient issues health probes. It defaults to a client sharing
+	// Client's transport with an explicit Timeout of ProbeTimeout, so a
+	// peer that accepts the connection and then hangs forever cannot
+	// wedge a prober regardless of how the forward client is tuned.
+	ProbeClient *http.Client
+	// Breaker parameterizes the per-peer circuit breakers (Name and
+	// OnTransition are managed by the cluster). The zero value selects
+	// the resilience defaults.
+	Breaker resilience.BreakerConfig
+	// Retry parameterizes the forward retry budget and backoff. The
+	// zero value selects the resilience defaults.
+	Retry resilience.RetryPolicy
+	// RetrySeed fixes the backoff jitter stream (default 1).
+	RetrySeed int64
 	// Logger receives membership transitions (default log.Default()).
 	Logger *log.Logger
 }
@@ -122,6 +139,12 @@ func (o Options) withDefaults() Options {
 			Timeout: 0,
 		}
 	}
+	if o.ProbeClient == nil {
+		o.ProbeClient = &http.Client{Transport: o.Client.Transport, Timeout: o.ProbeTimeout}
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
+	}
 	if o.Logger == nil {
 		o.Logger = log.Default()
 	}
@@ -138,6 +161,10 @@ type peer struct {
 	lastOK      time.Time
 	lastLatency time.Duration
 	lastEpoch   uint64
+	// br is the peer's circuit breaker, fed by both forwards and
+	// gossip probes; an open breaker marks the peer suspect and
+	// short-circuits forwards before they burn a deadline.
+	br *resilience.Breaker
 }
 
 // Cluster tracks membership and routes keys. Lookups read an immutable
@@ -153,11 +180,18 @@ type Cluster struct {
 	mu    sync.Mutex
 	peers map[string]*peer // by URL
 
+	// retrier is the shared forward retry budget (per request class).
+	retrier *resilience.Retrier
+
 	local         atomic.Uint64
 	forwarded     atomic.Uint64
 	forwardErrors atomic.Uint64
 	redirected    atomic.Uint64
 	probeFailures atomic.Uint64
+
+	breakerShort       atomic.Uint64 // forwards short-circuited by an open breaker
+	breakerTransitions atomic.Uint64
+	breakerOpens       atomic.Uint64
 
 	latMu  sync.Mutex
 	latCnt uint64
@@ -177,6 +211,7 @@ func New(opts Options) *Cluster {
 		peers: make(map[string]*peer, len(opts.Peers)),
 		done:  make(chan struct{}),
 	}
+	c.retrier = resilience.NewRetrier(opts.Retry, opts.RetrySeed)
 	for _, u := range opts.Peers {
 		if u == opts.SelfURL || u == "" {
 			continue
@@ -184,7 +219,10 @@ func New(opts Options) *Cluster {
 		if _, dup := c.peers[u]; dup {
 			continue
 		}
-		c.peers[u] = &peer{url: u, state: StateAlive}
+		bcfg := opts.Breaker
+		bcfg.Name = u
+		bcfg.OnTransition = c.onBreakerTransition
+		c.peers[u] = &peer{url: u, state: StateAlive, br: resilience.NewBreaker(bcfg)}
 	}
 	c.rebuildLocked() // peers map is not yet shared; no lock needed, but rebuild wants it
 	for u := range c.peers {
@@ -266,12 +304,83 @@ type ForwardResult struct {
 	RetryAfter string
 }
 
+// ForwardOptions select the retry behavior of one forwarded request.
+type ForwardOptions struct {
+	// Retry opts the request into the retry budget. Only set it for
+	// idempotent requests: a netfault-style connection reset delivers
+	// the request and destroys the response, so a retried
+	// non-idempotent request (a job submit) could execute twice.
+	Retry bool
+	// Class names the retry-budget bucket the request draws from
+	// ("eval", "job", ...; default "forward"), so one misbehaving
+	// request class cannot drain another's budget.
+	Class string
+}
+
 // Forward sends one request to a peer with the single-hop guard header
-// set and returns its response. A transport-level failure counts
-// against the peer's health (accelerating suspicion between probes) and
-// returns an error; any HTTP response, including errors, is returned
-// as a result for the caller to relay.
+// set and returns its response, with no retries: exactly one attempt,
+// gated by the peer's circuit breaker. Idempotent callers that want
+// the retry budget use ForwardOpts.
 func (c *Cluster) Forward(ctx context.Context, peerURL, method, path string, body []byte) (ForwardResult, error) {
+	return c.ForwardOpts(ctx, peerURL, method, path, body, ForwardOptions{})
+}
+
+// ForwardOpts forwards one request through the peer's circuit breaker
+// and, when opts.Retry is set, the retry budget: transport failures
+// (and 503s carrying Retry-After) are retried with full-jitter
+// exponential backoff while the budget and the caller's deadline
+// allow. An open breaker fails immediately with ErrBreakerOpen so the
+// caller can fail over — next alive peer or local compute — without
+// burning its deadline on a peer known to be unreachable. Every
+// attempt's outcome feeds the breaker; a transport-level failure no
+// longer bumps the gossip failure counter directly (suspicion feeds
+// on breaker state instead, so one slow call cannot flap membership).
+func (c *Cluster) ForwardOpts(ctx context.Context, peerURL, method, path string, body []byte, opts ForwardOptions) (ForwardResult, error) {
+	br := c.breakerFor(peerURL)
+	class := opts.Class
+	if class == "" {
+		class = "forward"
+	}
+	c.retrier.Attempt(class)
+	for attempt := 1; ; attempt++ {
+		if !br.Allow() {
+			c.breakerShort.Add(1)
+			return ForwardResult{}, fmt.Errorf("cluster: peer %s: %w", peerURL, resilience.ErrBreakerOpen)
+		}
+		res, err := c.forwardOnce(ctx, peerURL, method, path, body)
+		br.Record(err == nil)
+		var retryAfter time.Duration
+		switch {
+		case err == nil && (!opts.Retry || res.Status != http.StatusServiceUnavailable || res.RetryAfter == ""):
+			return res, nil
+		case err == nil:
+			// A shed with explicit Retry-After advice: retryable for
+			// idempotent requests, honoring the server's delay.
+			retryAfter = parseRetryAfter(res.RetryAfter)
+		case !opts.Retry:
+			return ForwardResult{}, err
+		}
+		if ctx.Err() != nil || !c.retrier.AllowRetry(class, attempt) {
+			if err != nil {
+				return ForwardResult{}, err
+			}
+			return res, nil // relay the 503 when the budget is dry
+		}
+		timer := time.NewTimer(c.retrier.Backoff(attempt, retryAfter))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			if err != nil {
+				return ForwardResult{}, err
+			}
+			return res, nil
+		}
+	}
+}
+
+// forwardOnce performs a single forward attempt.
+func (c *Cluster) forwardOnce(ctx context.Context, peerURL, method, path string, body []byte) (ForwardResult, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -288,14 +397,12 @@ func (c *Cluster) Forward(ctx context.Context, peerURL, method, path string, bod
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
 		c.forwardErrors.Add(1)
-		c.noteFailure(peerURL)
 		return ForwardResult{}, fmt.Errorf("cluster: forwarding to %s: %w", peerURL, err)
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
 	resp.Body.Close()
 	if err != nil {
 		c.forwardErrors.Add(1)
-		c.noteFailure(peerURL)
 		return ForwardResult{}, fmt.Errorf("cluster: reading forwarded response from %s: %w", peerURL, err)
 	}
 	d := time.Since(began)
@@ -313,6 +420,58 @@ func (c *Cluster) Forward(ctx context.Context, peerURL, method, path string, bod
 		XCache:     resp.Header.Get("X-Cache"),
 		RetryAfter: resp.Header.Get("Retry-After"),
 	}, nil
+}
+
+// parseRetryAfter reads a Retry-After header value as delay seconds
+// (the only form this stack emits); unparseable values mean no floor.
+func parseRetryAfter(s string) time.Duration {
+	if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// breakerFor returns the peer's circuit breaker; nil (which is fully
+// permissive) for URLs the cluster does not track.
+func (c *Cluster) breakerFor(url string) *resilience.Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[url]; ok {
+		return p.br
+	}
+	return nil
+}
+
+// BreakerState reports the named peer's breaker state (closed for
+// unknown peers).
+func (c *Cluster) BreakerState(url string) resilience.BreakerState {
+	return c.breakerFor(url).State()
+}
+
+// onBreakerTransition is every peer breaker's transition hook: it
+// keeps the aggregate counters, feeds gossip suspicion (a breaker
+// opening marks its peer suspect without waiting for probe failures
+// to accumulate), and chains to any caller-supplied hook.
+func (c *Cluster) onBreakerTransition(url string, from, to resilience.BreakerState) {
+	c.breakerTransitions.Add(1)
+	if to == resilience.BreakerOpen {
+		c.breakerOpens.Add(1)
+		c.markSuspect(url)
+	}
+	c.opts.Logger.Printf("cluster: peer %s breaker %s -> %s", url, from, to)
+	if c.opts.Breaker.OnTransition != nil {
+		c.opts.Breaker.OnTransition(url, from, to)
+	}
+}
+
+// markSuspect demotes an alive peer to suspect (keeping its ring
+// segments — suspicion must not reshuffle ownership).
+func (c *Cluster) markSuspect(url string) {
+	c.mu.Lock()
+	if p, ok := c.peers[url]; ok && p.state == StateAlive {
+		p.state = StateSuspect
+	}
+	c.mu.Unlock()
 }
 
 // ---- membership ----------------------------------------------------
@@ -339,6 +498,10 @@ func (c *Cluster) probe(url string) {
 	defer cancel()
 	began := time.Now()
 	h, err := c.fetchHealth(ctx, url)
+	// Probes bypass the breaker's admission gate (they ARE the
+	// recovery detector) but always feed it: a probe success observed
+	// while the breaker is open is what walks it back toward closed.
+	c.breakerFor(url).Record(err == nil)
 	if err != nil {
 		c.probeFailures.Add(1)
 		c.noteFailure(url)
@@ -352,7 +515,7 @@ func (c *Cluster) fetchHealth(ctx context.Context, url string) (Health, error) {
 	if err != nil {
 		return Health{}, err
 	}
-	resp, err := c.opts.Client.Do(req)
+	resp, err := c.opts.ProbeClient.Do(req)
 	if err != nil {
 		return Health{}, err
 	}
@@ -369,8 +532,11 @@ func (c *Cluster) fetchHealth(ctx context.Context, url string) (Health, error) {
 }
 
 // noteFailure advances one peer through the suspicion state machine.
-// It is called by the probe loop and by failed forwards, so a dead
-// peer on the hot path is detected faster than the probe interval.
+// Only the probe loop calls it: forward failures feed the peer's
+// circuit breaker instead, whose open transition marks the peer
+// suspect (fast detection on the hot path) while eviction — the
+// expensive, ring-reshuffling verdict — still requires EvictAfter
+// consecutive probe failures.
 func (c *Cluster) noteFailure(url string) {
 	c.mu.Lock()
 	p, ok := c.peers[url]
@@ -398,8 +564,13 @@ func (c *Cluster) noteFailure(url string) {
 	}
 }
 
-// noteSuccess resets a peer to alive, rejoining it to the ring if it
-// had been evicted, and records what its health body gossiped back.
+// noteSuccess resets a peer's probe-failure count and records what its
+// health body gossiped back. Promotion to alive (and ring rejoin for
+// an evicted peer) is gated on the peer's circuit breaker being
+// closed: a peer whose probes answer but whose forwards still fail —
+// or one healing from a partition — stays suspect until CloseAfter
+// consecutive successes close the breaker, so traffic returns to it
+// deliberately rather than on the first good packet.
 func (c *Cluster) noteSuccess(url string, h Health, latency time.Duration) {
 	c.mu.Lock()
 	p, ok := c.peers[url]
@@ -417,10 +588,13 @@ func (c *Cluster) noteSuccess(url string, h Health, latency time.Duration) {
 	p.lastOK = p.lastProbe
 	p.lastLatency = latency
 	p.lastEpoch = h.RingEpoch
-	rejoined := p.state == StateDead
-	p.state = StateAlive
-	if rejoined {
-		c.rebuildLocked()
+	rejoined := false
+	if p.br.State() == resilience.BreakerClosed {
+		rejoined = p.state == StateDead
+		p.state = StateAlive
+		if rejoined {
+			c.rebuildLocked()
+		}
 	}
 	c.mu.Unlock()
 	if rejoined {
@@ -445,6 +619,13 @@ func (c *Cluster) rebuildLocked() {
 
 // ---- observability -------------------------------------------------
 
+// PeerBreaker is one peer's breaker state in a Stats snapshot, for
+// the per-peer ttmcas_cluster_breaker_state gauge.
+type PeerBreaker struct {
+	URL   string
+	State resilience.BreakerState
+}
+
 // Stats is the point-in-time aggregate surfaced in /metrics.
 type Stats struct {
 	RingNodes     int
@@ -460,22 +641,35 @@ type Stats struct {
 	ForwardCount  uint64
 	ForwardSum    time.Duration
 	ForwardMax    time.Duration
+
+	Retries              uint64 // forward retries admitted by the budget
+	RetriesDenied        uint64 // retries refused (budget dry or attempts exhausted)
+	BreakerShortCircuits uint64 // forwards refused outright by an open breaker
+	BreakerTransitions   uint64
+	BreakerOpens         uint64
+	Breakers             []PeerBreaker // sorted by URL
 }
 
 // Stats snapshots the counters and membership tallies.
 func (c *Cluster) Stats() Stats {
+	rs := c.retrier.Stats()
 	st := Stats{
-		RingNodes:     c.ring.Load().Len(),
-		Epoch:         c.epoch.Load(),
-		Alive:         1, // self
-		Local:         c.local.Load(),
-		Forwarded:     c.forwarded.Load(),
-		ForwardErrors: c.forwardErrors.Load(),
-		Redirected:    c.redirected.Load(),
-		ProbeFailures: c.probeFailures.Load(),
+		RingNodes:            c.ring.Load().Len(),
+		Epoch:                c.epoch.Load(),
+		Alive:                1, // self
+		Local:                c.local.Load(),
+		Forwarded:            c.forwarded.Load(),
+		ForwardErrors:        c.forwardErrors.Load(),
+		Redirected:           c.redirected.Load(),
+		ProbeFailures:        c.probeFailures.Load(),
+		Retries:              rs.Retries,
+		RetriesDenied:        rs.BudgetDenied,
+		BreakerShortCircuits: c.breakerShort.Load(),
+		BreakerTransitions:   c.breakerTransitions.Load(),
+		BreakerOpens:         c.breakerOpens.Load(),
 	}
 	c.mu.Lock()
-	for _, p := range c.peers {
+	for u, p := range c.peers {
 		switch p.state {
 		case StateAlive:
 			st.Alive++
@@ -484,8 +678,10 @@ func (c *Cluster) Stats() Stats {
 		default:
 			st.Dead++
 		}
+		st.Breakers = append(st.Breakers, PeerBreaker{URL: u, State: p.br.State()})
 	}
 	c.mu.Unlock()
+	sort.Slice(st.Breakers, func(i, j int) bool { return st.Breakers[i].URL < st.Breakers[j].URL })
 	c.latMu.Lock()
 	st.ForwardCount = c.latCnt
 	st.ForwardSum = c.latSum
@@ -499,6 +695,7 @@ type PeerStatus struct {
 	ID          string  `json:"id,omitempty"`
 	URL         string  `json:"url"`
 	State       string  `json:"state"`
+	Breaker     string  `json:"breaker,omitempty"`
 	Failures    int     `json:"failures,omitempty"`
 	LatencyMS   float64 `json:"latency_ms,omitempty"`
 	LastOKAgoS  float64 `json:"last_ok_ago_s,omitempty"`
@@ -539,6 +736,7 @@ func (c *Cluster) Status() Status {
 			ID:          p.id,
 			URL:         p.url,
 			State:       p.state.String(),
+			Breaker:     p.br.State().String(),
 			Failures:    p.failures,
 			ReportEpoch: p.lastEpoch,
 		}

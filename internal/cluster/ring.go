@@ -9,6 +9,18 @@
 // → dead state machine on consecutive failures, are evicted from the
 // ring when dead, and rejoin automatically on the first successful
 // probe. Everything is standard library only.
+//
+// The transport is partition-tolerant: every peer gets a circuit
+// breaker (resilience.Breaker) that turns a persistently failing
+// forward path into instant refusals instead of burned deadlines, and
+// forwards may opt into a budgeted retry policy (resilience.Retrier)
+// gated on idempotency. Breaker opens feed suspicion directly, health
+// probes bypass the breaker's admission gate (they are the recovery
+// detector) while feeding its state, and a dead peer rejoins the ring
+// only once its breaker has closed — so an asymmetric partition is
+// noticed at traffic speed and a flapping link cannot flap the
+// keyspace. Probes run under their own timeout, decoupled from the
+// probe interval, so a hung peer cannot wedge the prober.
 package cluster
 
 import (

@@ -107,6 +107,18 @@ func (m *Manager) pace(ctx context.Context, req ShardRequest) {
 // to shard; otherwise it is the plain single-node run. The runHook
 // test seam always runs locally — it replaces the runner itself.
 func (m *Manager) runSpec(ctx context.Context, j *Job) (any, error) {
+	if plan := j.shardPlan(); plan != nil && runHook == nil {
+		// A restored checkpoint: resume the persisted scatter plan —
+		// NOT a freshly computed one, whose shard boundaries could
+		// differ and misalign the completed results. With no (or a
+		// dead) distributor the missing shards simply run locally.
+		d := m.cfg.Distributor
+		var targets []string
+		if d != nil {
+			targets = d.Targets()
+		}
+		return m.runDistributed(ctx, j, d, targets, plan)
+	}
 	if d := m.cfg.Distributor; d != nil && runHook == nil {
 		targets := d.Targets()
 		if reqs := planShards(j.spec, j.id, len(targets), m.cfg.DistMinEvaluations); reqs != nil {
@@ -138,24 +150,43 @@ func (m *Manager) runDistributed(ctx context.Context, j *Job, d Distributor, tar
 	s := reqs[0].Spec
 	space := s.shardSpace()
 	Tracker{j}.SetTotal(s.shardUnits(0, space))
-	// Record the in-flight coordinator: if the process dies mid-gather
-	// the restarted manager re-runs the job from its spec instead of
-	// trusting this run's partial progress.
+	// Record the in-flight coordinator and its scatter plan: if the
+	// process dies mid-gather the restarted manager resumes this plan,
+	// re-running only the shards whose results were not checkpointed.
+	j.setPlan(reqs)
 	m.persist(j)
 
 	results := make([]ShardResult, len(reqs))
 	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
 	for i := 1; i < len(reqs); i++ {
+		if res, ok := j.shardDone(i); ok {
+			results[i] = res
+			Tracker{j}.Add(res.Evals)
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			results[i], errs[i] = m.dispatchShard(ctx, j, d, targets, reqs[i])
+			if errs[i] == nil && results[i].Err == "" {
+				j.noteShard(results[i])
+				m.persist(j)
+			}
 		}(i)
 	}
-	results[0], errs[0] = RunShard(ctx, m.cfg.Limits, reqs[0], Tracker{j}.Add)
-	if errs[0] == nil {
-		m.pace(ctx, reqs[0])
+	if res, ok := j.shardDone(0); ok {
+		results[0] = res
+		Tracker{j}.Add(res.Evals)
+	} else {
+		results[0], errs[0] = RunShard(ctx, m.cfg.Limits, reqs[0], Tracker{j}.Add)
+		if errs[0] == nil {
+			m.pace(ctx, reqs[0])
+			if results[0].Err == "" {
+				j.noteShard(results[0])
+				m.persist(j)
+			}
+		}
 	}
 	wg.Wait()
 

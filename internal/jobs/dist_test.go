@@ -423,3 +423,114 @@ func TestMidFlightSnapshotRestoresClean(t *testing.T) {
 		t.Fatal(fin.Error)
 	}
 }
+
+// checkpointDistributor finishes shards aimed at peer-0 (shard 1 of
+// the 4-shard plan) and parks every other dispatch until its context
+// dies — a coordinator caught mid-scatter.
+type checkpointDistributor struct {
+	lim      Limits
+	shard1OK chan struct{}
+	once     sync.Once
+}
+
+func (d *checkpointDistributor) Targets() []string { return []string{"peer-0", "peer-1", "peer-2"} }
+
+func (d *checkpointDistributor) Dispatch(ctx context.Context, target string, req ShardRequest) (ShardResult, error) {
+	if target == "peer-0" {
+		res, err := RunShard(ctx, d.lim, req, nil)
+		if err == nil {
+			d.once.Do(func() { close(d.shard1OK) })
+		}
+		return res, err
+	}
+	<-ctx.Done()
+	return ShardResult{}, ctx.Err()
+}
+
+// TestShardCheckpointResume is the shard-checkpoint contract: kill the
+// coordinator after shard 1 of 4 completes, restore over the same
+// snapshot directory, and the resumed job re-runs only the 3 missing
+// shards while producing the byte-identical result.
+func TestShardCheckpointResume(t *testing.T) {
+	spec := oracleSpecs()["mc-band"]
+	_, oracle := runJobOn(t, nil, spec)
+
+	dir := t.TempDir()
+	cfg := quietConfig()
+	cfg.SnapshotDir = dir
+	cfg.Distributor = &checkpointDistributor{shard1OK: make(chan struct{})}
+	cfg.DistMinEvaluations = 1
+	m1 := New(cfg)
+	v, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for shard 1's result to be checkpointed on disk, then kill
+	// the coordinator with shards 2 and 3 still parked.
+	<-cfg.Distributor.(*checkpointDistributor).shard1OK
+	snap := filepath.Join(dir, v.ID+".json")
+	waitForCond(t, "shard 1 checkpointed", func() bool {
+		data, err := os.ReadFile(snap)
+		if err != nil {
+			return false
+		}
+		var sf snapshotFile
+		return json.Unmarshal(data, &sf) == nil && len(sf.Shards) >= 1 && len(sf.Plan) == 4
+	})
+	m1.Close()
+
+	// The interrupted snapshot must still carry the plan + checkpoint.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf snapshotFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if sf.View.Status != StatusPending || len(sf.Plan) != 4 || len(sf.Shards) < 1 {
+		t.Fatalf("interrupted snapshot: status %s, %d plan, %d shards; want pending/4/>=1",
+			sf.View.Status, len(sf.Plan), len(sf.Shards))
+	}
+
+	// Restart over the same directory with a healthy (counting) ring.
+	lb := newLoopback(3)
+	cfg2 := quietConfig()
+	cfg2.SnapshotDir = dir
+	cfg2.Distributor = lb
+	cfg2.DistMinEvaluations = 1
+	m2 := New(cfg2)
+	defer m2.Close()
+	fin := waitFinished(t, m2, v.ID)
+	if fin.Status != StatusSucceeded {
+		t.Fatalf("resumed job: %s (%s)", fin.Status, fin.Error)
+	}
+	raw, _, err := m2.Result(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, oracle) {
+		t.Fatalf("resumed result differs from single-node oracle:\n%s\nvs\n%s", raw, oracle)
+	}
+	// Only shards 2 and 3 were re-dispatched (shard 0 is always local,
+	// shard 1 came from the checkpoint).
+	if got := lb.calls(); got != 2 {
+		t.Fatalf("resumed run dispatched %d shards, want 2", got)
+	}
+	if fin.Done != fin.Total || fin.Total == 0 {
+		t.Fatalf("resumed progress = %d/%d, want complete", fin.Done, fin.Total)
+	}
+}
+
+// waitForCond polls until cond holds or a 5s deadline lapses.
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

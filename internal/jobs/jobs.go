@@ -197,6 +197,62 @@ type Job struct {
 	restored      bool
 	userCancelled bool
 	cancel        context.CancelFunc
+
+	// Distributed-run checkpoint: the scatter plan and the completed
+	// shard results, persisted with every snapshot so a restarted
+	// coordinator resumes a mid-flight job re-running only the shards
+	// that had not finished. Guarded by mu.
+	plan      []ShardRequest
+	completed map[int]ShardResult
+}
+
+// setPlan records the scatter plan a distributed run is executing.
+func (j *Job) setPlan(reqs []ShardRequest) {
+	j.mu.Lock()
+	j.plan = reqs
+	j.mu.Unlock()
+}
+
+// shardPlan returns the checkpointed scatter plan, nil if none.
+func (j *Job) shardPlan() []ShardRequest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.plan
+}
+
+// shardDone returns the checkpointed result of shard i, if completed.
+func (j *Job) shardDone(i int) (ShardResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.completed[i]
+	return res, ok
+}
+
+// noteShard checkpoints one completed shard result.
+func (j *Job) noteShard(res ShardResult) {
+	j.mu.Lock()
+	if j.completed == nil {
+		j.completed = make(map[int]ShardResult)
+	}
+	j.completed[res.Index] = res
+	j.mu.Unlock()
+}
+
+// checkpoint snapshots the plan and the completed shards (ordered by
+// index) for persistence.
+func (j *Job) checkpoint() ([]ShardRequest, []ShardResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.plan == nil {
+		return nil, nil
+	}
+	shards := make([]ShardResult, 0, len(j.completed))
+	for i := 0; i < len(j.plan); i++ {
+		if res, ok := j.completed[i]; ok {
+			shards = append(shards, res)
+		}
+	}
+	return j.plan, shards
 }
 
 // Tracker is the progress reporter handed to spec runners. Add and

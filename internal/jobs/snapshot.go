@@ -16,10 +16,16 @@ import (
 // deterministic (fixed seeds, precomputed sample streams), so a resumed
 // re-run reproduces the interrupted job's result.
 
-// snapshotFile is the on-disk shape.
+// snapshotFile is the on-disk shape. Plan and Shards checkpoint a
+// mid-flight distributed run: the scatter plan the coordinator was
+// executing and every shard result already in hand, so a restart
+// re-runs only the unfinished shards (shard runs are deterministic,
+// so the merged result is bit-identical either way).
 type snapshotFile struct {
 	View   View            `json:"view"`
 	Result json.RawMessage `json:"result,omitempty"`
+	Plan   []ShardRequest  `json:"plan,omitempty"`
+	Shards []ShardResult   `json:"shards,omitempty"`
 }
 
 func (m *Manager) snapshotPath(id string) string {
@@ -37,7 +43,13 @@ func (m *Manager) persist(j *Job) {
 	j.mu.Lock()
 	res := j.result
 	j.mu.Unlock()
-	m.writeSnapshot(j.id, snapshotFile{View: v, Result: res})
+	sf := snapshotFile{View: v, Result: res}
+	if !v.Status.Finished() {
+		// Mid-flight: carry the distributed checkpoint so a restart
+		// resumes instead of recomputing finished shards.
+		sf.Plan, sf.Shards = j.checkpoint()
+	}
+	m.writeSnapshot(j.id, sf)
 }
 
 // persistPending snapshots a shutdown-interrupted job as if it had
@@ -51,7 +63,9 @@ func (m *Manager) persistPending(j *Job) {
 	v.Started, v.Finished = nil, nil
 	v.Error = ""
 	v.Done, v.Fraction, v.ETASeconds = 0, 0, nil
-	m.writeSnapshot(j.id, snapshotFile{View: v})
+	sf := snapshotFile{View: v}
+	sf.Plan, sf.Shards = j.checkpoint()
+	m.writeSnapshot(j.id, sf)
 }
 
 // writeSnapshot writes atomically: temp file in the same directory,
@@ -160,11 +174,13 @@ func (m *Manager) loadSnapshots() []*Job {
 			j.finished = *v.Finished
 		}
 		if !j.status.Finished() {
-			// Interrupted before completing: re-run from scratch. Both
-			// progress counters reset — a mid-flight snapshot (e.g. a
-			// distributed coordinator that persisted while scattering)
-			// must not leave orphan done/total from the dead run; the
-			// re-run's SetTotal re-establishes the denominator.
+			// Interrupted before completing: re-queue. Both progress
+			// counters reset — a mid-flight snapshot must not leave
+			// orphan done/total from the dead run; the re-run's
+			// SetTotal re-establishes the denominator (and restored
+			// shard checkpoints re-credit their evaluations). The
+			// checkpointed plan and completed shard results carry
+			// over so the resumed run recomputes only what's missing.
 			j.status = StatusPending
 			j.started = time.Time{}
 			j.finished = time.Time{}
@@ -172,6 +188,15 @@ func (m *Manager) loadSnapshots() []*Job {
 			j.result = nil
 			j.done.Store(0)
 			j.total.Store(0)
+			j.plan = sf.Plan
+			if len(sf.Shards) > 0 && j.plan != nil {
+				j.completed = make(map[int]ShardResult, len(sf.Shards))
+				for _, r := range sf.Shards {
+					if r.Index >= 0 && r.Index < len(j.plan) && r.Err == "" {
+						j.completed[r.Index] = r
+					}
+				}
+			}
 			resume = append(resume, j)
 		}
 		m.insertLocked(j) // no concurrency yet: New has not started workers

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ttmcas/internal/cluster"
+	"ttmcas/internal/resilience"
 	"ttmcas/internal/server"
 )
 
@@ -228,6 +229,15 @@ type ClusterStats struct {
 	Forwarded     uint64
 	ForwardErrors uint64
 	Redirected    uint64
+
+	// Resilience counters (summed) and the number of per-peer circuit
+	// breakers currently not closed (sampled at the Stats call).
+	Retries              uint64
+	RetriesDenied        uint64
+	BreakerShortCircuits uint64
+	BreakerOpens         uint64
+	BreakerTransitions   uint64
+	OpenBreakers         int
 }
 
 // Stats aggregates the cluster counters across all nodes.
@@ -242,6 +252,16 @@ func (tc *TestCluster) Stats() ClusterStats {
 		agg.Forwarded += st.Forwarded
 		agg.ForwardErrors += st.ForwardErrors
 		agg.Redirected += st.Redirected
+		agg.Retries += st.Retries
+		agg.RetriesDenied += st.RetriesDenied
+		agg.BreakerShortCircuits += st.BreakerShortCircuits
+		agg.BreakerOpens += st.BreakerOpens
+		agg.BreakerTransitions += st.BreakerTransitions
+		for _, pb := range st.Breakers {
+			if pb.State != resilience.BreakerClosed {
+				agg.OpenBreakers++
+			}
+		}
 	}
 	return agg
 }

@@ -1,8 +1,22 @@
 // Package resilience implements the serving layer's defenses against
 // overload and misbehaving dependencies: an adaptive admission-control
 // limiter that sheds excess load before queueing delay collapses
-// latency, and (in the faultinject subpackage) a configurable fault
-// injector that makes the failure paths testable.
+// latency, a per-peer circuit breaker and a budgeted retry policy for
+// the cluster transport, and (in the faultinject and netfault
+// subpackages) configurable fault injectors that make the failure
+// paths testable.
+//
+// The breaker (Breaker) is the fast-fail half of the failure model: a
+// peer that keeps failing transport-level is declared open and calls
+// to it are refused instantly — no deadline burned dialing a black
+// hole — until a cooldown admits bounded half-open probes and
+// consecutive successes close it again. The retrier (Retrier) is the
+// bounded-persistence half: retries draw on a per-class token budget
+// replenished as a fraction of request volume (the Finagle retry-
+// budget design), so retry amplification under a dead dependency is
+// capped by construction rather than by tuning. The two compose:
+// breakers bound how long failures are *attempted*, budgets bound how
+// often they are *retried*.
 //
 // The limiter follows the CoDel (Controlled Delay) insight: a queue is
 // only a problem when it is *standing* — when even the minimum queueing

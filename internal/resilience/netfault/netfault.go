@@ -1,0 +1,360 @@
+// Package netfault injects faults at the network transport layer: a
+// spec-driven http.RoundTripper wrapper that can drop, delay, reset,
+// or fully partition traffic between named endpoints. Where the
+// sibling faultinject package degrades a single node's *handlers*,
+// netfault degrades the *links between nodes* — which is what a real
+// datacenter partition looks like — so the cluster's breakers, retry
+// budgets, and gossip suspicion can be exercised against asymmetric
+// netsplits instead of only whole-process kills.
+//
+// A spec is one or more rules separated by ';'. Each rule is a list
+// of key=value fields separated by whitespace (not commas — commas
+// separate the two endpoints of a partition pair):
+//
+//	partition=a,b; drop-rate=0.3 delay=50ms
+//
+// Fields:
+//
+//	partition    block all traffic between the two named endpoints,
+//	             "a,b" (both directions) or "a->b" (only a's requests
+//	             to b); other fields in the same rule are ignored
+//	from         source endpoint the rule applies to ("*" or empty matches all)
+//	to           destination endpoint the rule applies to ("*" or empty matches all)
+//	drop-rate    probability of dropping the request (error without I/O)
+//	delay        injected latency before the request is sent
+//	delay-rate   probability of injecting the delay (default 1 when delay is set)
+//	reset-rate   probability of a connection reset: the request is
+//	             delivered but the response is destroyed, so the
+//	             caller cannot tell whether the peer acted on it —
+//	             the case an idempotency gate exists for
+//
+// Endpoints are host:port strings (a peer URL minus its scheme). The
+// source endpoint is set with Bind (an injector wraps one node's
+// transport, so every request shares a source); the destination is
+// the request URL's host. Unlike faultinject's first-match rules,
+// every matching netfault rule applies: partitions and drops from any
+// rule block the request, and delays accumulate.
+//
+// Decisions are drawn from a deterministic splitmix64 stream, so a
+// fixed seed reproduces a fault sequence exactly. Pause/Resume flip
+// the whole injector atomically, which is how the netsplit scenario
+// starts and heals a partition mid-run.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDropped marks a request the injector dropped before any I/O: the
+// network ate it.
+var ErrDropped = errors.New("netfault: request dropped")
+
+// ErrPartitioned marks a request blocked by a partition rule: no
+// route between the two endpoints.
+var ErrPartitioned = errors.New("netfault: link partitioned")
+
+// ErrReset marks a request whose response was destroyed after
+// delivery: the caller cannot know whether the peer acted on it.
+var ErrReset = errors.New("netfault: connection reset")
+
+// Rule is one parsed spec rule.
+type Rule struct {
+	// PartitionA/PartitionB name a blocked endpoint pair; Directional
+	// limits the block to A's requests toward B.
+	PartitionA  string
+	PartitionB  string
+	Directional bool
+
+	From      string
+	To        string
+	DropRate  float64
+	Delay     time.Duration
+	DelayRate float64
+	ResetRate float64
+}
+
+// partition reports whether the rule is a partition rule.
+func (r Rule) partition() bool { return r.PartitionA != "" }
+
+// Stats counts the faults an injector has delivered.
+type Stats struct {
+	Drops       uint64
+	Delays      uint64
+	Resets      uint64
+	Partitioned uint64
+}
+
+// Injector applies parsed fault rules to outbound requests. The zero
+// of *Injector (nil) is valid and injects nothing, so callers can
+// hold one unconditionally.
+type Injector struct {
+	rules []Rule
+	self  string
+	seed  uint64
+	ctr   atomic.Uint64
+
+	paused atomic.Bool
+
+	drops       atomic.Uint64
+	delays      atomic.Uint64
+	resets      atomic.Uint64
+	partitioned atomic.Uint64
+}
+
+// Parse builds an Injector from a spec string. An empty spec returns
+// (nil, nil): fault injection disabled.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	inj := &Injector{
+		seed: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r, err := parseRule(rs)
+		if err != nil {
+			return nil, err
+		}
+		inj.rules = append(inj.rules, r)
+	}
+	if len(inj.rules) == 0 {
+		return nil, fmt.Errorf("netfault: spec %q has no rules", spec)
+	}
+	return inj, nil
+}
+
+func parseRule(rs string) (Rule, error) {
+	var r Rule
+	sawFault := false
+	for _, field := range strings.Fields(rs) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok || v == "" {
+			return r, fmt.Errorf("netfault: field %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "partition":
+			if a, b, dir := strings.Cut(v, "->"); dir {
+				r.PartitionA, r.PartitionB, r.Directional = a, b, true
+			} else if a, b, pair := strings.Cut(v, ","); pair {
+				r.PartitionA, r.PartitionB = a, b
+			} else {
+				return r, fmt.Errorf("netfault: partition %q wants a,b or a->b", v)
+			}
+			if r.PartitionA == "" || r.PartitionB == "" {
+				return r, fmt.Errorf("netfault: partition %q names an empty endpoint", v)
+			}
+			r.PartitionA, r.PartitionB = stripScheme(r.PartitionA), stripScheme(r.PartitionB)
+			sawFault = true
+		case "from":
+			r.From = stripScheme(v)
+		case "to":
+			r.To = stripScheme(v)
+		case "drop-rate":
+			if r.DropRate, err = parseRate(k, v); err != nil {
+				return r, err
+			}
+			sawFault = true
+		case "delay":
+			if r.Delay, err = time.ParseDuration(v); err != nil {
+				return r, fmt.Errorf("netfault: delay %q: %v", v, err)
+			}
+			if r.Delay < 0 {
+				return r, fmt.Errorf("netfault: delay %q is negative", v)
+			}
+			sawFault = true
+		case "delay-rate":
+			if r.DelayRate, err = parseRate(k, v); err != nil {
+				return r, err
+			}
+		case "reset-rate":
+			if r.ResetRate, err = parseRate(k, v); err != nil {
+				return r, err
+			}
+			sawFault = true
+		default:
+			return r, fmt.Errorf("netfault: unknown field %q", k)
+		}
+	}
+	if !sawFault {
+		return r, fmt.Errorf("netfault: rule %q injects nothing (want partition, drop-rate, delay, or reset-rate)", rs)
+	}
+	if r.Delay > 0 && r.DelayRate == 0 {
+		r.DelayRate = 1
+	}
+	return r, nil
+}
+
+func parseRate(k, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 || f > 1 {
+		return 0, fmt.Errorf("netfault: %s %q wants a probability in [0,1]", k, v)
+	}
+	return f, nil
+}
+
+// Bind sets the injector's source endpoint (this node's host:port),
+// against which from= and partition endpoints are matched. It returns
+// the injector for chaining and is a no-op on nil.
+func (inj *Injector) Bind(self string) *Injector {
+	if inj != nil {
+		inj.self = stripScheme(self)
+	}
+	return inj
+}
+
+// Pause disables the injector until Resume; the spec is retained.
+func (inj *Injector) Pause() {
+	if inj != nil {
+		inj.paused.Store(true)
+	}
+}
+
+// Resume re-enables a paused injector.
+func (inj *Injector) Resume() {
+	if inj != nil {
+		inj.paused.Store(false)
+	}
+}
+
+// Enabled reports whether the injector exists and is not paused.
+func (inj *Injector) Enabled() bool {
+	return inj != nil && !inj.paused.Load()
+}
+
+// Stats returns a snapshot of the injector's fault counters.
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	return Stats{
+		Drops:       inj.drops.Load(),
+		Delays:      inj.delays.Load(),
+		Resets:      inj.resets.Load(),
+		Partitioned: inj.partitioned.Load(),
+	}
+}
+
+// Rules returns the parsed rules (for diagnostics).
+func (inj *Injector) Rules() []Rule {
+	if inj == nil {
+		return nil
+	}
+	return inj.rules
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// injector. A nil injector returns base unchanged, so wiring is
+// unconditional at call sites.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if inj == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{inj: inj, base: base}
+}
+
+type transport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inj := t.inj
+	if !inj.Enabled() {
+		return t.base.RoundTrip(req)
+	}
+	to := req.URL.Host
+	var delay time.Duration
+	reset := false
+	for _, r := range inj.rules {
+		if r.partition() {
+			if inj.partitionBlocks(r, to) {
+				inj.partitioned.Add(1)
+				return nil, fmt.Errorf("%w: %s -> %s", ErrPartitioned, inj.self, to)
+			}
+			continue
+		}
+		if !match(r.From, inj.self) || !match(r.To, to) {
+			continue
+		}
+		if r.DropRate > 0 && inj.draw() < r.DropRate {
+			inj.drops.Add(1)
+			return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, inj.self, to)
+		}
+		if r.Delay > 0 && inj.draw() < r.DelayRate {
+			delay += r.Delay
+		}
+		if r.ResetRate > 0 && inj.draw() < r.ResetRate {
+			reset = true
+		}
+	}
+	if delay > 0 {
+		inj.delays.Add(1)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if reset {
+		// The request reached the peer — the peer may have acted on
+		// it — but the response is lost on the wire. Only retries of
+		// idempotent requests are safe after this.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inj.resets.Add(1)
+		return nil, fmt.Errorf("%w: %s -> %s", ErrReset, inj.self, to)
+	}
+	return resp, nil
+}
+
+// partitionBlocks reports whether partition rule r blocks a request
+// from the bound source to the given destination.
+func (inj *Injector) partitionBlocks(r Rule, to string) bool {
+	if r.Directional {
+		return r.PartitionA == inj.self && r.PartitionB == to
+	}
+	return (r.PartitionA == inj.self && r.PartitionB == to) ||
+		(r.PartitionB == inj.self && r.PartitionA == to)
+}
+
+func match(pattern, endpoint string) bool {
+	return pattern == "" || pattern == "*" || pattern == endpoint
+}
+
+func stripScheme(s string) string {
+	s = strings.TrimPrefix(s, "http://")
+	s = strings.TrimPrefix(s, "https://")
+	return strings.TrimSuffix(s, "/")
+}
+
+// draw returns the next deterministic uniform [0,1) variate
+// (splitmix64 over a shared atomic counter).
+func (inj *Injector) draw() float64 {
+	z := inj.seed + inj.ctr.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

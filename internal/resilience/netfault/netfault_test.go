@@ -1,0 +1,318 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"drop-rate=2",
+		"drop-rate=x",
+		"delay=-5ms",
+		"delay=fast",
+		"partition=a",
+		"partition=a,",
+		"partition=->b",
+		"from=a to=b", // no fault field
+		"frob=1",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+	if inj, err := Parse("  ", 1); inj != nil || err != nil {
+		t.Errorf("Parse(blank) = %v, %v; want nil, nil", inj, err)
+	}
+}
+
+func TestParseSpecGrammar(t *testing.T) {
+	inj, err := Parse("partition=http://a:1,b:2; partition=c:3->d:4; from=a:1 to=b:2 drop-rate=0.3 delay=50ms reset-rate=0.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := inj.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rules))
+	}
+	if r := rules[0]; r.PartitionA != "a:1" || r.PartitionB != "b:2" || r.Directional {
+		t.Fatalf("rule 0 = %+v, want bidirectional a:1,b:2 with scheme stripped", r)
+	}
+	if r := rules[1]; r.PartitionA != "c:3" || r.PartitionB != "d:4" || !r.Directional {
+		t.Fatalf("rule 1 = %+v, want directional c:3->d:4", r)
+	}
+	if r := rules[2]; r.DropRate != 0.3 || r.Delay != 50*time.Millisecond || r.DelayRate != 1 || r.ResetRate != 0.1 {
+		t.Fatalf("rule 2 = %+v, want drop 0.3 delay 50ms (rate 1) reset 0.1", r)
+	}
+}
+
+func TestPartitionBidirectional(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	inj, err := Parse("partition=me:1,"+host, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := inj.Bind("http://me:1").Transport(nil)
+	if _, err := get(t, rt, srv.URL); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned request err = %v, want ErrPartitioned", err)
+	}
+	if st := inj.Stats(); st.Partitioned != 1 {
+		t.Fatalf("Partitioned = %d, want 1", st.Partitioned)
+	}
+
+	// The reverse direction is blocked too: bind as the server side.
+	rev, err := Parse("partition=me:1,"+host, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrt := rev.Bind(host).Transport(nil)
+	if _, err := get(t, rrt, "http://me:1/x"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("reverse direction err = %v, want ErrPartitioned", err)
+	}
+
+	// An uninvolved destination passes the partition check (the dial
+	// itself may fail — only the injector's verdict matters here).
+	resp, err := get(t, rt, "http://uninvolved.invalid:1/")
+	if errors.Is(err, ErrPartitioned) {
+		t.Fatalf("uninvolved destination was partitioned: %v", err)
+	}
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+func TestPartitionDirectional(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	// me -> srv blocked; srv -> me must pass.
+	inj, _ := Parse("partition=me:1->"+host, 1)
+	rt := inj.Bind("me:1").Transport(nil)
+	if _, err := get(t, rt, srv.URL); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("a->b err = %v, want ErrPartitioned", err)
+	}
+
+	rev, _ := Parse("partition=me:1->"+host, 1)
+	rrt := rev.Bind(host).Transport(nil)
+	resp, err := get(t, rrt, srv.URL) // srv talking to itself stands in for srv->me
+	if err != nil {
+		t.Fatalf("reverse of a directional partition failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestDropAndDelayAndReset(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served++
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj, err := Parse("drop-rate=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := inj.Bind("me:1").Transport(nil)
+	if _, err := get(t, rt, srv.URL); !errors.Is(err, ErrDropped) {
+		t.Fatalf("drop-rate=1 err = %v, want ErrDropped", err)
+	}
+	if served != 0 {
+		t.Fatalf("dropped request reached the server")
+	}
+
+	// Reset: the request IS delivered, the response destroyed.
+	inj2, _ := Parse("reset-rate=1", 1)
+	rt2 := inj2.Bind("me:1").Transport(nil)
+	if _, err := get(t, rt2, srv.URL); !errors.Is(err, ErrReset) {
+		t.Fatalf("reset-rate=1 err = %v, want ErrReset", err)
+	}
+	if served != 1 {
+		t.Fatalf("reset request did not reach the server (served=%d)", served)
+	}
+
+	// Delay: measurable latency, request still succeeds.
+	inj3, _ := Parse("delay=30ms", 1)
+	rt3 := inj3.Bind("me:1").Transport(nil)
+	start := time.Now()
+	resp, err := get(t, rt3, srv.URL)
+	if err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed request took %v, want >= 30ms", d)
+	}
+	if st := inj3.Stats(); st.Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestAllMatchingRulesApply(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	// Two delay rules both match: delays accumulate (unlike
+	// faultinject's first-match semantics).
+	inj, err := Parse("delay=20ms; delay=20ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := inj.Bind("me:1").Transport(nil)
+	start := time.Now()
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("two 20ms rules delayed %v, want >= 40ms", d)
+	}
+}
+
+func TestScopedRule(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	// Rule scoped to a different destination: must not fire.
+	inj, _ := Parse("to=elsewhere:9 drop-rate=1", 1)
+	rt := inj.Bind("me:1").Transport(nil)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatalf("out-of-scope rule fired: %v", err)
+	}
+	resp.Body.Close()
+
+	// Scoped to this destination: fires.
+	inj2, _ := Parse("to="+host+" drop-rate=1", 1)
+	rt2 := inj2.Bind("me:1").Transport(nil)
+	if _, err := get(t, rt2, srv.URL); !errors.Is(err, ErrDropped) {
+		t.Fatalf("in-scope rule err = %v, want ErrDropped", err)
+	}
+
+	// Scoped to a different source: must not fire.
+	inj3, _ := Parse("from=other:2 drop-rate=1", 1)
+	rt3 := inj3.Bind("me:1").Transport(nil)
+	resp, err = get(t, rt3, srv.URL)
+	if err != nil {
+		t.Fatalf("rule scoped to another source fired: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestPauseResume(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj, _ := Parse("drop-rate=1", 1)
+	inj.Pause()
+	rt := inj.Bind("me:1").Transport(nil)
+	resp, err := get(t, rt, srv.URL)
+	if err != nil {
+		t.Fatalf("paused injector dropped: %v", err)
+	}
+	resp.Body.Close()
+	if inj.Enabled() {
+		t.Fatal("paused injector reports Enabled")
+	}
+	inj.Resume()
+	if _, err := get(t, rt, srv.URL); !errors.Is(err, ErrDropped) {
+		t.Fatalf("resumed injector err = %v, want ErrDropped", err)
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	run := func(seed int64) []bool {
+		inj, err := Parse("drop-rate=0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := inj.Bind("me:1").Transport(nil)
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			resp, err := get(t, rt, srv.URL)
+			if resp != nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, errors.Is(err, ErrDropped))
+		}
+		return outcomes
+	}
+
+	a, b, c := run(7), run(7), run(8)
+	dropsA := 0
+	diffAB, diffAC := false, false
+	for i := range a {
+		if a[i] {
+			dropsA++
+		}
+		if a[i] != b[i] {
+			diffAB = true
+		}
+		if a[i] != c[i] {
+			diffAC = true
+		}
+	}
+	if diffAB {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if !diffAC {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	if dropsA == 0 || dropsA == len(a) {
+		t.Fatalf("drop-rate=0.5 dropped %d/%d — stream not mixing", dropsA, len(a))
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Fatal("nil injector Enabled")
+	}
+	inj.Pause()
+	inj.Resume()
+	if st := inj.Stats(); st != (Stats{}) {
+		t.Fatalf("nil injector stats = %+v", st)
+	}
+	if rt := inj.Transport(http.DefaultTransport); rt != http.DefaultTransport {
+		t.Fatal("nil injector wrapped the transport")
+	}
+	if inj.Bind("x") != nil {
+		t.Fatal("nil Bind returned non-nil")
+	}
+}

@@ -323,6 +323,12 @@ func TestClusterStatusAndMetrics(t *testing.T) {
 		"ttmcas_cluster_forwarded_total 1",
 		`ttmcas_cluster_peers{state="alive"} 1`,
 		"ttmcas_cluster_forward_seconds_count 1",
+		"ttmcas_cluster_retries_total 0",
+		"ttmcas_cluster_retries_denied_total 0",
+		"ttmcas_cluster_breaker_transitions_total 0",
+		"ttmcas_cluster_breaker_opens_total 0",
+		"ttmcas_cluster_breaker_short_circuits_total 0",
+		fmt.Sprintf("ttmcas_cluster_breaker_state{peer=%q} 0", urls[1]),
 	} {
 		if !strings.Contains(string(mb), want) {
 			t.Errorf("/metrics missing %q", want)

@@ -87,7 +87,10 @@ func (s *Server) forwardJob(w http.ResponseWriter, r *http.Request, ownerURL, ke
 	body := key[len("POST /v1/jobs|"):]
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	res, err := s.cluster.Forward(ctx, ownerURL, http.MethodPost, "/v1/jobs", []byte(body))
+	// Job submission is not idempotent (each accept mints an ID), so it
+	// never retries: a transport failure falls back to running locally.
+	res, err := s.cluster.ForwardOpts(ctx, ownerURL, http.MethodPost, "/v1/jobs", []byte(body),
+		cluster.ForwardOptions{Class: "job"})
 	if err != nil {
 		s.log.Printf("cluster: job submit forward to %s failed, running locally: %v", ownerURL, err)
 		return false
@@ -108,7 +111,9 @@ func (s *Server) scatterJob(w http.ResponseWriter, r *http.Request, path string)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	for _, u := range s.cluster.PeerURLs(true) {
-		res, err := s.cluster.Forward(ctx, u, r.Method, path, nil)
+		// The healthiest-first peer loop is itself the retry here.
+		res, err := s.cluster.ForwardOpts(ctx, u, r.Method, path, nil,
+			cluster.ForwardOptions{Class: "scatter"})
 		if err != nil || res.Status == http.StatusNotFound {
 			continue
 		}

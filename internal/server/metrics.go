@@ -524,6 +524,11 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			{"ttmcas_cluster_forward_errors_total", "Forwards that failed at the transport level and fell back to local compute.", "counter", cs.ForwardErrors},
 			{"ttmcas_cluster_redirected_total", "Ownership misses answered with a 307 redirect to the owner.", "counter", cs.Redirected},
 			{"ttmcas_cluster_probe_failures_total", "Peer health probes that failed.", "counter", cs.ProbeFailures},
+			{"ttmcas_cluster_retries_total", "Forward retries admitted by the retry budget.", "counter", cs.Retries},
+			{"ttmcas_cluster_retries_denied_total", "Forward retries refused: budget dry or attempts exhausted.", "counter", cs.RetriesDenied},
+			{"ttmcas_cluster_breaker_transitions_total", "Per-peer circuit breaker state transitions.", "counter", cs.BreakerTransitions},
+			{"ttmcas_cluster_breaker_opens_total", "Circuit breaker trips (transitions into the open state).", "counter", cs.BreakerOpens},
+			{"ttmcas_cluster_breaker_short_circuits_total", "Forwards refused outright by an open breaker.", "counter", cs.BreakerShortCircuits},
 		} {
 			if err := emit("# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.value); err != nil {
 				return total, err
@@ -540,6 +545,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			{"alive", cs.Alive - 1}, {"suspect", cs.Suspect}, {"dead", cs.Dead},
 		} {
 			if err := emit("ttmcas_cluster_peers{state=%q} %d\n", kv.state, kv.value); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("# HELP ttmcas_cluster_breaker_state Per-peer circuit breaker state: 0 closed, 1 half-open, 2 open.\n# TYPE ttmcas_cluster_breaker_state gauge\n"); err != nil {
+			return total, err
+		}
+		for _, pb := range cs.Breakers {
+			if err := emit("ttmcas_cluster_breaker_state{peer=%q} %d\n", pb.URL, int(pb.State)); err != nil {
 				return total, err
 			}
 		}

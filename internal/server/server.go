@@ -20,6 +20,7 @@ import (
 	"ttmcas/internal/jobs"
 	"ttmcas/internal/resilience"
 	"ttmcas/internal/resilience/faultinject"
+	"ttmcas/internal/resilience/netfault"
 )
 
 // Config parameterizes a Server. The zero value of every field selects
@@ -67,6 +68,18 @@ type Config struct {
 	FaultSpec string
 	// FaultSeed fixes the fault injector's decision stream (default 1).
 	FaultSeed int64
+	// NetFaultSpec enables the network-level fault injector on the
+	// cluster transport (see internal/resilience/netfault): drop,
+	// delay, reset, or fully partition traffic between named peers,
+	// e.g. "partition=10.0.0.1:8080,10.0.0.3:8080; drop-rate=0.3".
+	// It shapes peer-to-peer traffic only — client requests to this
+	// node are not touched.
+	NetFaultSpec string
+	// NetFaultSeed fixes the net-fault decision stream (default 1).
+	NetFaultSeed int64
+	// NetFaultPaused starts the net-fault injector paused; the
+	// netsplit harness resumes it mid-run to induce the partition.
+	NetFaultPaused bool
 	// RequestTimeout is the per-request deadline (default 30s); work
 	// queued behind a full worker pool gives up when it expires.
 	RequestTimeout time.Duration
@@ -142,6 +155,15 @@ type Config struct {
 	// and evicted from the ring (default 3).
 	ClusterSuspectAfter int
 	ClusterEvictAfter   int
+	// ClusterProbeTimeout bounds one health probe, decoupled from the
+	// probe interval (default: ProbeInterval, capped at 2s).
+	ClusterProbeTimeout time.Duration
+	// ClusterBreaker tunes the per-peer circuit breakers on the
+	// forward path; the zero value selects the resilience defaults.
+	ClusterBreaker resilience.BreakerConfig
+	// ClusterRetry tunes the forward retry budget and backoff; the
+	// zero value selects the resilience defaults.
+	ClusterRetry resilience.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +190,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FaultSeed == 0 {
 		c.FaultSeed = 1
+	}
+	if c.NetFaultSeed == 0 {
+		c.NetFaultSeed = 1
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -222,6 +247,9 @@ type Server struct {
 	cheap  *resilience.Limiter
 	heavy  *resilience.Limiter
 	faults *faultinject.Injector
+	// netFaults shapes the cluster transport (forwards and gossip
+	// probes) for partition testing; nil when disabled.
+	netFaults *netfault.Injector
 	// refreshSem bounds concurrent background stale refreshes so a
 	// burst of stale serves cannot spawn unbounded goroutines.
 	refreshSem chan struct{}
@@ -259,18 +287,45 @@ func New(cfg Config) *Server {
 		refreshSem: make(chan struct{}, 2),
 		started:    time.Now(),
 	}
+	if inj, err := netfault.Parse(cfg.NetFaultSpec, cfg.NetFaultSeed); err != nil {
+		// Same contract as FaultSpec below: the CLI pre-validates, so
+		// this path only logs and disables.
+		cfg.Logger.Printf("ignoring invalid net-fault spec: %v", err)
+	} else if inj != nil {
+		s.netFaults = inj.Bind(cfg.ClusterSelfURL)
+		if cfg.NetFaultPaused {
+			s.netFaults.Pause()
+		}
+	}
 	if cfg.ClusterSelfURL != "" && len(cfg.ClusterPeers) > 0 {
-		s.cluster = cluster.New(cluster.Options{
+		copts := cluster.Options{
 			SelfID:        cfg.NodeID,
 			SelfURL:       cfg.ClusterSelfURL,
 			Peers:         cfg.ClusterPeers,
 			VNodes:        cfg.ClusterVNodes,
 			Redirect:      cfg.ClusterRedirect,
 			ProbeInterval: cfg.ClusterProbeInterval,
+			ProbeTimeout:  cfg.ClusterProbeTimeout,
 			SuspectAfter:  cfg.ClusterSuspectAfter,
 			EvictAfter:    cfg.ClusterEvictAfter,
+			Breaker:       cfg.ClusterBreaker,
+			Retry:         cfg.ClusterRetry,
 			Logger:        cfg.Logger,
-		})
+		}
+		if s.netFaults != nil {
+			// Wrap the whole cluster transport — forwards AND gossip
+			// probes — so a partition is symmetric with production: a
+			// peer this node cannot reach is also a peer it cannot
+			// probe, and suspicion machinery reacts accordingly.
+			copts.Client = &http.Client{
+				Transport: s.netFaults.Transport(&http.Transport{
+					MaxIdleConns:        64,
+					MaxIdleConnsPerHost: 64,
+					IdleConnTimeout:     90 * time.Second,
+				}),
+			}
+		}
+		s.cluster = cluster.New(copts)
 		s.metrics.clusterStats = s.cluster.Stats
 	}
 	if inj, err := faultinject.Parse(cfg.FaultSpec, cfg.FaultSeed); err != nil {
@@ -325,6 +380,11 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 // disabled). The chaos harness uses it to pause injection while
 // warming caches and to read injected-fault counts.
 func (s *Server) FaultInjector() *faultinject.Injector { return s.faults }
+
+// NetFault returns the network-fault injector on the cluster
+// transport (nil when disabled). The netsplit harness uses it to
+// start and heal partitions mid-run.
+func (s *Server) NetFault() *netfault.Injector { return s.netFaults }
 
 // Cluster returns the consistent-hash peer layer, or nil when the node
 // runs alone. The cluster harness reads its stats and status.
@@ -790,7 +850,10 @@ func (s *Server) forwardEval(w http.ResponseWriter, r *http.Request, ownerURL, p
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	body, shared, err := s.flight.Do(key, func() ([]byte, error) {
-		res, err := s.cluster.Forward(ctx, ownerURL, http.MethodPost, path, []byte(fwdBody))
+		// Eval forwards are deterministic and side-effect-free, so they
+		// opt into the cluster retry budget.
+		res, err := s.cluster.ForwardOpts(ctx, ownerURL, http.MethodPost, path, []byte(fwdBody),
+			cluster.ForwardOptions{Retry: true, Class: "eval"})
 		if err != nil {
 			return nil, &forwardError{err: err}
 		}

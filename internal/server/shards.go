@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"ttmcas/internal/cluster"
 	"ttmcas/internal/jobs"
 )
 
@@ -30,7 +31,11 @@ func (d clusterDistributor) Dispatch(ctx context.Context, target string, req job
 	if err != nil {
 		return jobs.ShardResult{}, err
 	}
-	fr, err := d.s.cluster.Forward(ctx, target, http.MethodPost, "/v1/internal/shards", body)
+	// No transport-level retry: the jobs layer owns shard hedging
+	// (next-alive peer, then local fallback), and stacking budgets
+	// under it would double-spend the shard deadline.
+	fr, err := d.s.cluster.ForwardOpts(ctx, target, http.MethodPost, "/v1/internal/shards", body,
+		cluster.ForwardOptions{Class: "shard"})
 	if err != nil {
 		return jobs.ShardResult{}, err
 	}

@@ -16,16 +16,19 @@
 # 512 steps) recorded as BENCH_timeline.json in steps/s, and the
 # distributed-job sweep (heavy mc-band batch jobs sharded across a
 # 4-node in-process ring with a mid-run node kill, vs the same workload
-# single-node) recorded as BENCH_distjobs.json in jobs/s.
+# single-node) recorded as BENCH_distjobs.json in jobs/s, and the
+# netsplit partition sweep (a 4-node ring crossing a mid-run asymmetric
+# partition and heal) recorded as BENCH_netsplit.json with per-phase
+# RPS and the heal-to-reconvergence time.
 #
 # After the measurement runs, a delta table against the committed
 # BENCH_*.json baselines is printed (% change per benchmark/scenario)
 # so perf movement is visible in PR logs even when every guard passes.
 #
-#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json] [timeline_out.json] [distjobs_out.json]
+#   scripts/bench.sh [out.json] [serve_out.json] [cluster_out.json] [timeline_out.json] [distjobs_out.json] [netsplit_out.json]
 #                # defaults: BENCH_jobs.json BENCH_serve.json
 #                #           BENCH_cluster.json BENCH_timeline.json
-#                #           BENCH_distjobs.json
+#                #           BENCH_distjobs.json BENCH_netsplit.json
 #   BENCHTIME=5s scripts/bench.sh     # longer kernel runs for stabler numbers
 #   BENCHCOUNT=5 scripts/bench.sh     # more repetitions per benchmark
 #   SERVE_DURATION=10s scripts/bench.sh   # longer load-test scenarios
@@ -56,6 +59,9 @@
 #   - 4-node distributed jobs/s below 0.7 x 4 x single-node jobs/s
 #   - distjobs sweep losing jobs, completing no remote shards at N=4,
 #     or failing to reconverge the ring after the mid-run kill
+#   - netsplit sweep losing requests or jobs, breakers never opening
+#     (or still open after the heal), the ring not reconverging, or
+#     partitioned-phase RPS below half the healthy phase's
 set -eu
 
 out="${1:-BENCH_jobs.json}"
@@ -63,6 +69,7 @@ serveout="${2:-BENCH_serve.json}"
 clusterout="${3:-BENCH_cluster.json}"
 timelineout="${4:-BENCH_timeline.json}"
 distjobsout="${5:-BENCH_distjobs.json}"
+netsplitout="${6:-BENCH_netsplit.json}"
 tmp="$(mktemp)"
 tmpbest="$(mktemp)"
 tmptl="$(mktemp)"
@@ -354,6 +361,73 @@ else
     echo "ok: ring reconverged after the distjobs mid-run kill"
 fi
 
+# ---- netsplit partition sweep --------------------------------------
+# A 4-node ring driven through healthy / partitioned / healed phases:
+# mid-run every majority node's traffic to the last node is blackholed
+# (its own outbound keeps working — the asymmetric case), then the
+# partition heals. The run must not cost a single request or job;
+# breakers must open during the split and all be closed again at the
+# end; the ring must reconverge; and the majority side must hold at
+# least half the healthy throughput while the split is open.
+netsplit_json="$("$tmpbin/ttmcas-loadgen" -scenario netsplit -nodes 4 -d "$servedur" -c 2 -json)"
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "runs": [\n'
+    printf '    %s\n' "$netsplit_json"
+    printf '  ]\n'
+    printf '}\n'
+} > "$netsplitout"
+echo "wrote $netsplitout"
+
+ns_healthy="$(djfield "$netsplit_json" healthy_rps)"
+ns_part="$(djfield "$netsplit_json" partitioned_rps)"
+ns_jobs="$(djfield "$netsplit_json" jobs_total)"
+ns_jobsok="$(djfield "$netsplit_json" jobs_ok)"
+ns_opens="$(djfield "$netsplit_json" breaker_opens)"
+ns_open_end="$(djfield "$netsplit_json" open_breakers)"
+ns_conv="$(printf '%s' "$netsplit_json" | grep -o '"converged":[a-z]*' | cut -d: -f2)"
+ns_errs="$(printf '%s' "$netsplit_json" | grep -o '"errors":[0-9]*' | awk -F: '{ s += $2 } END { print s + 0 }')"
+ns_5xx="$(printf '%s' "$netsplit_json" | grep -o '"status_5xx":[0-9]*' | awk -F: '{ s += $2 } END { print s + 0 }')"
+
+if [ "${ns_errs:-1}" != "0" ] || [ "${ns_5xx:-1}" != "0" ]; then
+    echo "WARNING: netsplit sweep saw client-visible failures (errors=${ns_errs:-?}, 5xx=${ns_5xx:-?})" >&2
+    guard_status=1
+else
+    echo "ok: netsplit sweep lost zero requests across the partition"
+fi
+if [ -z "$ns_jobs" ] || [ "$ns_jobs" = "0" ] || [ "${ns_jobsok:-}" != "$ns_jobs" ]; then
+    echo "WARNING: netsplit sweep lost jobs (ok=${ns_jobsok:-?}/${ns_jobs:-?})" >&2
+    guard_status=1
+else
+    echo "ok: netsplit sweep completed all ${ns_jobs} jobs"
+fi
+if [ -z "$ns_opens" ] || [ "$ns_opens" = "0" ]; then
+    echo "WARNING: no breaker opened during the netsplit partition" >&2
+    guard_status=1
+elif [ "${ns_open_end:-1}" != "0" ]; then
+    echo "WARNING: ${ns_open_end:-?} breakers still open after the netsplit heal" >&2
+    guard_status=1
+else
+    echo "ok: netsplit breakers opened (${ns_opens}) and all re-closed"
+fi
+if [ "${ns_conv:-}" != "true" ]; then
+    echo "WARNING: ring did not reconverge after the netsplit heal (converged=${ns_conv:-?})" >&2
+    guard_status=1
+else
+    echo "ok: ring reconverged after the netsplit heal"
+fi
+if [ -z "$ns_healthy" ] || [ -z "$ns_part" ]; then
+    echo "WARNING: netsplit sweep produced no RPS figures" >&2
+    guard_status=1
+elif awk -v p="$ns_part" -v h="$ns_healthy" 'BEGIN { exit !(p < 0.5 * h) }'; then
+    echo "WARNING: partitioned RPS (${ns_part}) below 0.5 x healthy RPS (${ns_healthy})" >&2
+    guard_status=1
+else
+    echo "ok: partitioned RPS ${ns_part} >= 0.5 x healthy RPS ${ns_healthy}"
+fi
+
 if [ -n "$cluster_rps_1" ] && [ -n "$cluster_rps_4" ]; then
     if awk -v r4="$cluster_rps_4" -v r1="$cluster_rps_1" 'BEGIN { exit !(r4 < 0.8 * 4 * r1) }'; then
         echo "WARNING: 4-node cluster RPS (${cluster_rps_4}) below 0.8 x 4 x single-node RPS (${cluster_rps_1})" >&2
@@ -424,6 +498,17 @@ delta_section "timeline ns/op (negative = faster)"
 kv_rate jobs_per_sec < "$distjobsout" > "$tmpkvnew"
 baseline_of BENCH_distjobs.json | kv_rate jobs_per_sec > "$tmpkvold"
 delta_section "distributed jobs/s (positive = faster)"
+
+kv_netsplit() {
+    awk '
+        match($0, /"healthy_rps":[0-9.eE+-]+/)     { print "healthy", substr($0, RSTART + 14, RLENGTH - 14) }
+        match($0, /"partitioned_rps":[0-9.eE+-]+/) { print "partitioned", substr($0, RSTART + 18, RLENGTH - 18) }
+        match($0, /"healed_rps":[0-9.eE+-]+/)      { print "healed", substr($0, RSTART + 13, RLENGTH - 13) }
+    '
+}
+kv_netsplit < "$netsplitout" > "$tmpkvnew"
+baseline_of BENCH_netsplit.json | kv_netsplit > "$tmpkvold"
+delta_section "netsplit phase RPS (positive = faster)"
 
 if [ "$guard_status" -ne 0 ] && [ "${BENCH_STRICT:-0}" = "1" ]; then
     echo "FAIL: benchmark guards failed (see warnings above)" >&2

@@ -41,3 +41,19 @@ go run ./cmd/ttmcas-loadgen -scenario cluster -nodes 4 -kill -d 2s -c 4 -check
 # in-process server. -check fails on transport errors or any 5xx
 # beyond deliberate Retry-After-bearing sheds.
 go run ./cmd/ttmcas-loadgen -scenario timeline -d 2s -c 4 -check
+
+# Distributed-job smoke: heavy mc-band batch jobs sharded across a
+# 4-node in-process ring with a mid-run node kill and rejoin. -check
+# runs a single-node baseline first and asserts zero lost jobs,
+# remotely completed shards, a reconverged ring, and >= 0.7 x 4 x the
+# single-node jobs/s.
+go run ./cmd/ttmcas-loadgen -scenario distjobs -nodes 4 -kill -d 2s -c 3 -check
+
+# Netsplit smoke: a 4-node in-process cluster with a mid-run asymmetric
+# partition (every majority node's traffic to the victim blackholed,
+# the victim's outbound intact) that heals before the run ends. -check
+# asserts the partition-tolerance contract: zero transport errors and
+# zero non-2xx in every phase, zero lost jobs, breakers open and
+# re-close, the ring reconverges, and partitioned-phase throughput at
+# least half the healthy phase's.
+go run ./cmd/ttmcas-loadgen -scenario netsplit -nodes 4 -d 2s -c 2 -check
